@@ -1,0 +1,353 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (run `go test -bench=. -benchmem`), plus the ablation benches
+// DESIGN.md calls out and micro-benchmarks of the core algorithms. Each
+// figure benchmark regenerates the experiment end to end; the reported
+// ns/op is the cost of reproducing that figure on this machine, and the
+// experiment's own metrics are reported via b.ReportMetric where the paper
+// publishes a headline number.
+package gputopo
+
+import (
+	"testing"
+
+	"gputopo/internal/cluster"
+	"gputopo/internal/core"
+	"gputopo/internal/experiments"
+	"gputopo/internal/fm"
+	"gputopo/internal/graph"
+	"gputopo/internal/job"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/profile"
+	"gputopo/internal/sched"
+	"gputopo/internal/simulator"
+	"gputopo/internal/topology"
+	"gputopo/internal/workload"
+)
+
+// BenchmarkFig3Breakdown regenerates Figure 3 (computation/communication
+// breakdown per model and batch size).
+func BenchmarkFig3Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3Breakdown()
+		if len(rows) != 24 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkFig4PackSpread regenerates Figure 4 and reports the headline
+// AlexNet batch-1 pack-vs-spread speedup (paper: ≈1.30x).
+func BenchmarkFig4PackSpread(b *testing.B) {
+	var headline float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4PackSpread()
+		for _, r := range rows {
+			if r.Model == perfmodel.AlexNet && r.Batch == 1 {
+				headline = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(headline, "alexnet-b1-speedup")
+}
+
+// BenchmarkFig5Bandwidth regenerates Figure 5 (NVLink bandwidth over time)
+// and reports the batch-1 / batch-128 mean-bandwidth ratio (paper: ≈7x).
+func BenchmarkFig5Bandwidth(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig5Bandwidth(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = series[0].Mean / series[3].Mean
+	}
+	b.ReportMetric(ratio, "b1/b128-bandwidth-ratio")
+}
+
+// BenchmarkFig6Interference regenerates Figure 6 (co-location slowdown
+// matrix) and reports the tiny+tiny slowdown (paper: ≈30%).
+func BenchmarkFig6Interference(b *testing.B) {
+	var tinyTiny float64
+	for i := 0; i < b.N; i++ {
+		cells := experiments.Fig6Interference()
+		tinyTiny = cells[0].Slowdown
+	}
+	b.ReportMetric(tinyTiny*100, "tiny+tiny-slowdown-%")
+}
+
+// BenchmarkPCIeComparison regenerates the §3.2 NVLink-vs-PCIe table.
+func BenchmarkPCIeComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.PCIeComparison(); len(rows) != 8 {
+			b.Fatal("unexpected rows")
+		}
+	}
+}
+
+// BenchmarkModelParallelStudy regenerates the §2 extension study and
+// reports the model-parallel pack-vs-spread speedup at batch 128, where
+// data parallelism has stopped caring about placement.
+func BenchmarkModelParallelStudy(b *testing.B) {
+	var mp128 float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ModelParallelStudy()
+		mp128 = rows[len(rows)-1].MPSpeedup
+	}
+	b.ReportMetric(mp128, "mp-b128-speedup")
+}
+
+// BenchmarkFig8Prototype regenerates the Figure 8 prototype experiment
+// (Table 1 workload under all four policies at iteration granularity) and
+// reports TOPO-AWARE-P's cumulative-time speedup over Best-Fit (paper:
+// ≈1.30x).
+func BenchmarkFig8Prototype(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		mp, _, err := experiments.Fig8Prototype(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = mp.ByPolicy(sched.BestFit).Makespan / mp.ByPolicy(sched.TopoAwareP).Makespan
+	}
+	b.ReportMetric(speedup, "topoP-vs-BF-speedup")
+}
+
+// BenchmarkFig9Validation regenerates the §5.4 prototype-vs-simulation
+// validation and reports the worst relative disagreement in percent.
+func BenchmarkFig9Validation(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Validate(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			d := r.RelativeError
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "max-rel-diff-%")
+}
+
+// BenchmarkFig10Scenario1 regenerates Figure 10 (100 jobs, 5 machines) and
+// reports TOPO-AWARE-P's SLO violations (paper: none).
+func BenchmarkFig10Scenario1(b *testing.B) {
+	var viol float64
+	for i := 0; i < b.N; i++ {
+		mp, err := experiments.Scenario(100, 5, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		viol = float64(mp.ByPolicy(sched.TopoAwareP).SLOViolations())
+	}
+	b.ReportMetric(viol, "topoP-SLO-violations")
+}
+
+// BenchmarkFig11Scenario2 regenerates Figure 11. The paper uses 10k jobs
+// on 1k machines; the benchmark defaults to a 1/5-scale replica (2k jobs,
+// 200 machines) so `go test -bench` completes in minutes — run
+// `cmd/topobench -fig 11` for the full scale (EXPERIMENTS.md records both).
+func BenchmarkFig11Scenario2(b *testing.B) {
+	jobs, machines := 2000, 200
+	if testing.Short() {
+		jobs, machines = 400, 40
+	}
+	var viol float64
+	for i := 0; i < b.N; i++ {
+		mp, err := experiments.Scenario(jobs, machines, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		viol = float64(mp.ByPolicy(sched.TopoAwareP).SLOViolations())
+	}
+	b.ReportMetric(viol, "topoP-SLO-violations")
+}
+
+// BenchmarkOverheadDecisionTopoAware measures the per-decision cost of the
+// topology-aware placement at scenario-2-like machine counts (§5.5.3
+// reports ≈3s on their hardware vs ≈0.45s greedy; the reproduced quantity
+// is the topo/greedy ratio, visible against the FCFS benchmark below).
+func BenchmarkOverheadDecisionTopoAware(b *testing.B) {
+	benchDecision(b, sched.TopoAware)
+}
+
+// BenchmarkOverheadDecisionFCFS is the greedy counterpart of the decision
+// overhead comparison.
+func BenchmarkOverheadDecisionFCFS(b *testing.B) {
+	benchDecision(b, sched.FCFS)
+}
+
+// BenchmarkOverheadDecisionBestFit measures Best-Fit's decision cost.
+func BenchmarkOverheadDecisionBestFit(b *testing.B) {
+	benchDecision(b, sched.BestFit)
+}
+
+// benchDecision measures one placement decision on a 1000-machine cluster
+// with a realistic allocation level (≈50% of GPUs busy).
+func benchDecision(b *testing.B, policy sched.Policy) {
+	topo := topology.Cluster(1000, topology.KindMinsky)
+	st := cluster.NewState(topo)
+	occupant := perfmodel.Traits{Model: perfmodel.AlexNet, Class: 1, GPUs: 2}
+	id := 0
+	for m := 0; m < 1000; m += 2 {
+		gpus := topo.GPUsOfMachine(m)
+		if err := st.Allocate(jobName(id), []int{gpus[0], gpus[1]}, 1, occupant); err != nil {
+			b.Fatal(err)
+		}
+		id++
+	}
+	mapper, err := core.NewMapper(profile.Generate(topo, 4), core.DefaultWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sched.New(policy, st, mapper)
+		j := job.New("bench", perfmodel.AlexNet, 4, 2, 0.5, 0)
+		if err := s.Submit(j); err != nil {
+			b.Fatal(err)
+		}
+		ds := s.Schedule()
+		if len(ds) != 1 || ds[0].Postponed {
+			b.Fatal("placement failed")
+		}
+		b.StopTimer()
+		if err := st.Release("bench"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func jobName(i int) string {
+	return "occ" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+}
+
+// BenchmarkAblationLevelWeights re-runs the Table 1 scenario across socket
+// weight settings (§4.1.2: only the ordering matters).
+func BenchmarkAblationLevelWeights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LevelWeightAblation([]float64{10, 20, 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAlphaSweep sweeps the utility weight αcc on a reduced
+// scenario 1.
+func BenchmarkAblationAlphaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AlphaSweep([]float64{0, 1.0 / 3, 0.8}, 60, 3, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationThresholdSweep sweeps the TOPO-AWARE-P postponement
+// threshold on a reduced scenario 1.
+func BenchmarkAblationThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ThresholdSweep([]float64{0, 0.5, 0.9}, 60, 3, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFMvsExhaustive compares Fiduccia–Mattheyses against the
+// exhaustive-optimal bipartition on DGX-1-sized affinity graphs.
+func BenchmarkAblationFMvsExhaustive(b *testing.B) {
+	topo := topology.DGX1()
+	g := graph.New()
+	n := topo.NumGPUs()
+	for i := 0; i < n; i++ {
+		g.AddVertex("")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, 1/topo.Distance(i, j))
+		}
+	}
+	b.Run("FM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fm.Bipartition(g, fm.Options{})
+		}
+	})
+	b.Run("Exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fm.ExhaustiveBipartition(g, 1)
+		}
+	})
+}
+
+// BenchmarkDRBPlacement measures a single DRB mapping ψ(A, P) of a 4-GPU
+// job on a DGX-1 — the paper's core operation with complexity
+// Θ(|E_A|·log₂|V_P|).
+func BenchmarkDRBPlacement(b *testing.B) {
+	topo := topology.DGX1()
+	st := cluster.NewState(topo)
+	mapper, err := core.NewMapper(profile.Generate(topo, 8), core.DefaultWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	j := job.New("bench", perfmodel.AlexNet, 1, 4, 0.5, 0)
+	free := st.FreeGPUs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapper.Place(j, st, free); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures simulated jobs per second of the
+// trace-driven engine at scenario-1 scale.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	topo := topology.Cluster(5, topology.KindMinsky)
+	jobs, err := workload.Generate(workload.GenConfig{Jobs: 100, Seed: 42}, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulator.Run(simulator.Config{Topology: topo, Policy: sched.TopoAwareP}, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrototypeEngine measures the iteration-granularity engine on
+// the Table 1 workload (the Figure 8 inner loop).
+func BenchmarkPrototypeEngine(b *testing.B) {
+	topo := topology.Power8Minsky()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunPrototype(PrototypeConfig{Topology: topo, Policy: sched.TopoAwareP}, workload.Table1()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyBuild measures cluster topology construction including
+// all distance/bandwidth matrices.
+func BenchmarkTopologyBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if topo := topology.Cluster(100, topology.KindMinsky); topo.NumGPUs() != 400 {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+// BenchmarkProfileGeneration measures the §4.2 profile store generation.
+func BenchmarkProfileGeneration(b *testing.B) {
+	topo := topology.Power8Minsky()
+	for i := 0; i < b.N; i++ {
+		if s := profile.Generate(topo, 4); s.Len() != 48 {
+			b.Fatal("bad store")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command gpuproto is the equivalent of the paper prototype's
+// `python main.py` (artifact appendix A.3): it loads a declarative
+// experiment document — system config (with the prototype/simulation
+// switch), one config per scheduling algorithm, and the JSON job manifests
+// — runs every configured algorithm, and prints the comparison.
+//
+//	gpuproto -experiment experiment.json
+//	gpuproto -example > experiment.json   # emit a sample document
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"flag"
+
+	"gputopo/internal/manifest"
+	"gputopo/internal/metrics"
+	"gputopo/internal/simulator"
+)
+
+func main() {
+	expFile := flag.String("experiment", "", "experiment JSON document")
+	example := flag.Bool("example", false, "print a sample experiment document and exit")
+	timeline := flag.Bool("timeline", false, "print GPU allocation timelines")
+	flag.Parse()
+
+	if *example {
+		if err := manifest.Write(os.Stdout, sampleExperiment()); err != nil {
+			fmt.Fprintln(os.Stderr, "gpuproto:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *expFile == "" {
+		fmt.Fprintln(os.Stderr, "gpuproto: -experiment is required (or -example)")
+		os.Exit(2)
+	}
+	if err := run(*expFile, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "gpuproto:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, timeline bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	exp, err := manifest.Read(f)
+	if err != nil {
+		return err
+	}
+
+	mode := "prototype"
+	if exp.System.Simulation {
+		mode = "simulation"
+	}
+	fmt.Printf("running %d algorithm(s) in %s mode on %q with %d job(s)\n\n",
+		len(exp.Algorithms), mode, exp.System.Topology, len(exp.Jobs))
+
+	runs, err := exp.Run()
+	if err != nil {
+		return err
+	}
+
+	topo, err := exp.BuildTopology()
+	if err != nil {
+		return err
+	}
+	results := make([]*simulator.Result, 0, len(runs))
+	for _, r := range runs {
+		results = append(results, r.Result)
+		if timeline {
+			fmt.Println(metrics.Timeline(r.Result, topo.NumGPUs(), 72))
+		}
+	}
+	fmt.Println(metrics.CompareRuns(results))
+	return nil
+}
+
+func sampleExperiment() *manifest.Experiment {
+	return &manifest.Experiment{
+		System: manifest.SystemConfig{
+			Simulation: false,
+			Topology:   "minsky",
+		},
+		Algorithms: []manifest.AlgorithmConfig{
+			{Name: "FCFS"},
+			{Name: "TOPO-AWARE-P"},
+		},
+		Jobs: []manifest.JobManifest{
+			{ID: "J0", Model: "AlexNet", BatchSize: 1, GPUs: 1, MinUtility: 0.3, Arrival: 0.51, Iterations: 2500},
+			{ID: "J1", Model: "GoogLeNet", BatchSize: 4, GPUs: 1, MinUtility: 0.3, Arrival: 15.03, Iterations: 2100},
+			{ID: "J2", Model: "AlexNet", BatchSize: 1, GPUs: 1, MinUtility: 0.3, Arrival: 24.36, Iterations: 2500},
+			{ID: "J3", Model: "AlexNet", BatchSize: 4, GPUs: 2, MinUtility: 0.5, Arrival: 25.33, Iterations: 1000},
+			{ID: "J4", Model: "AlexNet", BatchSize: 1, GPUs: 2, MinUtility: 0.5, Arrival: 29.33, Iterations: 1000},
+			{ID: "J5", Model: "CaffeRef", BatchSize: 1, GPUs: 2, MinUtility: 0.5, Arrival: 29.89, Iterations: 1000},
+		},
+	}
+}

@@ -1,0 +1,82 @@
+// Command topoviz renders the physical GPU topologies: the hierarchy tree
+// with link annotations, the nvidia-smi-style connectivity matrix, and the
+// GPU-to-GPU distance/bandwidth tables the scheduler reasons over.
+//
+//	topoviz -topo minsky
+//	topoviz -topo dgx1 -matrix
+//	topoviz -parse matrix.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gputopo/internal/topology"
+)
+
+func main() {
+	topoName := flag.String("topo", "minsky", "topology: minsky, dgx1, pcie, cluster")
+	machines := flag.Int("machines", 2, "machines for -topo cluster")
+	matrix := flag.Bool("matrix", false, "print the nvidia-smi-style connectivity matrix")
+	parse := flag.String("parse", "", "parse a connectivity-matrix file instead of building")
+	flag.Parse()
+
+	if err := run(*topoName, *machines, *matrix, *parse); err != nil {
+		fmt.Fprintln(os.Stderr, "topoviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoName string, machines int, matrix bool, parse string) error {
+	var topo *topology.Topology
+	switch {
+	case parse != "":
+		data, err := os.ReadFile(parse)
+		if err != nil {
+			return err
+		}
+		topo, err = topology.ParseMatrix(string(data))
+		if err != nil {
+			return err
+		}
+	case topoName == "minsky":
+		topo = topology.Power8Minsky()
+	case topoName == "dgx1":
+		topo = topology.DGX1()
+	case topoName == "pcie":
+		topo = topology.PCIeBox()
+	case topoName == "cluster":
+		topo = topology.Cluster(machines, topology.KindMinsky)
+	default:
+		return fmt.Errorf("unknown topology %q", topoName)
+	}
+
+	fmt.Println(topo.RenderTree())
+	if matrix || parse != "" {
+		fmt.Println(topo.RenderMatrix())
+	}
+
+	n := topo.NumGPUs()
+	if n <= 16 {
+		fmt.Println("GPU-to-GPU distance / effective bandwidth (GB/s) / P2P:")
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					fmt.Printf("%14s", "-")
+					continue
+				}
+				fmt.Printf("  %4.0f/%4.1f/%-2v", topo.Distance(i, j), topo.EffectiveBandwidth(i, j), boolMark(topo.P2P(i, j)))
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "y"
+	}
+	return "n"
+}

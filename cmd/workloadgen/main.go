@@ -1,0 +1,62 @@
+// Command workloadgen generates a reproducible job trace per §5.3 —
+// Poisson arrivals, Binomial batch-size and model mixes — and writes it as
+// JSON for topsim to replay.
+//
+//	workloadgen -jobs 100 -rate 10 -seed 7 -o workload.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gputopo/internal/topology"
+	"gputopo/internal/trace"
+	"gputopo/internal/workload"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 100, "number of jobs")
+	rate := flag.Float64("rate", 10, "Poisson arrival rate, jobs per minute")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	machines := flag.Int("machines", 5, "reference cluster size (for iteration calibration)")
+	meanDur := flag.Float64("mean-duration", 120, "target mean solo runtime in seconds")
+	out := flag.String("o", "", "output file (stdout when empty)")
+	flag.Parse()
+
+	if err := run(*jobs, *rate, *seed, *machines, *meanDur, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(jobs int, rate float64, seed uint64, machines int, meanDur float64, out string) error {
+	topo := topology.Cluster(machines, topology.KindMinsky)
+	stream, err := workload.Generate(workload.GenConfig{
+		Jobs:         jobs,
+		ArrivalRate:  rate,
+		Seed:         seed,
+		MeanDuration: meanDur,
+	}, topo)
+	if err != nil {
+		return err
+	}
+	t := trace.FromJobs(fmt.Sprintf("generated-seed%d", seed), topo.Name, stream)
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, t); err != nil {
+		return err
+	}
+	s := t.Summarize()
+	fmt.Fprintf(os.Stderr, "generated %d jobs spanning %.1fs (mean %.2f GPUs/job)\n",
+		s.Jobs, s.Span, s.MeanGPUs)
+	return nil
+}

@@ -1,0 +1,47 @@
+// Cluster: the large-scale trace-driven simulation of §5.5 — generate a
+// Poisson workload, run it on a Minsky cluster under every policy, and
+// compare slowdowns, waiting time and SLO violations (Figures 10 and 11).
+//
+// Flags scale the experiment: -jobs 10000 -machines 1000 reproduces
+// scenario 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gputopo"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 100, "number of jobs (scenario 1: 100, scenario 2: 10000)")
+	machines := flag.Int("machines", 5, "number of machines (scenario 1: 5, scenario 2: 1000)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	topo := gputopo.NewMinskyCluster(*machines)
+	stream, err := gputopo.GenerateWorkload(gputopo.WorkloadConfig{
+		Jobs: *jobs,
+		Seed: *seed,
+	}, topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scenario: %d jobs on %d machines (%d GPUs)\n\n",
+		*jobs, *machines, topo.NumGPUs())
+
+	for _, pol := range gputopo.AllPolicies() {
+		res, err := gputopo.Simulate(gputopo.SimConfig{
+			Topology: topo,
+			Policy:   pol,
+		}, stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s cumulative %8.1fs  SLO-viol %3d  mean QoS slowdown %.3f  mean QoS+wait %.3f  total wait %9.1fs\n",
+			pol, res.Makespan, res.SLOViolations(), res.MeanSlowdownQoS(),
+			res.MeanSlowdownQoSWait(), res.TotalWait())
+	}
+}

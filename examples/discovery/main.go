@@ -1,0 +1,54 @@
+// Discovery: the prototype's startup workflow (§5.1) — discover the GPU
+// topology from an `nvidia-smi topo --matrix`-style connectivity matrix,
+// inspect what the scheduler sees, and place a job on the discovered
+// machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gputopo"
+)
+
+// A connectivity matrix as nvidia-smi prints it on a Minsky-class machine:
+// NV2 = dual NVLink, SYS = across the system bus.
+const nvidiaSMIMatrix = `
+     GPU0  GPU1  GPU2  GPU3
+GPU0 X     NV2   SYS   SYS
+GPU1 NV2   X     SYS   SYS
+GPU2 SYS   SYS   X     NV2
+GPU3 SYS   SYS   NV2   X
+`
+
+func main() {
+	topo, err := gputopo.DiscoverTopology(nvidiaSMIMatrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("discovered topology:")
+	fmt.Println(topo.RenderTree())
+
+	fmt.Println("what the scheduler derives from it:")
+	for i := 0; i < topo.NumGPUs(); i++ {
+		for j := i + 1; j < topo.NumGPUs(); j++ {
+			fmt.Printf("  GPU%d-GPU%d: distance %4.0f, effective %5.1f GB/s, P2P %v\n",
+				i, j, topo.Distance(i, j), topo.EffectiveBandwidth(i, j), topo.P2P(i, j))
+		}
+	}
+
+	// Place a communication-hungry job on the discovered machine.
+	j := gputopo.NewJob("discovered-job", gputopo.AlexNet, 1, 2, 0.5, 0)
+	j.Iterations = 500
+	res, err := gputopo.Simulate(gputopo.SimConfig{
+		Topology: topo,
+		Policy:   gputopo.TopoAwareP,
+	}, []*gputopo.Job{j})
+	if err != nil {
+		log.Fatal(err)
+	}
+	jr := res.Jobs[0]
+	fmt.Printf("\nplaced %s on GPUs %v (P2P %v, utility %.2f)\n",
+		jr.Job.ID, jr.GPUs, jr.P2P, jr.Utility)
+}

@@ -1,0 +1,59 @@
+// Packspread: the placement-strategy study of §3 — measure the pack vs
+// spread speedup (Figure 4), the compute/communication breakdown
+// (Figure 3), and the interconnect bandwidth usage (Figure 5) for the
+// three neural networks across batch sizes, using the prototype engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gputopo"
+	"gputopo/internal/perfmodel"
+)
+
+func main() {
+	topo := gputopo.NewPower8Minsky()
+	pack := []int{0, 1}   // same socket, dual NVLink
+	spread := []int{0, 2} // across sockets, routed via X-Bus
+
+	fmt.Println("Pack vs Spread speedup (>1 means pack wins), per batch size:")
+	fmt.Printf("%8s %10s %10s %10s\n", "batch", "AlexNet", "CaffeRef", "GoogLeNet")
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		fmt.Printf("%8d", b)
+		for m := perfmodel.NN(0); m < perfmodel.NumNN; m++ {
+			fmt.Printf(" %9.3fx", perfmodel.PackSpreadSpeedup(m, b, topo, 1))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nExecution-time breakdown (AlexNet):")
+	for _, b := range []int{1, 4, 32, 128} {
+		_, commPack := perfmodel.Breakdown(perfmodel.AlexNet, b, topo, pack)
+		_, commSpread := perfmodel.Breakdown(perfmodel.AlexNet, b, topo, spread)
+		fmt.Printf("  batch %3d: comm %5.1f%% packed, %5.1f%% spread\n",
+			b, commPack*100, commSpread*100)
+	}
+
+	fmt.Println("\nInterconnect usage of a solo 2-GPU AlexNet (prototype engine):")
+	for _, b := range []int{1, 4, 64, 128} {
+		j := gputopo.NewJob(fmt.Sprintf("bw-%d", b), gputopo.AlexNet, b, 2, 0.5, 0)
+		j.Iterations = 500
+		res, err := gputopo.RunPrototype(gputopo.PrototypeConfig{
+			Topology: topo,
+			Policy:   gputopo.TopoAware,
+		}, []*gputopo.Job{j})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts := res.Bandwidth[j.ID]
+		var mean float64
+		for _, p := range pts {
+			mean += p.GBs
+		}
+		if len(pts) > 0 {
+			mean /= float64(len(pts))
+		}
+		fmt.Printf("  batch %3d: mean %.2f GB/s over %d windows\n", b, mean, len(pts))
+	}
+}

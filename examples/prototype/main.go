@@ -1,0 +1,45 @@
+// Prototype: reproduce the §5.2 experiment — the six-job Table 1 workload
+// on one Power8 Minsky machine, executed at iteration granularity by the
+// prototype engine under all four scheduling policies (Figure 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gputopo"
+)
+
+func main() {
+	topo := gputopo.NewPower8Minsky()
+
+	fmt.Println("Table 1 workload:")
+	for _, j := range gputopo.Table1Workload() {
+		fmt.Printf("  %s arrives %.2fs\n", j, j.Arrival)
+	}
+	fmt.Println()
+
+	var base, topoP float64
+	for _, pol := range gputopo.AllPolicies() {
+		res, err := gputopo.RunPrototype(gputopo.PrototypeConfig{
+			Topology: topo,
+			Policy:   pol,
+		}, gputopo.Table1Workload())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s cumulative %6.1fs  SLO violations %d\n",
+			pol, res.Makespan, res.SLOViolations())
+		for _, jr := range res.Jobs {
+			fmt.Printf("    %-3s GPUs %v  P2P=%-5v  QoS slowdown %.2f  +wait %.2f\n",
+				jr.Job.ID, jr.GPUs, jr.P2P, jr.SlowdownQoS, jr.SlowdownQoSWait)
+		}
+		switch pol {
+		case gputopo.BestFit:
+			base = res.Makespan
+		case gputopo.TopoAwareP:
+			topoP = res.Makespan
+		}
+	}
+	fmt.Printf("\nTOPO-AWARE-P speedup over Best-Fit: %.2fx (paper: ≈1.30x)\n", base/topoP)
+}

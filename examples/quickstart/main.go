@@ -1,0 +1,41 @@
+// Quickstart: build the paper's Power8 Minsky topology, submit two
+// training jobs, and place them with the TOPO-AWARE-P policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gputopo"
+)
+
+func main() {
+	// The machine of §3.1: 2 sockets × 2 P100s, dual NVLink.
+	topo := gputopo.NewPower8Minsky()
+	fmt.Printf("topology: %s with %d GPUs on %d machine(s)\n\n",
+		topo.Name, topo.NumGPUs(), topo.NumMachines())
+
+	// Two jobs: a communication-hungry tiny-batch AlexNet on 2 GPUs and a
+	// compute-bound big-batch GoogLeNet on 1 GPU, arriving 5s apart.
+	jobs := []*gputopo.Job{
+		gputopo.NewJob("alexnet-tiny", gputopo.AlexNet, 1, 2, 0.5, 0),
+		gputopo.NewJob("googlenet-big", gputopo.GoogLeNet, 128, 1, 0.3, 5),
+	}
+	jobs[0].Iterations = 1000
+	jobs[1].Iterations = 100
+
+	res, err := gputopo.Simulate(gputopo.SimConfig{
+		Topology: topo,
+		Policy:   gputopo.TopoAwareP,
+	}, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, jr := range res.Jobs {
+		fmt.Printf("%-14s -> GPUs %v  P2P=%-5v  utility=%.2f  wait=%.1fs  run=%.1fs (ideal %.1fs)\n",
+			jr.Job.ID, jr.GPUs, jr.P2P, jr.Utility, jr.Wait, jr.Run, jr.Ideal)
+	}
+	fmt.Printf("\ncumulative execution time: %.1fs, SLO violations: %d\n",
+		res.Makespan, res.SLOViolations())
+}

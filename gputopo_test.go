@@ -1,0 +1,131 @@
+package gputopo
+
+import (
+	"strings"
+	"testing"
+)
+
+// The facade tests double as integration tests over the whole stack: they
+// exercise the public API end to end the way a downstream user would.
+
+func TestQuickstartFlow(t *testing.T) {
+	topo := NewPower8Minsky()
+	if topo.NumGPUs() != 4 {
+		t.Fatalf("GPUs = %d", topo.NumGPUs())
+	}
+	j := NewJob("j", AlexNet, 1, 2, 0.5, 0)
+	j.Iterations = 200
+	res, err := Simulate(SimConfig{Topology: topo, Policy: TopoAwareP}, []*Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 1 || !res.Jobs[0].P2P {
+		t.Fatalf("result = %+v", res.Jobs)
+	}
+}
+
+func TestAllTopologyBuilders(t *testing.T) {
+	cases := map[string]struct {
+		topo *Topology
+		gpus int
+	}{
+		"minsky":  {NewPower8Minsky(), 4},
+		"dgx1":    {NewDGX1(), 8},
+		"pcie":    {NewPCIeBox(), 4},
+		"cluster": {NewMinskyCluster(3), 12},
+	}
+	for name, c := range cases {
+		if c.topo.NumGPUs() != c.gpus {
+			t.Fatalf("%s: GPUs = %d, want %d", name, c.topo.NumGPUs(), c.gpus)
+		}
+	}
+}
+
+func TestDiscoverTopologyFacade(t *testing.T) {
+	matrix := NewPower8Minsky().RenderMatrix()
+	topo, err := DiscoverTopology(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 4 {
+		t.Fatalf("discovered GPUs = %d", topo.NumGPUs())
+	}
+}
+
+func TestDiscoverTopologyRejectsGarbage(t *testing.T) {
+	if _, err := DiscoverTopology("garbage"); err == nil {
+		t.Fatal("garbage matrix accepted")
+	}
+}
+
+func TestPrototypeFacade(t *testing.T) {
+	topo := NewPower8Minsky()
+	res, err := RunPrototype(PrototypeConfig{Topology: topo, Policy: TopoAwareP}, Table1Workload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 6 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	if len(res.Bandwidth) == 0 {
+		t.Fatal("prototype produced no bandwidth series")
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	topo := NewMinskyCluster(2)
+	jobs, err := GenerateWorkload(WorkloadConfig{Jobs: 20, Seed: 1}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 20 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	res, err := Simulate(SimConfig{Topology: topo, Policy: BestFit}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 20 {
+		t.Fatalf("results = %d", len(res.Jobs))
+	}
+}
+
+func TestProfilesFacade(t *testing.T) {
+	store := GenerateProfiles(NewPower8Minsky(), 4)
+	if store.Len() != 48 {
+		t.Fatalf("profiles = %d", store.Len())
+	}
+}
+
+func TestPolicyOrdering(t *testing.T) {
+	ps := AllPolicies()
+	if len(ps) != 4 {
+		t.Fatalf("policies = %d", len(ps))
+	}
+	// Paper presentation order: BF, FCFS, TOPO-AWARE, TOPO-AWARE-P.
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.String()
+	}
+	want := "BF FCFS TOPO-AWARE TOPO-AWARE-P"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+}
+
+func TestDefaultWeightsFacade(t *testing.T) {
+	w := DefaultWeights()
+	if w.CommCost <= 0 || w.Interference <= 0 || w.Fragmentation <= 0 {
+		t.Fatalf("weights = %+v", w)
+	}
+}
+
+func TestTable1WorkloadFresh(t *testing.T) {
+	// Each call returns fresh jobs so callers can mutate safely.
+	a := Table1Workload()
+	b := Table1Workload()
+	a[0].Iterations = 1
+	if b[0].Iterations == 1 {
+		t.Fatal("Table1Workload shares state across calls")
+	}
+}

@@ -1,0 +1,154 @@
+package allreduce
+
+import (
+	"math"
+	"testing"
+
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/topology"
+)
+
+func TestStepsAndVolume(t *testing.T) {
+	if Steps(1) != 0 || Steps(2) != 2 || Steps(4) != 6 || Steps(8) != 14 {
+		t.Fatal("step counts wrong")
+	}
+	if PerGPUVolume(100, 1) != 0 {
+		t.Fatal("single GPU volume must be 0")
+	}
+	if PerGPUVolume(100, 2) != 100 {
+		t.Fatalf("2-GPU volume = %v", PerGPUVolume(100, 2))
+	}
+	if PerGPUVolume(100, 4) != 150 {
+		t.Fatalf("4-GPU volume = %v", PerGPUVolume(100, 4))
+	}
+}
+
+func TestVolumeMatchesPerfmodelRingFactor(t *testing.T) {
+	// The analytic model's RingVolume and this package's PerGPUVolume
+	// must be the same arithmetic.
+	for g := 2; g <= 8; g++ {
+		grad := perfmodel.GetSpec(perfmodel.AlexNet).GradBytes
+		a := perfmodel.RingVolume(perfmodel.AlexNet, g)
+		b := PerGPUVolume(grad, g)
+		if math.Abs(a-b) > 1 {
+			t.Fatalf("g=%d: perfmodel %v vs allreduce %v", g, a, b)
+		}
+	}
+}
+
+func TestRingOrderPrefersNVLinkOnDGX1(t *testing.T) {
+	topo := topology.DGX1()
+	// GPUs 0-3 form an NVLink clique; a ring over them must keep every
+	// hop on NVLink (bottleneck 20 GB/s), never dropping to PCIe.
+	order := RingOrder(topo, []int{0, 1, 2, 3})
+	if got := ringBottleneck(topo, order); got != topology.BandwidthNVLink {
+		t.Fatalf("ring %v bottleneck %v, want %v", order, got, topology.BandwidthNVLink)
+	}
+}
+
+func TestRingOrderMatchesBruteForceOnMinsky(t *testing.T) {
+	topo := topology.Power8Minsky()
+	gpus := []int{0, 1, 2, 3}
+	order := RingOrder(topo, gpus)
+	greedy := ringBottleneck(topo, order)
+	// Brute force over all permutations.
+	best := -1.0
+	perm := append([]int(nil), gpus...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			if bw := ringBottleneck(topo, perm); bw > best {
+				best = bw
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	if greedy < best {
+		t.Fatalf("greedy ring bottleneck %v < optimal %v", greedy, best)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	topo := topology.Power8Minsky()
+	if _, err := Simulate(topo, []int{0, 1}, -5, 0.85, 0); err == nil {
+		t.Fatal("negative payload accepted")
+	}
+	if _, err := Simulate(topo, []int{0, 1}, 1e6, 0, 0); err == nil {
+		t.Fatal("zero efficiency accepted")
+	}
+	res, err := Simulate(topo, []int{0}, 1e6, 0.85, 0)
+	if err != nil || res.Time != 0 {
+		t.Fatalf("single GPU all-reduce = %+v, %v", res, err)
+	}
+}
+
+func TestSimulateBandwidthBound(t *testing.T) {
+	topo := topology.Power8Minsky()
+	payload := 244e6
+	res, err := Simulate(topo, []int{0, 1}, payload, 0.85, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero latency the total time equals the per-GPU volume over the
+	// effective bandwidth — the analytic model's volume term.
+	want := PerGPUVolume(payload, 2) / (0.85 * topology.BandwidthNVLink2 * 1e9)
+	if math.Abs(res.Time-want) > 1e-9 {
+		t.Fatalf("time %v, want %v", res.Time, want)
+	}
+}
+
+func TestSimulatePackedBeatsSpread(t *testing.T) {
+	topo := topology.Power8Minsky()
+	packed, err := Simulate(topo, []int{0, 1}, 244e6, 0.85, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := Simulate(topo, []int{0, 2}, 244e6, 0.85, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Time >= spread.Time {
+		t.Fatalf("packed %v >= spread %v", packed.Time, spread.Time)
+	}
+	if spread.BottleneckBW >= packed.BottleneckBW {
+		t.Fatal("spread bottleneck should be lower")
+	}
+}
+
+// TestSimulateConsistentWithCommTime validates that the chunk-level ring
+// simulation and the analytic CommTime agree on the volume-dependent term
+// once the analytic overhead is assigned to step latencies.
+func TestSimulateConsistentWithCommTime(t *testing.T) {
+	topo := topology.Power8Minsky()
+	spec := perfmodel.GetSpec(perfmodel.AlexNet)
+	g := 2
+	gpus := []int{0, 1}
+	// Split the analytic per-iteration overhead evenly across steps.
+	stepLatency := spec.CommOverhead / float64(Steps(g))
+	res, err := Simulate(topo, gpus, spec.GradBytes, perfmodel.ProtocolEfficiency, stepLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := perfmodel.CommTime(perfmodel.AlexNet, g, perfmodel.AllocBandwidth(topo, gpus))
+	if math.Abs(res.Time-analytic)/analytic > 0.01 {
+		t.Fatalf("ring simulation %v vs analytic %v", res.Time, analytic)
+	}
+}
+
+func TestSimulateCrossMachineRing(t *testing.T) {
+	topo := topology.Cluster(2, topology.KindMinsky)
+	res, err := Simulate(topo, []int{0, 1, 4, 5}, 100e6, 0.85, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ring spanning machines is limited by the network hop.
+	if res.BottleneckBW > topology.BandwidthNetwork {
+		t.Fatalf("cross-machine bottleneck %v exceeds network bandwidth", res.BottleneckBW)
+	}
+}

@@ -1,0 +1,340 @@
+// Package cluster tracks the runtime allocation state of a physical
+// topology: which GPUs belong to which jobs, how much of each machine's
+// shared bus bandwidth is committed, and the resource-fragmentation metric
+// of Eq. 5. Jobs in this system never share a GPU ("sharing here means
+// different applications get different sets of GPUs", §1), so allocation is
+// exclusive per GPU.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/topology"
+)
+
+// Allocation records the placement of one job.
+type Allocation struct {
+	JobID     string
+	GPUs      []int   // GPU positions in the topology
+	Bandwidth float64 // GB/s of shared-bus demand committed on placement
+	// Traits carries the interference-relevant summary of the job so
+	// later placement decisions can predict co-location slowdowns
+	// against the jobs already running (§4.2).
+	Traits perfmodel.Traits
+}
+
+// State is the mutable allocation state over an immutable topology.
+// It is not safe for concurrent mutation; the scheduler serializes access.
+type State struct {
+	topo   *topology.Topology
+	owner  []string // GPU position -> job ID, "" when free
+	allocs map[string]*Allocation
+	// busCapacity is the per-machine shared-bus capacity (GB/s) used for
+	// the t_bw <= p_bw constraint (§4.3). Two X-Bus-connected sockets give
+	// the default.
+	busCapacity float64
+	busUsed     map[int]float64 // machine -> committed GB/s
+
+	// Incremental bookkeeping so large-cluster simulations avoid full
+	// scans: free GPUs per machine, the Eq. 5 fragmentation sum, and a
+	// lazily recomputed maximum of free GPUs across machines.
+	freeOnMachine map[int]int
+	freeTotal     int
+	fragSum       float64 // Σ over sockets of freeGPUs/totalGPUs
+	socketCount   int
+	maxFree       int
+	maxFreeDirty  bool
+}
+
+// NewState returns an empty allocation state for the topology.
+func NewState(topo *topology.Topology) *State {
+	s := &State{
+		topo:          topo,
+		owner:         make([]string, topo.NumGPUs()),
+		allocs:        make(map[string]*Allocation),
+		busCapacity:   2 * topology.BandwidthXBus,
+		busUsed:       make(map[int]float64),
+		freeOnMachine: make(map[int]int),
+	}
+	for m := 0; m < topo.NumMachines(); m++ {
+		k := len(topo.GPUsOfMachine(m))
+		s.freeOnMachine[m] = k
+		s.freeTotal += k
+		if k > s.maxFree {
+			s.maxFree = k
+		}
+		s.socketCount += len(topo.Sockets(m))
+	}
+	s.fragSum = float64(s.socketCount) // every socket fully free
+	return s
+}
+
+// Topology returns the underlying physical topology.
+func (s *State) Topology() *topology.Topology { return s.topo }
+
+// SetBusCapacity overrides the per-machine shared-bus capacity (GB/s).
+func (s *State) SetBusCapacity(gbs float64) { s.busCapacity = gbs }
+
+// BusCapacity returns the per-machine shared-bus capacity (GB/s).
+func (s *State) BusCapacity() float64 { return s.busCapacity }
+
+// Owner returns the job occupying the GPU at pos ("" when free).
+func (s *State) Owner(pos int) string { return s.owner[pos] }
+
+// FreeGPUs returns the positions of all unallocated GPUs, ascending.
+func (s *State) FreeGPUs() []int {
+	var out []int
+	for pos, o := range s.owner {
+		if o == "" {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// FreeGPUCount returns the number of unallocated GPUs in O(1).
+func (s *State) FreeGPUCount() int { return s.freeTotal }
+
+// FreeGPUsOnMachine returns the free GPU positions of machine m.
+func (s *State) FreeGPUsOnMachine(m int) []int {
+	var out []int
+	for _, pos := range s.topo.GPUsOfMachine(m) {
+		if s.owner[pos] == "" {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// UsedGPUsOnMachine returns the allocated GPU positions of machine m.
+func (s *State) UsedGPUsOnMachine(m int) []int {
+	var out []int
+	for _, pos := range s.topo.GPUsOfMachine(m) {
+		if s.owner[pos] != "" {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// FreeBusBandwidth returns the uncommitted shared-bus bandwidth of machine
+// m — the p_bw side of the constraint t_bw <= p_bw.
+func (s *State) FreeBusBandwidth(m int) float64 {
+	return s.busCapacity - s.busUsed[m]
+}
+
+// Allocate assigns the given GPUs to jobID, committing the stated
+// shared-bus bandwidth on every machine the job touches and recording the
+// job's interference traits. It fails if any GPU is already owned, the job
+// already has an allocation, or a position is out of range.
+func (s *State) Allocate(jobID string, gpus []int, bandwidth float64, traits perfmodel.Traits) error {
+	if jobID == "" {
+		return fmt.Errorf("cluster: empty job ID")
+	}
+	if _, exists := s.allocs[jobID]; exists {
+		return fmt.Errorf("cluster: job %s already allocated", jobID)
+	}
+	if len(gpus) == 0 {
+		return fmt.Errorf("cluster: job %s requests no GPUs", jobID)
+	}
+	seen := map[int]bool{}
+	for _, pos := range gpus {
+		if pos < 0 || pos >= len(s.owner) {
+			return fmt.Errorf("cluster: GPU position %d out of range", pos)
+		}
+		if seen[pos] {
+			return fmt.Errorf("cluster: duplicate GPU position %d", pos)
+		}
+		seen[pos] = true
+		if s.owner[pos] != "" {
+			return fmt.Errorf("cluster: GPU %d already owned by %s", pos, s.owner[pos])
+		}
+	}
+	alloc := &Allocation{JobID: jobID, GPUs: append([]int(nil), gpus...), Bandwidth: bandwidth, Traits: traits}
+	sort.Ints(alloc.GPUs)
+	for _, pos := range alloc.GPUs {
+		s.owner[pos] = jobID
+		nd := s.topo.GPU(pos)
+		s.freeOnMachine[nd.Machine]--
+		s.freeTotal--
+		s.fragSum -= 1 / float64(len(s.topo.GPUsOfSocket(nd.Machine, nd.Socket)))
+	}
+	for _, m := range s.machinesOf(alloc.GPUs) {
+		s.busUsed[m] += bandwidth
+	}
+	s.allocs[jobID] = alloc
+	s.maxFreeDirty = true
+	return nil
+}
+
+// Release frees the allocation of jobID. Releasing an unknown job is an
+// error (it indicates a simulator bookkeeping bug).
+func (s *State) Release(jobID string) error {
+	alloc, ok := s.allocs[jobID]
+	if !ok {
+		return fmt.Errorf("cluster: job %s has no allocation", jobID)
+	}
+	for _, pos := range alloc.GPUs {
+		s.owner[pos] = ""
+		nd := s.topo.GPU(pos)
+		s.freeOnMachine[nd.Machine]++
+		s.freeTotal++
+		s.fragSum += 1 / float64(len(s.topo.GPUsOfSocket(nd.Machine, nd.Socket)))
+	}
+	for _, m := range s.machinesOf(alloc.GPUs) {
+		s.busUsed[m] -= alloc.Bandwidth
+		if s.busUsed[m] < 1e-9 {
+			delete(s.busUsed, m)
+		}
+	}
+	delete(s.allocs, jobID)
+	s.maxFreeDirty = true
+	return nil
+}
+
+// Allocation returns the allocation of jobID, or nil.
+func (s *State) Allocation(jobID string) *Allocation {
+	return s.allocs[jobID]
+}
+
+// Jobs returns the IDs of all allocated jobs, sorted.
+func (s *State) Jobs() []string {
+	out := make([]string, 0, len(s.allocs))
+	for id := range s.allocs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JobsOnMachine returns the IDs of jobs with at least one GPU on machine
+// m, sorted.
+func (s *State) JobsOnMachine(m int) []string {
+	seen := map[string]bool{}
+	for _, pos := range s.topo.GPUsOfMachine(m) {
+		if o := s.owner[pos]; o != "" && !seen[o] {
+			seen[o] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// machinesOf returns the distinct machine indices spanned by positions.
+func (s *State) machinesOf(gpus []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, pos := range gpus {
+		m := s.topo.GPU(pos).Machine
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MachinesOf exposes machinesOf for schedulers and metrics.
+func (s *State) MachinesOf(gpus []int) []int { return s.machinesOf(gpus) }
+
+// Fragmentation implements Eq. 5: the average over all sockets of the
+// fraction of free GPUs per socket. 1 means the cluster is empty, 0 means
+// every GPU is allocated. Maintained incrementally, so it is O(1).
+func (s *State) Fragmentation() float64 {
+	if s.socketCount == 0 {
+		return 0
+	}
+	return s.fragSum / float64(s.socketCount)
+}
+
+// FragmentationAfter returns Eq. 5 evaluated as if the given (free,
+// distinct) GPUs were additionally allocated — the ω_d the utility
+// function scores for a candidate placement. O(len(gpus)).
+func (s *State) FragmentationAfter(gpus []int) float64 {
+	if s.socketCount == 0 {
+		return 0
+	}
+	delta := 0.0
+	for _, pos := range gpus {
+		nd := s.topo.GPU(pos)
+		delta += 1 / float64(len(s.topo.GPUsOfSocket(nd.Machine, nd.Socket)))
+	}
+	frag := (s.fragSum - delta) / float64(s.socketCount)
+	if frag < 0 {
+		frag = 0
+	}
+	return frag
+}
+
+// FreeCountOnMachine returns the number of free GPUs on machine m in O(1).
+func (s *State) FreeCountOnMachine(m int) int { return s.freeOnMachine[m] }
+
+// MaxFreeGPUs returns the largest number of free GPUs on any single
+// machine — the availableResources(P) gate of Algorithm 1. Lazily
+// recomputed after allocations change.
+func (s *State) MaxFreeGPUs() int {
+	if s.maxFreeDirty {
+		s.maxFree = 0
+		for _, k := range s.freeOnMachine {
+			if k > s.maxFree {
+				s.maxFree = k
+			}
+		}
+		s.maxFreeDirty = false
+	}
+	return s.maxFree
+}
+
+// Utilization returns the fraction of GPUs currently allocated.
+func (s *State) Utilization() float64 {
+	if len(s.owner) == 0 {
+		return 0
+	}
+	used := 0
+	for _, o := range s.owner {
+		if o != "" {
+			used++
+		}
+	}
+	return float64(used) / float64(len(s.owner))
+}
+
+// Clone returns a deep copy of the allocation state sharing the topology.
+// The scheduler uses clones for what-if evaluation during placement.
+func (s *State) Clone() *State {
+	c := &State{
+		topo:          s.topo,
+		owner:         append([]string(nil), s.owner...),
+		allocs:        make(map[string]*Allocation, len(s.allocs)),
+		busCapacity:   s.busCapacity,
+		busUsed:       make(map[int]float64, len(s.busUsed)),
+		freeOnMachine: make(map[int]int, len(s.freeOnMachine)),
+		freeTotal:     s.freeTotal,
+		fragSum:       s.fragSum,
+		socketCount:   s.socketCount,
+		maxFree:       s.maxFree,
+		maxFreeDirty:  s.maxFreeDirty,
+	}
+	for m, v := range s.freeOnMachine {
+		c.freeOnMachine[m] = v
+	}
+	for id, a := range s.allocs {
+		c.allocs[id] = &Allocation{
+			JobID:     a.JobID,
+			GPUs:      append([]int(nil), a.GPUs...),
+			Bandwidth: a.Bandwidth,
+			Traits:    a.Traits,
+		}
+	}
+	for m, v := range s.busUsed {
+		c.busUsed[m] = v
+	}
+	return c
+}

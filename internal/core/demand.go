@@ -1,0 +1,14 @@
+package core
+
+import (
+	"gputopo/internal/job"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/topology"
+)
+
+// busDemand estimates the shared-bus bandwidth the job will commit on its
+// machines under the candidate allocation — the t_bw of the capacity
+// constraint t_bw <= p_bw (§4.3).
+func busDemand(j *job.Job, topo *topology.Topology, gpus []int) float64 {
+	return perfmodel.BusDemand(j.Model, j.BatchSize, topo, gpus)
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gputopo/internal/cluster"
+	"gputopo/internal/fm"
+	"gputopo/internal/graph"
+	"gputopo/internal/job"
+	"gputopo/internal/profile"
+)
+
+// Mapper is the topology-aware placement engine: it runs the Dual
+// Recursive Bi-partitioning algorithm (Algorithm 2, based on Ercal et
+// al.'s recursive mincut bipartitioning as implemented in SCOTCH) with the
+// utility-based job-graph bi-partition of Algorithm 3.
+type Mapper struct {
+	profiles *profile.Store
+	weights  Weights
+}
+
+// NewMapper returns a Mapper scoring placements with the given profile
+// store and utility weights.
+func NewMapper(profiles *profile.Store, weights Weights) (*Mapper, error) {
+	if err := weights.Validate(); err != nil {
+		return nil, err
+	}
+	if profiles == nil {
+		return nil, fmt.Errorf("core: nil profile store")
+	}
+	return &Mapper{profiles: profiles, weights: weights}, nil
+}
+
+// Weights returns the mapper's α coefficients.
+func (m *Mapper) Weights() Weights { return m.weights }
+
+// Place maps the job onto free GPUs drawn from candidates (GPU positions
+// in st's topology, already host-filtered by the scheduler) and returns
+// the scored placement. It does not mutate st. The mapping is ψ(A, P) → g
+// from §4.4: the job graph A is the job's communication graph, the
+// physical graph P is the candidate GPU set with the topology's distance
+// matrix as the communication-cost array C.
+func (m *Mapper) Place(j *job.Job, st *cluster.State, candidates []int) (*Placement, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	if len(candidates) < j.GPUs {
+		return nil, fmt.Errorf("core: job %s needs %d GPUs, only %d candidates", j.ID, j.GPUs, len(candidates))
+	}
+	for _, pos := range candidates {
+		if st.Owner(pos) != "" {
+			return nil, fmt.Errorf("core: candidate GPU %d is not free", pos)
+		}
+	}
+
+	if j.AntiCollocate {
+		return m.placeAntiCollocated(j, st, candidates)
+	}
+
+	tasks := make([]int, j.GPUs)
+	for i := range tasks {
+		tasks[i] = i
+	}
+	gpus := append([]int(nil), candidates...)
+	sort.Ints(gpus)
+
+	d := &drbRun{mapper: m, job: j, state: st, assignment: make([]int, j.GPUs)}
+	for i := range d.assignment {
+		d.assignment[i] = -1
+	}
+	if err := d.recurse(tasks, gpus); err != nil {
+		return nil, err
+	}
+
+	alloc := make([]int, 0, j.GPUs)
+	for task, gpu := range d.assignment {
+		if gpu < 0 {
+			return nil, fmt.Errorf("core: task %d of job %s left unmapped", task, j.ID)
+		}
+		alloc = append(alloc, gpu)
+	}
+	sort.Ints(alloc)
+	return m.Score(j, st, alloc), nil
+}
+
+// placeAntiCollocated implements the §4.4 anti-collocation policy: "if a
+// job wants to get all its tasks spread across different nodes ... they
+// will be placed on different nodes." One GPU per machine, machines chosen
+// by descending single-GPU placement utility.
+func (m *Mapper) placeAntiCollocated(j *job.Job, st *cluster.State, candidates []int) (*Placement, error) {
+	topo := st.Topology()
+	bestPerMachine := map[int]int{}
+	for _, pos := range candidates {
+		mi := topo.GPU(pos).Machine
+		cur, ok := bestPerMachine[mi]
+		if !ok {
+			bestPerMachine[mi] = pos
+			continue
+		}
+		if m.Score(j, st, []int{pos}).Utility > m.Score(j, st, []int{cur}).Utility {
+			bestPerMachine[mi] = pos
+		}
+	}
+	if len(bestPerMachine) < j.GPUs {
+		return nil, fmt.Errorf("core: anti-collocation needs %d machines, %d available", j.GPUs, len(bestPerMachine))
+	}
+	type cand struct {
+		pos     int
+		utility float64
+	}
+	var ranked []cand
+	for _, pos := range bestPerMachine {
+		ranked = append(ranked, cand{pos: pos, utility: m.Score(j, st, []int{pos}).Utility})
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].utility != ranked[b].utility {
+			return ranked[a].utility > ranked[b].utility
+		}
+		return ranked[a].pos < ranked[b].pos
+	})
+	gpus := make([]int, j.GPUs)
+	for i := range gpus {
+		gpus[i] = ranked[i].pos
+	}
+	sort.Ints(gpus)
+	return m.Score(j, st, gpus), nil
+}
+
+// Score evaluates an arbitrary allocation for the job, producing the same
+// Placement record DRB produces — used both for the final DRB solution and
+// to score the greedy baselines' decisions on an equal footing.
+func (m *Mapper) Score(j *job.Job, st *cluster.State, gpus []int) *Placement {
+	topo := st.Topology()
+	uCC, uB, uD, commCost, interference, frag := utilityTerms(j, gpus, st, m.profiles)
+	p2p := len(gpus) >= 2
+	for i := 0; i < len(gpus) && p2p; i++ {
+		for k := i + 1; k < len(gpus); k++ {
+			if !topo.P2P(gpus[i], gpus[k]) {
+				p2p = false
+				break
+			}
+		}
+	}
+	return &Placement{
+		GPUs:          append([]int(nil), gpus...),
+		Utility:       Utility(m.weights, j.CommIntensity(), uCC, uB, uD),
+		CommCost:      commCost,
+		Interference:  interference,
+		Fragmentation: frag,
+		P2P:           p2p,
+		BusDemand:     busDemand(j, topo, gpus),
+	}
+}
+
+// drbRun carries the recursion state of one DRB invocation.
+type drbRun struct {
+	mapper     *Mapper
+	job        *job.Job
+	state      *cluster.State
+	assignment []int // task -> GPU position, -1 while unmapped
+}
+
+// recurse is Algorithm 2. Each call bi-partitions the physical GPU set
+// with Fiduccia–Mattheyses over the affinity graph (physicalGraphBiPartition)
+// and splits the tasks between the halves by utility
+// (jobGraphBiPartition), recursing until a side holds a single GPU.
+func (d *drbRun) recurse(tasks, gpus []int) error {
+	if len(tasks) == 0 {
+		return nil // this partition is not a candidate (Alg. 2 line 2)
+	}
+	if len(tasks) > len(gpus) {
+		return fmt.Errorf("core: %d tasks cannot map onto %d GPUs", len(tasks), len(gpus))
+	}
+	if len(gpus) == 1 {
+		// Map job's task to physical GPU (Alg. 2 line 5).
+		d.assignment[tasks[0]] = gpus[0]
+		return nil
+	}
+	p0, p1 := d.physicalGraphBiPartition(gpus)
+	a0, a1, err := d.jobGraphBiPartition(tasks, p0, p1)
+	if err != nil {
+		return err
+	}
+	if err := d.recurse(a0, p0); err != nil {
+		return err
+	}
+	return d.recurse(a1, p1)
+}
+
+// physicalGraphBiPartition splits the GPU set into two balanced halves
+// using Fiduccia–Mattheyses over the affinity graph, where the affinity of
+// two GPUs is the reciprocal of their topological distance. Minimizing the
+// affinity cut keeps strongly connected GPUs (same socket, NVLink peers)
+// on the same side, so the recursion descends the physical hierarchy the
+// way SCOTCH's DRB does on the raw topology graph.
+func (d *drbRun) physicalGraphBiPartition(gpus []int) (p0, p1 []int) {
+	topo := d.state.Topology()
+	g := graph.New()
+	for _, pos := range gpus {
+		g.AddVertex(fmt.Sprintf("gpu%d", pos))
+	}
+	for i := 0; i < len(gpus); i++ {
+		for k := i + 1; k < len(gpus); k++ {
+			dist := topo.Distance(gpus[i], gpus[k])
+			if dist <= 0 {
+				continue
+			}
+			g.AddEdge(i, k, 1/dist)
+		}
+	}
+	res := fm.Bipartition(g, fm.Options{})
+	for i, pos := range gpus {
+		if res.Side[i] == 0 {
+			p0 = append(p0, pos)
+		} else {
+			p1 = append(p1, pos)
+		}
+	}
+	// FM keeps sides within one vertex of balance, but guard against a
+	// degenerate empty side (single-GPU input cannot reach here).
+	if len(p0) == 0 {
+		p0, p1 = p1[:1], p1[1:]
+	} else if len(p1) == 0 {
+		p1, p0 = p0[:1], p0[1:]
+	}
+	return p0, p1
+}
+
+// jobGraphBiPartition is Algorithm 3: it assigns each task to the physical
+// sub-partition giving it higher utility, subject to capacity. Tasks are
+// taken in descending weighted-degree order so the most communication-
+// critical tasks choose first.
+func (d *drbRun) jobGraphBiPartition(tasks, p0, p1 []int) (a0, a1 []int, err error) {
+	comm := d.job.CommGraph()
+	order := append([]int(nil), tasks...)
+	sort.SliceStable(order, func(i, k int) bool {
+		return comm.Underlying().WeightedDegree(order[i]) > comm.Underlying().WeightedDegree(order[k])
+	})
+
+	side := make(map[int]int, len(tasks)) // task -> 0/1
+	for _, task := range order {
+		u0 := d.sideUtility(task, 0, p0, p1, side)
+		u1 := d.sideUtility(task, 1, p0, p1, side)
+		cap0 := len(p0) - len(a0)
+		cap1 := len(p1) - len(a1)
+		// Anti-collocation spreads tasks: prefer the emptier side.
+		if d.job.AntiCollocate {
+			u0, u1 = float64(cap0), float64(cap1)
+		}
+		pick := 1
+		if (u0 >= u1 && cap0 > 0) || cap1 == 0 {
+			pick = 0
+		}
+		if pick == 0 && cap0 == 0 {
+			return nil, nil, fmt.Errorf("core: no capacity on either side for task %d", task)
+		}
+		if pick == 0 {
+			a0 = append(a0, task)
+		} else {
+			if cap1 == 0 {
+				return nil, nil, fmt.Errorf("core: no capacity on either side for task %d", task)
+			}
+			a1 = append(a1, task)
+		}
+		side[task] = pick
+	}
+	return a0, a1, nil
+}
+
+// sideUtility scores placing task into side y (Algorithm 3 lines 4–7): it
+// combines the communication cost toward already-assigned peer tasks
+// (getCommCost, using intra- and cross-partition mean distances from the
+// global distance matrix C), the predicted interference from jobs running
+// near the side's GPUs (getInter), and the fragmentation the side's
+// machines already exhibit (getFragmentation).
+func (d *drbRun) sideUtility(task, y int, p0, p1 []int, side map[int]int) float64 {
+	topo := d.state.Topology()
+	mine, other := p0, p1
+	if y == 1 {
+		mine, other = p1, p0
+	}
+
+	// getCommCost: expected distance to each already-assigned peer.
+	comm := d.job.CommGraph()
+	intra := meanIntraDistance(topo, mine)
+	cross := meanCrossDistance(topo, mine, other)
+	var commCost float64
+	for peer, peerSide := range side {
+		w := comm.Weight(task, peer)
+		if w == 0 {
+			continue
+		}
+		if peerSide == y {
+			commCost += w * intra
+		} else {
+			commCost += w * cross
+		}
+	}
+	best := topo.MinPairDistance()
+	uCC := 1.0
+	if commCost > best {
+		uCC = best / commCost
+	}
+
+	// getInter: predicted interference if the job lands on this side.
+	interference := predictInterference(d.job, mine, d.state, d.mapper.profiles)
+	uB := 1 / interference
+
+	// getFragmentation: score the side by the fragmentation remaining
+	// after taking its GPUs.
+	take := len(mine)
+	if take > d.job.GPUs {
+		take = d.job.GPUs
+	}
+	uD := 1 - d.state.FragmentationAfter(mine[:take])
+
+	return Utility(d.mapper.weights, d.job.CommIntensity(), uCC, uB, uD)
+}
+
+func meanIntraDistance(topo interface{ Distance(a, b int) float64 }, set []int) float64 {
+	if len(set) < 2 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for i := 0; i < len(set); i++ {
+		for k := i + 1; k < len(set); k++ {
+			sum += topo.Distance(set[i], set[k])
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func meanCrossDistance(topo interface{ Distance(a, b int) float64 }, a, b []int) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range a {
+		for _, y := range b {
+			sum += topo.Distance(x, y)
+		}
+	}
+	return sum / float64(len(a)*len(b))
+}

@@ -1,0 +1,163 @@
+// Package core implements the paper's primary contribution: the
+// topology-aware graph-mapping placement algorithm of §4. It contains the
+// objective function and constraints (§4.3, Eq. 1), the utility function
+// (Eq. 2) with its three terms — communication cost (Eq. 3), interference
+// (Eq. 4) and fragmentation (Eq. 5) — and the Dual Recursive
+// Bi-partitioning mapper (§4.4, Algorithms 2 and 3) that transforms a
+// job's communication graph A and the physical topology graph P into a
+// GPU allocation ψ(A, P) → g.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gputopo/internal/cluster"
+	"gputopo/internal/job"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/profile"
+)
+
+// Weights are the α coefficients of the objective and utility functions
+// (Eq. 1 and 2): αcc weighs communication cost, αb interference, and αd
+// fragmentation. They must sum to 1.
+type Weights struct {
+	CommCost      float64 // αcc
+	Interference  float64 // αb
+	Fragmentation float64 // αd
+}
+
+// DefaultWeights returns the equal weighting (0.33 each) used by the
+// paper's experiments (§5.2.1).
+func DefaultWeights() Weights {
+	return Weights{CommCost: 1.0 / 3, Interference: 1.0 / 3, Fragmentation: 1.0 / 3}
+}
+
+// Validate reports whether the weights are non-negative and sum to 1.
+func (w Weights) Validate() error {
+	if w.CommCost < 0 || w.Interference < 0 || w.Fragmentation < 0 {
+		return fmt.Errorf("core: negative α weight in %+v", w)
+	}
+	if sum := w.CommCost + w.Interference + w.Fragmentation; math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("core: α weights sum to %.4f, want 1", sum)
+	}
+	return nil
+}
+
+// Placement is the result of mapping a job onto GPUs, with the scored
+// quality terms.
+type Placement struct {
+	// GPUs are the allocated GPU positions, sorted ascending.
+	GPUs []int
+	// Utility is the overall placement utility in [0, 1] (Eq. 2,
+	// normalized); TOPO-AWARE-P postpones placements whose utility is
+	// below the job's minimum.
+	Utility float64
+	// CommCost is the pairwise shortest-path distance sum (Eq. 3).
+	CommCost float64
+	// Interference is the predicted co-location slowdown factor I >= 1
+	// (Eq. 4 with the collocated/solo convention).
+	Interference float64
+	// Fragmentation is ω_d after the placement (Eq. 5).
+	Fragmentation float64
+	// P2P reports whether every communicating GPU pair has a
+	// peer-to-peer path (the property Figure 8 highlights).
+	P2P bool
+	// BusDemand is the shared-bus bandwidth (GB/s) the job will commit.
+	BusDemand float64
+}
+
+// utilityTerms computes the three normalized [0,1] utility terms of a
+// candidate allocation for the job.
+//
+// The paper's Eq. 2 uses raw reciprocals (1/t diverges for single-GPU
+// jobs and the interference ratio direction is ambiguous between Eq. 1
+// and Eq. 4); we use the equivalent normalized forms so utilities are
+// comparable with the SLO thresholds of Table 1:
+//
+//	u_cc = t_best / max(t, t_best)  (1 when packed as well as possible)
+//	u_b  = 1 / I                    (1 when no interference predicted)
+//	u_d  = 1 - ω                    (1 when no fragmentation remains)
+func utilityTerms(j *job.Job, gpus []int, st *cluster.State, profiles *profile.Store) (uCC, uB, uD, commCost, interference, frag float64) {
+	topo := st.Topology()
+	commCost = topo.PairwiseDistance(gpus)
+	best := topo.BestCommCost(len(gpus))
+	if len(gpus) < 2 || commCost <= best || best == 0 {
+		uCC = 1
+		if len(gpus) >= 2 && best == 0 {
+			uCC = 1 // degenerate single-pair topologies
+		}
+	} else {
+		uCC = best / commCost
+	}
+
+	interference = predictInterference(j, gpus, st, profiles)
+	uB = 1 / interference
+
+	frag = st.FragmentationAfter(gpus)
+	uD = 1 - frag
+	return uCC, uB, uD, commCost, interference, frag
+}
+
+// predictInterference gathers the co-runners sharing sockets or machines
+// with the candidate GPUs and returns the profile-predicted slowdown
+// factor I >= 1 (Eq. 4). Only jobs on the candidate's machines are
+// examined, so the cost is independent of cluster size.
+func predictInterference(j *job.Job, gpus []int, st *cluster.State, profiles *profile.Store) float64 {
+	topo := st.Topology()
+	seen := map[string]bool{}
+	var coRunners []profile.CoRunner
+	for _, m := range st.MachinesOf(gpus) {
+		for _, other := range st.JobsOnMachine(m) {
+			if seen[other] {
+				continue
+			}
+			seen[other] = true
+			alloc := st.Allocation(other)
+			locality := perfmodel.SameMachine
+			for _, g := range gpus {
+				for _, og := range alloc.GPUs {
+					if topo.SameSocket(g, og) {
+						locality = perfmodel.SameSocket
+					}
+				}
+			}
+			coRunners = append(coRunners, profile.CoRunner{Traits: alloc.Traits, Locality: locality})
+		}
+	}
+	return profiles.PredictInterference(j.Traits(), coRunners)
+}
+
+// Utility combines the three terms into the overall placement utility.
+// The communication term is weighted by the job's communication intensity
+// (the §5.1 job-graph edge weight, 4 for tiny batches down to 1 for big,
+// 0 for single-GPU jobs): a job that barely communicates should not have
+// its placement vetoed by communication cost, while a tiny-batch job's
+// utility is dominated by it. This realizes "applications express their
+// performance objectives as SLOs that are translated into abstract
+// utility functions" (§1).
+func Utility(w Weights, commIntensity, uCC, uB, uD float64) float64 {
+	num := w.CommCost*commIntensity*uCC + w.Interference*uB + w.Fragmentation*uD
+	den := w.CommCost*commIntensity + w.Interference + w.Fragmentation
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Objective evaluates the minimization objective of Eq. 1 for a candidate
+// allocation: αcc·t/t_w + αb·I_n/I_w + αd·ω/ω_w, each term normalized
+// against its worst case. Lower is better; the DRB mapper maximizes
+// utility, and tests verify the two orderings agree.
+func Objective(w Weights, j *job.Job, gpus []int, st *cluster.State, profiles *profile.Store) float64 {
+	topo := st.Topology()
+	_, _, _, commCost, interference, frag := utilityTerms(j, gpus, st, profiles)
+	tw := topo.WorstCommCost(len(gpus))
+	tTerm := 0.0
+	if tw > 0 {
+		tTerm = commCost / tw
+	}
+	iw := perfmodel.MaxSlowdown
+	iTerm := (interference - 1) / iw
+	return w.CommCost*tTerm + w.Interference*iTerm + w.Fragmentation*frag
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gputopo/internal/core"
+	"gputopo/internal/metrics"
+	"gputopo/internal/sched"
+	"gputopo/internal/simulator"
+	"gputopo/internal/topology"
+	"gputopo/internal/workload"
+)
+
+// Ablations for the design choices DESIGN.md calls out. These have no
+// direct counterpart figure in the paper; they substantiate claims the
+// paper makes in passing (§4.1.2: level weights are qualitative; §5.2.1:
+// equal α weights; §4.4: postponement threshold behavior).
+
+// WeightAblationRow records the placement quality under one socket-level
+// weight setting.
+type WeightAblationRow struct {
+	SocketWeight float64
+	Makespan     float64
+	SLO          int
+}
+
+// LevelWeightAblation re-runs the Table 1 scenario under TOPO-AWARE-P with
+// different socket-level distance weights, supporting the §4.1.2 claim
+// that only the ordering of level weights matters: placements — and
+// therefore makespans — should not change.
+func LevelWeightAblation(socketWeights []float64) ([]WeightAblationRow, error) {
+	var rows []WeightAblationRow
+	for _, w := range socketWeights {
+		topo := topology.Power8MinskyWeights(topology.LevelWeights{Socket: w})
+		res, err := simulator.Run(simulator.Config{
+			Topology: topo,
+			Policy:   sched.TopoAwareP,
+		}, workload.Table1())
+		if err != nil {
+			return nil, fmt.Errorf("weight ablation w=%g: %w", w, err)
+		}
+		rows = append(rows, WeightAblationRow{
+			SocketWeight: w,
+			Makespan:     res.Makespan,
+			SLO:          res.SLOViolations(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderWeightAblation formats the level-weight ablation.
+func RenderWeightAblation(rows []WeightAblationRow) string {
+	var tr [][]string
+	for _, r := range rows {
+		tr = append(tr, []string{
+			fmt.Sprintf("%g", r.SocketWeight),
+			fmt.Sprintf("%.1f", r.Makespan),
+			fmt.Sprintf("%d", r.SLO),
+		})
+	}
+	return "Ablation: socket-level distance weight (§4.1.2 — only ordering matters)\n" +
+		metrics.Table([]string{"socket weight", "makespan(s)", "SLO-viol"}, tr)
+}
+
+// AlphaRow records scenario quality for one αcc setting.
+type AlphaRow struct {
+	AlphaCC  float64
+	Makespan float64
+	SLO      int
+	MeanQoS  float64
+}
+
+// AlphaSweep varies the communication-cost weight αcc (splitting the
+// remainder equally between interference and fragmentation) on the
+// scenario-1 workload under TOPO-AWARE-P.
+func AlphaSweep(alphas []float64, jobs, machines int, seed uint64) ([]AlphaRow, error) {
+	topo := topology.Cluster(machines, topology.KindMinsky)
+	stream, err := workload.Generate(workload.GenConfig{Jobs: jobs, Seed: seed}, topo)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AlphaRow
+	for _, a := range alphas {
+		rest := (1 - a) / 2
+		res, err := simulator.Run(simulator.Config{
+			Topology: topo,
+			Policy:   sched.TopoAwareP,
+			Weights:  core.Weights{CommCost: a, Interference: rest, Fragmentation: rest},
+		}, stream)
+		if err != nil {
+			return nil, fmt.Errorf("alpha sweep a=%g: %w", a, err)
+		}
+		rows = append(rows, AlphaRow{
+			AlphaCC:  a,
+			Makespan: res.Makespan,
+			SLO:      res.SLOViolations(),
+			MeanQoS:  res.MeanSlowdownQoS(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAlphaSweep formats the α sweep.
+func RenderAlphaSweep(rows []AlphaRow) string {
+	var tr [][]string
+	for _, r := range rows {
+		tr = append(tr, []string{
+			fmt.Sprintf("%.2f", r.AlphaCC),
+			fmt.Sprintf("%.1f", r.Makespan),
+			fmt.Sprintf("%d", r.SLO),
+			fmt.Sprintf("%.3f", r.MeanQoS),
+		})
+	}
+	return "Ablation: utility weight αcc sweep (TOPO-AWARE-P, scenario 1)\n" +
+		metrics.Table([]string{"αcc", "makespan(s)", "SLO-viol", "mean QoS slow"}, tr)
+}
+
+// ThresholdRow records scenario quality for one min-utility override.
+type ThresholdRow struct {
+	MinUtility float64
+	Makespan   float64
+	SLO        int
+	TotalWait  float64
+}
+
+// ThresholdSweep overrides every multi-GPU job's minimum utility and
+// re-runs scenario 1 under TOPO-AWARE-P, exposing the waiting-time/QoS
+// trade-off that separates TOPO-AWARE-P from TOPO-AWARE (threshold 0
+// makes P behave exactly like TOPO-AWARE).
+func ThresholdSweep(thresholds []float64, jobs, machines int, seed uint64) ([]ThresholdRow, error) {
+	topo := topology.Cluster(machines, topology.KindMinsky)
+	var rows []ThresholdRow
+	for _, th := range thresholds {
+		stream, err := workload.Generate(workload.GenConfig{Jobs: jobs, Seed: seed}, topo)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range stream {
+			if j.GPUs > 1 {
+				j.MinUtility = th
+			}
+		}
+		res, err := simulator.Run(simulator.Config{
+			Topology: topo,
+			Policy:   sched.TopoAwareP,
+		}, stream)
+		if err != nil {
+			return nil, fmt.Errorf("threshold sweep t=%g: %w", th, err)
+		}
+		rows = append(rows, ThresholdRow{
+			MinUtility: th,
+			Makespan:   res.Makespan,
+			SLO:        res.SLOViolations(),
+			TotalWait:  res.TotalWait(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderThresholdSweep formats the postponement-threshold sweep.
+func RenderThresholdSweep(rows []ThresholdRow) string {
+	var tr [][]string
+	for _, r := range rows {
+		tr = append(tr, []string{
+			fmt.Sprintf("%.2f", r.MinUtility),
+			fmt.Sprintf("%.1f", r.Makespan),
+			fmt.Sprintf("%d", r.SLO),
+			fmt.Sprintf("%.1f", r.TotalWait),
+		})
+	}
+	return "Ablation: TOPO-AWARE-P postponement threshold sweep (scenario 1)\n" +
+		metrics.Table([]string{"min utility", "makespan(s)", "SLO-viol", "total wait(s)"}, tr)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gputopo/internal/metrics"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/topology"
+)
+
+// MPRow compares data- and model-parallel pack-vs-spread speedups at one
+// batch size.
+type MPRow struct {
+	Batch     int
+	DPSpeedup float64
+	MPSpeedup float64
+}
+
+// ModelParallelStudy quantifies §2's expectation that "topology-aware
+// scheduling is even more critical for model-parallelization workloads
+// because of the higher communication requirements": the placement impact
+// (pack vs spread) for 2-GPU AlexNet jobs in both parallelism modes.
+// Data-parallel jobs stop caring about placement at large batches (their
+// gradient volume is batch-independent while compute grows); model-
+// parallel jobs exchange activations proportional to the batch, so the
+// placement impact persists.
+func ModelParallelStudy() []MPRow {
+	topo := topology.Power8Minsky()
+	var rows []MPRow
+	for _, b := range BatchSweep {
+		rows = append(rows, MPRow{
+			Batch:     b,
+			DPSpeedup: perfmodel.PackSpreadSpeedupMode(perfmodel.AlexNet, b, topo, 1, perfmodel.DataParallel),
+			MPSpeedup: perfmodel.PackSpreadSpeedupMode(perfmodel.AlexNet, b, topo, 1, perfmodel.ModelParallel),
+		})
+	}
+	return rows
+}
+
+// RenderModelParallel formats the §2 extension study.
+func RenderModelParallel(rows []MPRow) string {
+	var tr [][]string
+	var dp, mp []metrics.Point
+	for _, r := range rows {
+		tr = append(tr, []string{
+			fmt.Sprintf("%d", r.Batch),
+			fmt.Sprintf("%.3f", r.DPSpeedup),
+			fmt.Sprintf("%.3f", r.MPSpeedup),
+		})
+		dp = append(dp, metrics.Point{X: float64(r.Batch), Y: r.DPSpeedup})
+		mp = append(mp, metrics.Point{X: float64(r.Batch), Y: r.MPSpeedup})
+	}
+	return "§2 extension: pack-vs-spread speedup, data- vs model-parallel AlexNet\n" +
+		metrics.Table([]string{"batch", "data-parallel", "model-parallel"}, tr) + "\n" +
+		metrics.LineChart("speedup vs batch", []metrics.Series{
+			{Name: "data-parallel", Points: dp},
+			{Name: "model-parallel", Points: mp},
+		}, 64, 10)
+}

@@ -1,0 +1,168 @@
+// Package graph implements the weighted undirected graphs that underpin
+// both topology representations in the paper (§4.1): the physical system
+// topology graph and the job communication graph. It provides adjacency
+// bookkeeping, Dijkstra shortest paths (path distance = sum of edge weights,
+// §4.1.2), all-pairs distances, connectivity queries, and subgraph
+// extraction used by the recursive bi-partitioning mapper.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected weighted edge between two vertices.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Graph is a weighted undirected graph over vertices identified by dense
+// integer IDs assigned at AddVertex time. Vertices may carry an arbitrary
+// label for callers that need to map back to domain objects (GPUs, sockets,
+// job tasks, ...).
+type Graph struct {
+	labels []string
+	adj    [][]halfEdge
+	edges  int
+}
+
+type halfEdge struct {
+	to int
+	w  float64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		labels: append([]string(nil), g.labels...),
+		adj:    make([][]halfEdge, len(g.adj)),
+		edges:  g.edges,
+	}
+	for i, hs := range g.adj {
+		c.adj[i] = append([]halfEdge(nil), hs...)
+	}
+	return c
+}
+
+// AddVertex adds a vertex with the given label and returns its ID.
+func (g *Graph) AddVertex(label string) int {
+	g.labels = append(g.labels, label)
+	g.adj = append(g.adj, nil)
+	return len(g.labels) - 1
+}
+
+// AddEdge adds an undirected edge between u and v with the given weight.
+// Parallel edges are allowed (the topology model never creates them, but
+// the job graph may). It panics if u or v is out of range or u == v.
+func (g *Graph) AddEdge(u, v int, weight float64) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	g.checkVertex(u)
+	g.checkVertex(v)
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: weight})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, w: weight})
+	g.edges++
+}
+
+func (g *Graph) checkVertex(v int) {
+	if v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, len(g.adj)))
+	}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Label returns the label of vertex v.
+func (g *Graph) Label(v int) string {
+	g.checkVertex(v)
+	return g.labels[v]
+}
+
+// SetLabel replaces the label of vertex v.
+func (g *Graph) SetLabel(v int, label string) {
+	g.checkVertex(v)
+	g.labels[v] = label
+}
+
+// Neighbors returns the neighbor IDs of v in insertion order.
+func (g *Graph) Neighbors(v int) []int {
+	g.checkVertex(v)
+	out := make([]int, len(g.adj[v]))
+	for i, h := range g.adj[v] {
+		out[i] = h.to
+	}
+	return out
+}
+
+// EdgeWeight returns the weight of the minimum-weight edge between u and v
+// and whether any edge exists.
+func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	best, found := 0.0, false
+	for _, h := range g.adj[u] {
+		if h.to == v && (!found || h.w < best) {
+			best, found = h.w, true
+		}
+	}
+	return best, found
+}
+
+// Edges returns all undirected edges with U < V, sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for u, hs := range g.adj {
+		for _, h := range hs {
+			if u < h.to {
+				out = append(out, Edge{U: u, V: h.to, Weight: h.w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Degree returns the number of incident edges of v.
+func (g *Graph) Degree(v int) int {
+	g.checkVertex(v)
+	return len(g.adj[v])
+}
+
+// WeightedDegree returns the sum of incident edge weights of v.
+func (g *Graph) WeightedDegree(v int) float64 {
+	g.checkVertex(v)
+	var sum float64
+	for _, h := range g.adj[v] {
+		sum += h.w
+	}
+	return sum
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var sum float64
+	for u, hs := range g.adj {
+		for _, h := range hs {
+			if u < h.to {
+				sum += h.w
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Inf is the distance reported between disconnected vertices.
+var Inf = math.Inf(1)
+
+// ShortestFrom runs Dijkstra's algorithm from src and returns the distance
+// to every vertex (Inf when unreachable). Path distance is the sum of edge
+// weights along the path, matching the paper's definition of topological
+// distance (§4.1.2).
+func (g *Graph) ShortestFrom(src int) []float64 {
+	g.checkVertex(src)
+	dist := make([]float64, len(g.adj))
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue // stale entry
+		}
+		for _, h := range g.adj[item.v] {
+			if nd := item.d + h.w; nd < dist[h.to] {
+				dist[h.to] = nd
+				heap.Push(pq, distItem{v: h.to, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns the minimum-weight path from src to dst as a vertex
+// sequence including both endpoints, together with its total weight. The
+// second return is false when dst is unreachable.
+func (g *Graph) ShortestPath(src, dst int) ([]int, float64, bool) {
+	g.checkVertex(src)
+	g.checkVertex(dst)
+	dist := make([]float64, len(g.adj))
+	prev := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = Inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.v == dst {
+			break
+		}
+		if item.d > dist[item.v] {
+			continue
+		}
+		for _, h := range g.adj[item.v] {
+			if nd := item.d + h.w; nd < dist[h.to] {
+				dist[h.to] = nd
+				prev[h.to] = item.v
+				heap.Push(pq, distItem{v: h.to, d: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, Inf, false
+	}
+	var path []int
+	for v := dst; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst], true
+}
+
+// AllPairsShortest returns the full distance matrix, computed by running
+// Dijkstra from each vertex. The topology graphs here are tiny (tens of
+// vertices per machine), so O(V·E·logV) is more than fast enough and avoids
+// Floyd–Warshall's O(V³) on large clusters.
+func (g *Graph) AllPairsShortest() [][]float64 {
+	out := make([][]float64, len(g.adj))
+	for v := range g.adj {
+		out[v] = g.ShortestFrom(v)
+	}
+	return out
+}
+
+// Components returns the connected components as slices of vertex IDs, each
+// sorted ascending, ordered by smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.adj))
+	var comps [][]int
+	for start := range g.adj {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, h := range g.adj[v] {
+				if !seen[h.to] {
+					seen[h.to] = true
+					stack = append(stack, h.to)
+				}
+			}
+		}
+		sortInts(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Connected reports whether the graph has exactly one connected component.
+// The empty graph is considered connected.
+func (g *Graph) Connected() bool {
+	return len(g.adj) == 0 || len(g.Components()) == 1
+}
+
+// Subgraph returns the induced subgraph over keep (IDs in g), plus the
+// mapping from new vertex IDs to original IDs. Edges with both endpoints in
+// keep are retained with their weights.
+func (g *Graph) Subgraph(keep []int) (*Graph, []int) {
+	idx := make(map[int]int, len(keep))
+	sub := New()
+	orig := make([]int, 0, len(keep))
+	for _, v := range keep {
+		g.checkVertex(v)
+		if _, dup := idx[v]; dup {
+			continue
+		}
+		idx[v] = sub.AddVertex(g.labels[v])
+		orig = append(orig, v)
+	}
+	for _, v := range orig {
+		for _, h := range g.adj[v] {
+			if v < h.to {
+				if j, ok := idx[h.to]; ok {
+					sub.AddEdge(idx[v], j, h.w)
+				}
+			}
+		}
+	}
+	return sub, orig
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,128 @@
+// Package job defines the unit of scheduling: a deep-learning training job
+// with a GPU count, a neural network model, a per-GPU batch size, a
+// communication graph, and the SLO-derived minimum utility used by the
+// TOPO-AWARE-P postponement policy (§4.4, Table 1).
+package job
+
+import (
+	"fmt"
+
+	"gputopo/internal/jobgraph"
+	"gputopo/internal/perfmodel"
+)
+
+// Job describes a submitted training job. Fields mirror the manifest the
+// paper's prototype loads from JSON (§5.1).
+type Job struct {
+	// ID uniquely identifies the job.
+	ID string
+	// Model is the neural network being trained.
+	Model perfmodel.NN
+	// BatchSize is the per-GPU training batch size (1–128 in the paper).
+	BatchSize int
+	// GPUs is the number of requested GPUs (tasks).
+	GPUs int
+	// MinUtility is the SLO-derived placement quality threshold: under
+	// TOPO-AWARE-P a placement scoring below it is postponed (Table 1
+	// uses 0.3 for 1-GPU jobs and 0.5 for 2-GPU jobs).
+	MinUtility float64
+	// Arrival is the submission time in seconds since experiment start.
+	Arrival float64
+	// Iterations is the training length (§3.1 uses 4000).
+	Iterations int
+	// SingleNode constrains all tasks to one machine ("if a job does not
+	// support multi-node, it must be defined with a single-node
+	// constraint in the profile", §4.4). Data-parallel Caffe jobs are
+	// single-node.
+	SingleNode bool
+	// AntiCollocate asks for tasks to spread across machines (§4.4
+	// anti-collocation policies).
+	AntiCollocate bool
+	// Parallelism selects data-parallel gradient exchange (the paper's
+	// evaluated mode, the default) or model-parallel activation exchange
+	// (§2's more communication-intensive extension).
+	Parallelism perfmodel.Parallelism
+
+	comm *jobgraph.Graph
+}
+
+// New returns a job with the all-to-all communication graph of a
+// data-parallel trainer, edge weights derived from the batch class (§5.1).
+func New(id string, model perfmodel.NN, batchSize, gpus int, minUtility, arrival float64) *Job {
+	j := &Job{
+		ID:         id,
+		Model:      model,
+		BatchSize:  batchSize,
+		GPUs:       gpus,
+		MinUtility: minUtility,
+		Arrival:    arrival,
+		Iterations: perfmodel.DefaultIterations,
+		SingleNode: true,
+	}
+	j.comm = jobgraph.AllToAll(gpus, j.Class().CommWeight())
+	return j
+}
+
+// Class returns the batch-size class of the job.
+func (j *Job) Class() jobgraph.BatchClass { return jobgraph.ClassOfSize(j.BatchSize) }
+
+// Traits returns the interference-relevant summary of the job.
+func (j *Job) Traits() perfmodel.Traits {
+	return perfmodel.Traits{Model: j.Model, Class: j.Class(), GPUs: j.GPUs, Mode: j.Parallelism}
+}
+
+// CommGraph returns the job's communication graph.
+func (j *Job) CommGraph() *jobgraph.Graph { return j.comm }
+
+// SetCommGraph overrides the default all-to-all communication graph, e.g.
+// for model-parallel or parameter-server workloads.
+func (j *Job) SetCommGraph(g *jobgraph.Graph) error {
+	if g.Tasks() != j.GPUs {
+		return fmt.Errorf("job %s: comm graph has %d tasks, job requests %d GPUs", j.ID, g.Tasks(), j.GPUs)
+	}
+	j.comm = g
+	return nil
+}
+
+// CommIntensity returns the job's communication intensity: the maximum
+// edge weight of its communication graph (0 for single-GPU jobs). The
+// utility function uses it to weigh the communication-cost term.
+// Model-parallel jobs always communicate at the highest intensity — their
+// activation traffic scales with the batch instead of shrinking (§2).
+func (j *Job) CommIntensity() float64 {
+	if j.GPUs <= 1 {
+		return 0
+	}
+	if j.Parallelism == perfmodel.ModelParallel {
+		return jobgraph.BatchTiny.CommWeight()
+	}
+	return j.comm.CommIntensity()
+}
+
+// Validate checks the job definition for consistency.
+func (j *Job) Validate() error {
+	switch {
+	case j.ID == "":
+		return fmt.Errorf("job: empty ID")
+	case j.GPUs <= 0:
+		return fmt.Errorf("job %s: non-positive GPU count %d", j.ID, j.GPUs)
+	case j.BatchSize <= 0:
+		return fmt.Errorf("job %s: non-positive batch size %d", j.ID, j.BatchSize)
+	case j.MinUtility < 0 || j.MinUtility > 1:
+		return fmt.Errorf("job %s: min utility %.3f outside [0,1]", j.ID, j.MinUtility)
+	case j.Iterations <= 0:
+		return fmt.Errorf("job %s: non-positive iterations %d", j.ID, j.Iterations)
+	case j.Arrival < 0:
+		return fmt.Errorf("job %s: negative arrival time %.3f", j.ID, j.Arrival)
+	case j.comm == nil || j.comm.Tasks() != j.GPUs:
+		return fmt.Errorf("job %s: communication graph does not match GPU count", j.ID)
+	case j.SingleNode && j.AntiCollocate && j.GPUs > 1:
+		return fmt.Errorf("job %s: single-node and anti-collocation are mutually exclusive", j.ID)
+	}
+	return nil
+}
+
+// String returns a compact description for logs and timelines.
+func (j *Job) String() string {
+	return fmt.Sprintf("%s(%s b=%d g=%d u>=%.2f)", j.ID, j.Model, j.BatchSize, j.GPUs, j.MinUtility)
+}

@@ -1,0 +1,99 @@
+package job
+
+import (
+	"strings"
+	"testing"
+
+	"gputopo/internal/jobgraph"
+	"gputopo/internal/perfmodel"
+)
+
+func TestNewJobDefaults(t *testing.T) {
+	j := New("j1", perfmodel.AlexNet, 4, 2, 0.5, 10)
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Iterations != perfmodel.DefaultIterations {
+		t.Fatalf("iterations = %d", j.Iterations)
+	}
+	if !j.SingleNode {
+		t.Fatal("jobs default to single-node (data-parallel Caffe)")
+	}
+	if j.Class() != jobgraph.BatchSmall {
+		t.Fatalf("class = %v", j.Class())
+	}
+	if j.CommGraph().Tasks() != 2 {
+		t.Fatal("comm graph tasks mismatch")
+	}
+	// §5.1 weight for a small batch is 3.
+	if j.CommIntensity() != 3 {
+		t.Fatalf("comm intensity = %v", j.CommIntensity())
+	}
+}
+
+func TestSingleGPUNoCommIntensity(t *testing.T) {
+	j := New("j", perfmodel.GoogLeNet, 128, 1, 0.3, 0)
+	if j.CommIntensity() != 0 {
+		t.Fatalf("single-GPU comm intensity = %v", j.CommIntensity())
+	}
+}
+
+func TestTraits(t *testing.T) {
+	j := New("j", perfmodel.CaffeRef, 1, 2, 0.5, 0)
+	tr := j.Traits()
+	if tr.Model != perfmodel.CaffeRef || tr.Class != jobgraph.BatchTiny || tr.GPUs != 2 {
+		t.Fatalf("traits = %+v", tr)
+	}
+}
+
+func TestSetCommGraph(t *testing.T) {
+	j := New("j", perfmodel.AlexNet, 1, 3, 0.5, 0)
+	if err := j.SetCommGraph(jobgraph.Ring(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if j.CommIntensity() != 2 {
+		t.Fatalf("intensity after ring = %v", j.CommIntensity())
+	}
+	if err := j.SetCommGraph(jobgraph.Ring(2, 2)); err == nil {
+		t.Fatal("mismatched task count accepted")
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	cases := map[string]func(*Job){
+		"empty id":        func(j *Job) { j.ID = "" },
+		"zero gpus":       func(j *Job) { j.GPUs = 0 },
+		"zero batch":      func(j *Job) { j.BatchSize = 0 },
+		"bad utility":     func(j *Job) { j.MinUtility = 1.5 },
+		"neg utility":     func(j *Job) { j.MinUtility = -0.1 },
+		"zero iterations": func(j *Job) { j.Iterations = 0 },
+		"neg arrival":     func(j *Job) { j.Arrival = -1 },
+		"conflict":        func(j *Job) { j.AntiCollocate = true }, // with SingleNode
+	}
+	for name, mutate := range cases {
+		j := New("ok", perfmodel.AlexNet, 1, 2, 0.5, 0)
+		mutate(j)
+		if err := j.Validate(); err == nil {
+			t.Fatalf("case %q: invalid job accepted", name)
+		}
+	}
+}
+
+func TestAntiCollocateValidWhenMultiNode(t *testing.T) {
+	j := New("j", perfmodel.AlexNet, 1, 2, 0.5, 0)
+	j.SingleNode = false
+	j.AntiCollocate = true
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringContainsEssentials(t *testing.T) {
+	j := New("j7", perfmodel.GoogLeNet, 32, 2, 0.5, 0)
+	s := j.String()
+	for _, frag := range []string{"j7", "GoogLeNet", "b=32", "g=2"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package perfmodel
+
+import (
+	"math"
+
+	"gputopo/internal/topology"
+)
+
+// Parallelism selects how a job divides work across GPUs (§2 of the
+// paper): data parallelism partitions the input batch and exchanges
+// gradients; model parallelism partitions the network layers and
+// exchanges activations at every stage boundary. The paper evaluates data
+// parallelism ("model-based parallelism ... is still uncommon for cloud
+// deployments") but expects "topology-aware scheduling is even more
+// critical for model-parallelization workloads because of the higher
+// communication requirements" — this extension implements that workload
+// so the expectation can be tested.
+type Parallelism int
+
+// Work division strategies.
+const (
+	DataParallel Parallelism = iota
+	ModelParallel
+)
+
+// String names the strategy.
+func (p Parallelism) String() string {
+	if p == ModelParallel {
+		return "model-parallel"
+	}
+	return "data-parallel"
+}
+
+// activationBytes is the per-sample activation volume crossing stage
+// boundaries each direction (forward activations, backward gradients).
+// Model-parallel splits communicate at every cross-connected layer — the
+// classic two-tower AlexNet exchanges at the conv2→conv3 boundary and at
+// each fully-connected layer — so the aggregate is several megabytes per
+// sample: ≈4.5 MB for AlexNet/CaffeRef, ≈6 MB for GoogLeNet's wider
+// Inception outputs.
+var activationBytes = [NumNN]float64{
+	AlexNet:   4.5e6,
+	CaffeRef:  4.5e6,
+	GoogLeNet: 6e6,
+}
+
+// PipelineVolume returns the per-iteration bytes exchanged across the
+// busiest stage boundary of a model-parallel job: batch × activation size,
+// forward plus backward. Unlike gradient exchange, this volume scales
+// with the batch size — which is why model parallelism keeps communicating
+// hard even at large batches.
+func PipelineVolume(n NN, batch, gpus int) float64 {
+	if gpus < 2 {
+		return 0
+	}
+	return 2 * float64(batch) * activationBytes[n]
+}
+
+// CommTimeMode returns the per-iteration communication time for either
+// parallelism mode over the given effective bandwidth.
+func CommTimeMode(n NN, batch, gpus int, effBW float64, mode Parallelism) float64 {
+	if gpus < 2 {
+		return 0
+	}
+	if mode == DataParallel {
+		return CommTime(n, gpus, effBW)
+	}
+	if effBW <= 0 {
+		return math.Inf(1)
+	}
+	s := specs[n]
+	// Pipeline handoffs synchronize per stage rather than per ring step;
+	// the per-iteration overhead is the same launch/sync cost.
+	return s.CommOverhead + PipelineVolume(n, batch, gpus)/(ProtocolEfficiency*effBW*1e9)
+}
+
+// IterationTimeMode is IterationTime extended with the parallelism mode.
+// Model-parallel jobs split layers across GPUs, so per-GPU compute is
+// divided by the stage count (perfect balance assumed) while the
+// activation exchange is added on top.
+func IterationTimeMode(n NN, batch int, topo *topology.Topology, gpus []int, computeScale float64, mode Parallelism) float64 {
+	if mode == DataParallel {
+		return IterationTime(n, batch, topo, gpus, computeScale)
+	}
+	if computeScale <= 0 {
+		computeScale = 1
+	}
+	s := specs[n]
+	comp := computeScale * ComputeTime(n, batch)
+	if len(gpus) > 1 {
+		comp /= float64(len(gpus))
+	}
+	t := comp + s.HostOverhead
+	if len(gpus) >= 2 {
+		t += CommTimeMode(n, batch, len(gpus), AllocBandwidth(topo, gpus), ModelParallel)
+	}
+	return t
+}
+
+// PackSpreadSpeedupMode generalizes PackSpreadSpeedup to both parallelism
+// modes, quantifying §2's expectation that model parallelism amplifies
+// the placement impact.
+func PackSpreadSpeedupMode(n NN, batch int, topo *topology.Topology, computeScale float64, mode Parallelism) float64 {
+	packGPUs, spreadGPUs := packSpreadPairs(topo)
+	pack := IterationTimeMode(n, batch, topo, packGPUs, computeScale, mode)
+	spread := IterationTimeMode(n, batch, topo, spreadGPUs, computeScale, mode)
+	return spread / pack
+}
+
+// modeScale amplifies interference for model-parallel jobs: their
+// activation traffic flows continuously rather than in per-iteration
+// bursts.
+func modeScale(p Parallelism) float64 {
+	if p == ModelParallel {
+		return 1.5
+	}
+	return 1
+}

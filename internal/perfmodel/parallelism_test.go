@@ -1,0 +1,107 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"gputopo/internal/jobgraph"
+	"gputopo/internal/topology"
+)
+
+func TestParallelismString(t *testing.T) {
+	if DataParallel.String() != "data-parallel" || ModelParallel.String() != "model-parallel" {
+		t.Fatal("parallelism names wrong")
+	}
+}
+
+func TestPipelineVolumeScalesWithBatch(t *testing.T) {
+	if PipelineVolume(AlexNet, 8, 1) != 0 {
+		t.Fatal("single GPU pipeline volume must be 0")
+	}
+	v1 := PipelineVolume(AlexNet, 1, 2)
+	v128 := PipelineVolume(AlexNet, 128, 2)
+	if v128 != 128*v1 {
+		t.Fatalf("pipeline volume not linear in batch: %v vs %v", v1, v128)
+	}
+	// Unlike gradients, whose volume is batch-independent.
+	if RingVolume(AlexNet, 2) != RingVolume(AlexNet, 2) {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestModelParallelDividesCompute(t *testing.T) {
+	topo := topology.Power8Minsky()
+	mp2 := IterationTimeMode(AlexNet, 32, topo, []int{0, 1}, 1, ModelParallel)
+	// Compute per stage is half of the full model's compute.
+	comp := ComputeTime(AlexNet, 32)
+	comm := CommTimeMode(AlexNet, 32, 2, AllocBandwidth(topo, []int{0, 1}), ModelParallel)
+	want := comp/2 + GetSpec(AlexNet).HostOverhead + comm
+	if diff := mp2 - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("MP iteration %v, want %v", mp2, want)
+	}
+}
+
+func TestDataParallelModeMatchesBase(t *testing.T) {
+	topo := topology.Power8Minsky()
+	for _, b := range []int{1, 32, 128} {
+		base := IterationTime(AlexNet, b, topo, []int{0, 1}, 1)
+		mode := IterationTimeMode(AlexNet, b, topo, []int{0, 1}, 1, DataParallel)
+		if base != mode {
+			t.Fatalf("b=%d: DP mode diverges from IterationTime", b)
+		}
+	}
+}
+
+// TestModelParallelAmplifiesPlacementImpact verifies §2's expectation:
+// "topology-aware scheduling is even more critical for model-parallelism
+// workloads because of the higher communication requirements." At
+// moderate-to-large batches, data-parallel jobs stop caring about
+// placement (their gradient volume is batch-independent) while
+// model-parallel jobs keep caring (their activation volume grows with the
+// batch).
+func TestModelParallelAmplifiesPlacementImpact(t *testing.T) {
+	topo := topology.Power8Minsky()
+	for _, b := range []int{32, 64, 128} {
+		dp := PackSpreadSpeedupMode(AlexNet, b, topo, 1, DataParallel)
+		mp := PackSpreadSpeedupMode(AlexNet, b, topo, 1, ModelParallel)
+		if mp <= dp {
+			t.Fatalf("b=%d: MP speedup %.3f <= DP %.3f", b, mp, dp)
+		}
+	}
+	// The MP speedup stays substantial even at batch 128, where DP has
+	// converged to ≈1.0.
+	if mp := PackSpreadSpeedupMode(AlexNet, 128, topo, 1, ModelParallel); mp < 1.10 {
+		t.Fatalf("MP b=128 speedup %.3f, want > 1.10", mp)
+	}
+	// At tiny batches MP ships very little (a few MB of activations vs
+	// 244 MB of gradients), so DP is the more placement-sensitive mode —
+	// the crossover the batch scaling implies.
+	dp1 := PackSpreadSpeedupMode(AlexNet, 1, topo, 1, DataParallel)
+	mp1 := PackSpreadSpeedupMode(AlexNet, 1, topo, 1, ModelParallel)
+	if mp1 >= dp1 {
+		t.Fatalf("b=1: MP %.3f should be below DP %.3f", mp1, dp1)
+	}
+}
+
+func TestModelParallelTraitsInterfereMore(t *testing.T) {
+	dp := Traits{Model: AlexNet, Class: jobgraph.BatchMedium, GPUs: 2, Mode: DataParallel}
+	mp := Traits{Model: AlexNet, Class: jobgraph.BatchMedium, GPUs: 2, Mode: ModelParallel}
+	if Sensitivity(mp) <= Sensitivity(dp) {
+		t.Fatal("MP jobs should be more sensitive")
+	}
+	if Pressure(mp) <= Pressure(dp) {
+		t.Fatal("MP jobs should cause more pressure")
+	}
+}
+
+func TestCommTimeModeEdgeCases(t *testing.T) {
+	if CommTimeMode(AlexNet, 8, 1, 40, ModelParallel) != 0 {
+		t.Fatal("single GPU MP comm must be 0")
+	}
+	if got := CommTimeMode(AlexNet, 8, 2, 0, ModelParallel); got <= 1e300 {
+		t.Fatalf("zero bandwidth MP comm = %v, want +Inf", got)
+	}
+	dp := CommTimeMode(AlexNet, 8, 2, 40, DataParallel)
+	if dp != CommTime(AlexNet, 2, 40) {
+		t.Fatal("DP mode diverges from CommTime")
+	}
+}

@@ -1,0 +1,212 @@
+// Package profile implements the job profile of §4.2: for each workload
+// class it records the solo completion time, the best- and worst-case
+// placements, and a performance-prediction model for co-scheduled
+// interference. The paper generates these profiles experimentally (95th
+// percentile of five runs); here they are generated from the calibrated
+// performance model through the same interface a measurement campaign
+// would populate, and can be saved to / loaded from JSON like the
+// prototype's manifests.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"gputopo/internal/jobgraph"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/topology"
+)
+
+// Key identifies a workload class: model × batch class × GPU count.
+type Key struct {
+	Model perfmodel.NN        `json:"model"`
+	Class jobgraph.BatchClass `json:"class"`
+	GPUs  int                 `json:"gpus"`
+}
+
+// KeyOf returns the profile key of a job's traits.
+func KeyOf(t perfmodel.Traits) Key {
+	return Key{Model: t.Model, Class: t.Class, GPUs: t.GPUs}
+}
+
+// Entry is one workload-class profile.
+type Entry struct {
+	Key Key `json:"key"`
+	// BestIterTime is the per-iteration time (seconds) under the best
+	// placement, running solo — the ideal the slowdown metrics compare
+	// against.
+	BestIterTime float64 `json:"best_iter_time"`
+	// WorstIterTime is the per-iteration time under the worst placement
+	// (fully routed communication), running solo.
+	WorstIterTime float64 `json:"worst_iter_time"`
+	// Sensitivity and Pressure parameterize the interference prediction
+	// (suffered and caused, respectively), as calibrated from
+	// co-location measurements (Figure 6).
+	Sensitivity float64 `json:"sensitivity"`
+	Pressure    float64 `json:"pressure"`
+}
+
+// Store holds the profiles of all known workload classes.
+type Store struct {
+	entries map[Key]Entry
+}
+
+// NewStore returns an empty profile store.
+func NewStore() *Store {
+	return &Store{entries: make(map[Key]Entry)}
+}
+
+// Generate populates a store with profiles for every (model, batch class,
+// GPU count) combination up to maxGPUs, derived from the performance model
+// over the given reference topology — the paper's "combinatorial
+// collocation of a set of known applications" made cheap by simulation.
+func Generate(topo *topology.Topology, maxGPUs int) *Store {
+	s := NewStore()
+	for m := perfmodel.NN(0); m < perfmodel.NumNN; m++ {
+		for c := jobgraph.BatchTiny; c <= jobgraph.BatchBig; c++ {
+			for g := 1; g <= maxGPUs; g++ {
+				s.Add(makeEntry(topo, m, c, g))
+			}
+		}
+	}
+	return s
+}
+
+func makeEntry(topo *topology.Topology, m perfmodel.NN, c jobgraph.BatchClass, g int) Entry {
+	t := perfmodel.Traits{Model: m, Class: c, GPUs: g}
+	best, worst := placementExtremes(topo, m, c.Size(), g)
+	return Entry{
+		Key:           KeyOf(t),
+		BestIterTime:  best,
+		WorstIterTime: worst,
+		Sensitivity:   perfmodel.Sensitivity(t),
+		Pressure:      perfmodel.Pressure(t),
+	}
+}
+
+// placementExtremes returns the best and worst solo iteration times of a
+// g-GPU job on the topology by scoring allocations of minimal and maximal
+// communication distance.
+func placementExtremes(topo *topology.Topology, m perfmodel.NN, batch, g int) (best, worst float64) {
+	if g <= 1 {
+		t := perfmodel.IterationTime(m, batch, topo, []int{0}, 1)
+		return t, t
+	}
+	if n := topo.NumGPUs(); g > n {
+		g = n
+	}
+	return perfmodel.IterationTime(m, batch, topo, topo.BestAllocation(g), 1),
+		perfmodel.IterationTime(m, batch, topo, topo.WorstAllocation(g), 1)
+}
+
+// Add inserts or replaces an entry.
+func (s *Store) Add(e Entry) { s.entries[e.Key] = e }
+
+// Lookup returns the entry for the key. Unknown classes fall back to a
+// prediction from the nearest known class (same model and GPU count,
+// closest batch class) — the paper's "performance prediction for unknown
+// jobs using the models from known applications" (§4.2).
+func (s *Store) Lookup(k Key) (Entry, bool) {
+	if e, ok := s.entries[k]; ok {
+		return e, true
+	}
+	// Nearest batch class with same model and GPU count.
+	bestDist := -1
+	var best Entry
+	for have, e := range s.entries {
+		if have.Model != k.Model || have.GPUs != k.GPUs {
+			continue
+		}
+		d := int(have.Class) - int(k.Class)
+		if d < 0 {
+			d = -d
+		}
+		if bestDist == -1 || d < bestDist {
+			bestDist, best = d, e
+		}
+	}
+	if bestDist >= 0 {
+		best.Key = k
+		return best, true
+	}
+	return Entry{}, false
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Entries returns all entries sorted by key for deterministic output.
+func (s *Store) Entries() []Entry {
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.GPUs < b.GPUs
+	})
+	return out
+}
+
+// CoRunner pairs a co-scheduled job's traits with its locality relative to
+// the victim whose interference is being predicted.
+type CoRunner struct {
+	Traits   perfmodel.Traits
+	Locality perfmodel.Locality
+}
+
+// PredictInterference implements the interference estimate of Eq. 4 with
+// the factor convention fixed so that "less interference" means a value
+// closer to 1: it returns the predicted slowdown factor I >= 1 of the
+// victim when co-located with the given co-runners, using the stored
+// sensitivity and pressure parameters. (As printed, Eq. 4 computes the
+// reciprocal solo/collocated ratio; we use collocated/solo so that
+// minimizing interference and maximizing utility agree — see DESIGN.md.)
+func (s *Store) PredictInterference(victim perfmodel.Traits, coRunners []CoRunner) float64 {
+	ve, ok := s.Lookup(KeyOf(victim))
+	sens := perfmodel.Sensitivity(victim)
+	if ok {
+		sens = ve.Sensitivity
+	}
+	var sum float64
+	for _, c := range coRunners {
+		pres := perfmodel.Pressure(c.Traits)
+		if ce, ok := s.Lookup(KeyOf(c.Traits)); ok {
+			pres = ce.Pressure
+		}
+		f := 0.0
+		switch c.Locality {
+		case perfmodel.SameSocket:
+			f = 2.0
+		case perfmodel.SameMachine:
+			f = 1.0
+		}
+		sum += sens * pres * f
+	}
+	return 1 + perfmodel.CapSlowdown(sum)
+}
+
+// MarshalJSON serializes the store as a sorted entry list.
+func (s *Store) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Entries())
+}
+
+// UnmarshalJSON loads a store from an entry list.
+func (s *Store) UnmarshalJSON(data []byte) error {
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	s.entries = make(map[Key]Entry, len(entries))
+	for _, e := range entries {
+		s.entries[e.Key] = e
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package profile
+
+import (
+	"encoding/json"
+	"testing"
+
+	"gputopo/internal/jobgraph"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/topology"
+)
+
+func TestGenerateCoversAllClasses(t *testing.T) {
+	s := Generate(topology.Power8Minsky(), 4)
+	// 3 models × 4 batch classes × 4 GPU counts.
+	if s.Len() != 48 {
+		t.Fatalf("entries = %d, want 48", s.Len())
+	}
+	for m := perfmodel.NN(0); m < perfmodel.NumNN; m++ {
+		for c := jobgraph.BatchTiny; c <= jobgraph.BatchBig; c++ {
+			for g := 1; g <= 4; g++ {
+				k := Key{Model: m, Class: c, GPUs: g}
+				e, ok := s.Lookup(k)
+				if !ok {
+					t.Fatalf("missing entry %+v", k)
+				}
+				if e.BestIterTime <= 0 {
+					t.Fatalf("entry %+v best time %v", k, e.BestIterTime)
+				}
+				if e.WorstIterTime < e.BestIterTime {
+					t.Fatalf("entry %+v worst %v < best %v", k, e.WorstIterTime, e.BestIterTime)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiGPUWorstStrictlyWorse(t *testing.T) {
+	s := Generate(topology.Power8Minsky(), 4)
+	e, _ := s.Lookup(Key{Model: perfmodel.AlexNet, Class: jobgraph.BatchTiny, GPUs: 2})
+	if e.WorstIterTime <= e.BestIterTime {
+		t.Fatal("2-GPU worst placement should be strictly slower than best")
+	}
+	// Single-GPU jobs have no placement-dependent communication.
+	e1, _ := s.Lookup(Key{Model: perfmodel.AlexNet, Class: jobgraph.BatchTiny, GPUs: 1})
+	if e1.WorstIterTime != e1.BestIterTime {
+		t.Fatal("1-GPU best and worst should match")
+	}
+}
+
+func TestLookupFallbackNearestClass(t *testing.T) {
+	s := NewStore()
+	s.Add(Entry{
+		Key:          Key{Model: perfmodel.AlexNet, Class: jobgraph.BatchTiny, GPUs: 2},
+		BestIterTime: 0.1, WorstIterTime: 0.2, Sensitivity: 0.5, Pressure: 0.3,
+	})
+	// Unknown class falls back to the nearest known one.
+	e, ok := s.Lookup(Key{Model: perfmodel.AlexNet, Class: jobgraph.BatchBig, GPUs: 2})
+	if !ok {
+		t.Fatal("fallback lookup failed")
+	}
+	if e.BestIterTime != 0.1 {
+		t.Fatalf("fallback entry = %+v", e)
+	}
+	if e.Key.Class != jobgraph.BatchBig {
+		t.Fatal("fallback entry should be rekeyed to the query")
+	}
+	// Different model and GPU count: no fallback.
+	if _, ok := s.Lookup(Key{Model: perfmodel.GoogLeNet, Class: jobgraph.BatchTiny, GPUs: 2}); ok {
+		t.Fatal("cross-model fallback should not happen")
+	}
+}
+
+func TestPredictInterference(t *testing.T) {
+	s := Generate(topology.Power8Minsky(), 4)
+	victim := perfmodel.Traits{Model: perfmodel.AlexNet, Class: jobgraph.BatchTiny, GPUs: 2}
+	causer := perfmodel.Traits{Model: perfmodel.AlexNet, Class: jobgraph.BatchTiny, GPUs: 2}
+
+	if got := s.PredictInterference(victim, nil); got != 1 {
+		t.Fatalf("no co-runners: I = %v, want 1", got)
+	}
+	same := s.PredictInterference(victim, []CoRunner{{Traits: causer, Locality: perfmodel.SameMachine}})
+	if same <= 1 {
+		t.Fatalf("same-machine interference = %v, want > 1", same)
+	}
+	sock := s.PredictInterference(victim, []CoRunner{{Traits: causer, Locality: perfmodel.SameSocket}})
+	if sock <= same {
+		t.Fatal("same-socket interference should exceed same-machine")
+	}
+	far := s.PredictInterference(victim, []CoRunner{{Traits: causer, Locality: perfmodel.DifferentMachine}})
+	if far != 1 {
+		t.Fatalf("different-machine interference = %v, want 1", far)
+	}
+	// The Figure 6 anchor: tiny+tiny on the same machine ≈ 1.30.
+	if same < 1.25 || same > 1.35 {
+		t.Fatalf("tiny+tiny same-machine I = %v, want ≈1.30", same)
+	}
+}
+
+func TestPredictInterferenceAccumulatesAndCaps(t *testing.T) {
+	s := Generate(topology.Power8Minsky(), 4)
+	victim := perfmodel.Traits{Model: perfmodel.AlexNet, Class: jobgraph.BatchTiny, GPUs: 2}
+	causer := CoRunner{
+		Traits:   perfmodel.Traits{Model: perfmodel.AlexNet, Class: jobgraph.BatchTiny, GPUs: 2},
+		Locality: perfmodel.SameSocket,
+	}
+	one := s.PredictInterference(victim, []CoRunner{causer})
+	two := s.PredictInterference(victim, []CoRunner{causer, causer})
+	if two <= one {
+		t.Fatal("two co-runners should interfere more than one")
+	}
+	many := make([]CoRunner, 50)
+	for i := range many {
+		many[i] = causer
+	}
+	if got := s.PredictInterference(victim, many); got > 1+perfmodel.MaxSlowdown+1e-9 {
+		t.Fatalf("interference uncapped: %v", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := Generate(topology.Power8Minsky(), 2)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Store
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("round trip lost entries: %d vs %d", back.Len(), s.Len())
+	}
+	for _, e := range s.Entries() {
+		got, ok := back.Lookup(e.Key)
+		if !ok || got != e {
+			t.Fatalf("entry %+v changed to %+v", e, got)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var s Store
+	if err := json.Unmarshal([]byte(`{"not":"a list"}`), &s); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	s := Generate(topology.Power8Minsky(), 3)
+	es := s.Entries()
+	for i := 1; i < len(es); i++ {
+		a, b := es[i-1].Key, es[i].Key
+		if a.Model > b.Model ||
+			(a.Model == b.Model && a.Class > b.Class) ||
+			(a.Model == b.Model && a.Class == b.Class && a.GPUs > b.GPUs) {
+			t.Fatalf("entries unsorted at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	tr := perfmodel.Traits{Model: perfmodel.CaffeRef, Class: jobgraph.BatchSmall, GPUs: 3}
+	k := KeyOf(tr)
+	if k.Model != tr.Model || k.Class != tr.Class || k.GPUs != tr.GPUs {
+		t.Fatalf("KeyOf = %+v", k)
+	}
+}
+
+func TestGoogLeNetProfilesLessSensitive(t *testing.T) {
+	s := Generate(topology.Power8Minsky(), 4)
+	alex, _ := s.Lookup(Key{Model: perfmodel.AlexNet, Class: jobgraph.BatchTiny, GPUs: 2})
+	goog, _ := s.Lookup(Key{Model: perfmodel.GoogLeNet, Class: jobgraph.BatchTiny, GPUs: 2})
+	if goog.Sensitivity >= alex.Sensitivity {
+		t.Fatal("GoogLeNet should be less sensitive than AlexNet")
+	}
+	if goog.Pressure >= alex.Pressure {
+		t.Fatal("GoogLeNet should cause less pressure than AlexNet")
+	}
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"gputopo/internal/core"
+	"gputopo/internal/job"
+)
+
+// placeFCFS is the First-Come-First-Served baseline of §5.2: the job at
+// the head of the FIFO queue receives the first free GPUs in index order,
+// with no topology consideration beyond the single-node constraint.
+func (s *Scheduler) placeFCFS(j *job.Job) (*core.Placement, error) {
+	if j.SingleNode {
+		topo := s.state.Topology()
+		for m := 0; m < topo.NumMachines(); m++ {
+			free := s.state.FreeGPUsOnMachine(m)
+			if len(free) >= j.GPUs {
+				return s.mapper.Score(j, s.state, free[:j.GPUs]), nil
+			}
+		}
+		return nil, fmt.Errorf("sched: no machine with %d free GPUs", j.GPUs)
+	}
+	free := s.state.FreeGPUs()
+	if len(free) < j.GPUs {
+		return nil, fmt.Errorf("sched: %d free GPUs for request of %d", len(free), j.GPUs)
+	}
+	return s.mapper.Score(j, s.state, free[:j.GPUs]), nil
+}
+
+// placeBestFit is the Best-Fit bin-packing baseline of §5.2: it allocates
+// "first the GPUs from highly used domains" — machines are tried from the
+// fewest free GPUs that still fit, and within a machine the GPUs of the
+// most-used sockets are taken first.
+func (s *Scheduler) placeBestFit(j *job.Job) (*core.Placement, error) {
+	topo := s.state.Topology()
+	type hostFit struct {
+		machine int
+		free    int
+	}
+	var hosts []hostFit
+	for m := 0; m < topo.NumMachines(); m++ {
+		free := len(s.state.FreeGPUsOnMachine(m))
+		if free > 0 {
+			hosts = append(hosts, hostFit{machine: m, free: free})
+		}
+	}
+	// Tightest fit first; ties by machine index for determinism.
+	sort.Slice(hosts, func(a, b int) bool {
+		if hosts[a].free != hosts[b].free {
+			return hosts[a].free < hosts[b].free
+		}
+		return hosts[a].machine < hosts[b].machine
+	})
+
+	if j.SingleNode {
+		for _, h := range hosts {
+			if h.free >= j.GPUs {
+				gpus := s.bestFitGPUs(h.machine, j.GPUs)
+				return s.mapper.Score(j, s.state, gpus), nil
+			}
+		}
+		return nil, fmt.Errorf("sched: no machine fits %d GPUs", j.GPUs)
+	}
+
+	var gpus []int
+	for _, h := range hosts {
+		need := j.GPUs - len(gpus)
+		if need == 0 {
+			break
+		}
+		take := need
+		if take > h.free {
+			take = h.free
+		}
+		gpus = append(gpus, s.bestFitGPUs(h.machine, take)...)
+	}
+	if len(gpus) < j.GPUs {
+		return nil, fmt.Errorf("sched: %d free GPUs for request of %d", len(gpus), j.GPUs)
+	}
+	return s.mapper.Score(j, s.state, gpus), nil
+}
+
+// bestFitGPUs picks n free GPUs on the machine, preferring the sockets
+// with the most GPUs already in use (bin packing within the machine).
+func (s *Scheduler) bestFitGPUs(machine, n int) []int {
+	topo := s.state.Topology()
+	type socketFit struct {
+		socket int
+		used   int
+		free   []int
+	}
+	var sockets []socketFit
+	for _, sk := range topo.Sockets(machine) {
+		var free []int
+		used := 0
+		for _, pos := range topo.GPUsOfSocket(machine, sk) {
+			if s.state.Owner(pos) == "" {
+				free = append(free, pos)
+			} else {
+				used++
+			}
+		}
+		if len(free) > 0 {
+			sockets = append(sockets, socketFit{socket: sk, used: used, free: free})
+		}
+	}
+	sort.Slice(sockets, func(a, b int) bool {
+		if sockets[a].used != sockets[b].used {
+			return sockets[a].used > sockets[b].used
+		}
+		return sockets[a].socket < sockets[b].socket
+	})
+	var out []int
+	for _, sf := range sockets {
+		for _, pos := range sf.free {
+			if len(out) == n {
+				return out
+			}
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// placeTopoAware implements the topology-aware policies: filter hosts by
+// constraints (Algorithm 1), then run the DRB mapper over each candidate
+// host (or over the whole candidate set for multi-node jobs) and keep the
+// highest-utility solution.
+func (s *Scheduler) placeTopoAware(j *job.Job) (*core.Placement, error) {
+	hosts := s.filterHosts(j)
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("sched: no host satisfies constraints of %s", j.ID)
+	}
+
+	if !j.SingleNode {
+		var candidates []int
+		for _, m := range hosts {
+			candidates = append(candidates, s.state.FreeGPUsOnMachine(m)...)
+		}
+		if len(candidates) < j.GPUs {
+			return nil, fmt.Errorf("sched: %d candidate GPUs for request of %d", len(candidates), j.GPUs)
+		}
+		return s.mapper.Place(j, s.state, candidates)
+	}
+
+	var best *core.Placement
+	for _, m := range hosts {
+		p, err := s.mapper.Place(j, s.state, s.state.FreeGPUsOnMachine(m))
+		if err != nil {
+			continue
+		}
+		if best == nil || p.Utility > best.Utility {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("sched: DRB found no feasible mapping for %s", j.ID)
+	}
+	return best, nil
+}

@@ -1,0 +1,288 @@
+// Package sched implements the scheduler loop of §4.4 (Algorithm 1) and
+// the four placement policies evaluated in §5: the two greedy baselines
+// FCFS (first come first served over a FIFO queue) and Best-Fit (bin
+// packing onto the most-used domains), and the paper's TOPO-AWARE and
+// TOPO-AWARE-P policies driven by the DRB mapper. TOPO-AWARE places a job
+// as soon as resources are available; TOPO-AWARE-P postpones jobs whose
+// best placement scores below their SLO-derived minimum utility and allows
+// out-of-order execution of the jobs behind them.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gputopo/internal/cluster"
+	"gputopo/internal/core"
+	"gputopo/internal/job"
+	"gputopo/internal/perfmodel"
+)
+
+// Policy selects the placement strategy.
+type Policy int
+
+// The four policies of the evaluation (§5.2).
+const (
+	FCFS Policy = iota
+	BestFit
+	TopoAware
+	TopoAwareP
+)
+
+// String returns the policy name as used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "FCFS"
+	case BestFit:
+		return "BF"
+	case TopoAware:
+		return "TOPO-AWARE"
+	case TopoAwareP:
+		return "TOPO-AWARE-P"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// AllPolicies lists every policy, in the paper's presentation order.
+func AllPolicies() []Policy { return []Policy{BestFit, FCFS, TopoAware, TopoAwareP} }
+
+// ParsePolicy maps a policy name to its constant.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "FCFS", "fcfs":
+		return FCFS, nil
+	case "BF", "bf", "bestfit", "best-fit":
+		return BestFit, nil
+	case "TOPO-AWARE", "topo-aware", "topo":
+		return TopoAware, nil
+	case "TOPO-AWARE-P", "topo-aware-p", "topo-p":
+		return TopoAwareP, nil
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q", name)
+}
+
+// Decision records the outcome of one placement attempt.
+type Decision struct {
+	Job       *job.Job
+	Placement *core.Placement // nil when postponed
+	// Postponed is true when the job stayed in the queue this round.
+	Postponed bool
+	// Reason explains a postponement ("no-capacity", "low-utility").
+	Reason string
+	// SLOViolated is true when the job was placed with a utility below
+	// its declared minimum (greedy policies and TOPO-AWARE do this;
+	// TOPO-AWARE-P by construction does not, except on an idle cluster
+	// where no better placement can ever exist).
+	SLOViolated bool
+}
+
+// Stats accumulates scheduler bookkeeping, including the decision-time
+// measurements reported in §5.5.3.
+type Stats struct {
+	Decisions      int
+	Placements     int
+	Postponements  int
+	SLOViolations  int
+	DecisionTime   time.Duration // total time spent deciding
+	MaxDecision    time.Duration
+	queuedAtSubmit int
+}
+
+// MeanDecisionTime returns the average time per placement decision.
+func (s Stats) MeanDecisionTime() time.Duration {
+	if s.Decisions == 0 {
+		return 0
+	}
+	return s.DecisionTime / time.Duration(s.Decisions)
+}
+
+// Scheduler owns the waiting queue and the cluster allocation state.
+type Scheduler struct {
+	policy Policy
+	state  *cluster.State
+	mapper *core.Mapper
+	// queue is kept sorted by arrival time (oldest first) to avoid
+	// starvation (§4.4).
+	queue []*job.Job
+	stats Stats
+}
+
+// New returns a scheduler with the given policy over the state. The mapper
+// is required for the topology-aware policies and used by the greedy ones
+// only to score their decisions for the metrics.
+func New(policy Policy, state *cluster.State, mapper *core.Mapper) *Scheduler {
+	return &Scheduler{policy: policy, state: state, mapper: mapper}
+}
+
+// Policy returns the scheduler's placement policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// State returns the cluster allocation state the scheduler mutates.
+func (s *Scheduler) State() *cluster.State { return s.state }
+
+// Stats returns a copy of the accumulated statistics.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Submit enqueues a job, keeping the queue sorted by arrival time. Jobs
+// arriving in time order (the common case, driven by the event loop)
+// append in O(1).
+func (s *Scheduler) Submit(j *job.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	needSort := len(s.queue) > 0 && j.Arrival < s.queue[len(s.queue)-1].Arrival
+	s.queue = append(s.queue, j)
+	if needSort {
+		sort.SliceStable(s.queue, func(i, k int) bool {
+			return s.queue[i].Arrival < s.queue[k].Arrival
+		})
+	}
+	return nil
+}
+
+// QueueLen returns the number of waiting jobs.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// Queued returns the waiting jobs in queue order.
+func (s *Scheduler) Queued() []*job.Job { return append([]*job.Job(nil), s.queue...) }
+
+// Release frees the allocation of a finished job.
+func (s *Scheduler) Release(jobID string) error { return s.state.Release(jobID) }
+
+// Schedule runs one iteration of Algorithm 1: it walks the waiting queue
+// in arrival order, attempting to place each job, and returns the
+// decisions made. Jobs that cannot be placed stay queued. The in-order
+// policies (FCFS, BF, TOPO-AWARE) stop at the first job blocked on
+// capacity, preserving FIFO fairness; TOPO-AWARE-P skips postponed jobs
+// and continues (out-of-order execution, §4.4).
+func (s *Scheduler) Schedule() []*Decision {
+	var decisions []*Decision
+	var remaining []*job.Job
+	blocked := false
+	for idx, j := range s.queue {
+		if blocked {
+			remaining = append(remaining, s.queue[idx:]...)
+			break
+		}
+		// availableResources(P) gate: skip the placement evaluation
+		// entirely when no machine (or, for multi-node jobs, the whole
+		// cluster) can hold the request. O(1) thanks to the cluster
+		// state's incremental free counters.
+		enough := s.state.MaxFreeGPUs() >= j.GPUs
+		if !j.SingleNode {
+			enough = s.state.FreeGPUCount() >= j.GPUs
+		}
+		if !enough {
+			s.stats.Postponements++
+			decisions = append(decisions, &Decision{Job: j, Postponed: true, Reason: "no-capacity"})
+			remaining = append(remaining, j)
+			if s.policy != TopoAwareP {
+				blocked = true
+			}
+			continue
+		}
+
+		start := time.Now()
+		d := s.tryPlace(j)
+		elapsed := time.Since(start)
+		s.stats.Decisions++
+		s.stats.DecisionTime += elapsed
+		if elapsed > s.stats.MaxDecision {
+			s.stats.MaxDecision = elapsed
+		}
+		decisions = append(decisions, d)
+		if d.Postponed {
+			s.stats.Postponements++
+			remaining = append(remaining, j)
+			if s.policy != TopoAwareP {
+				blocked = true
+			}
+			continue
+		}
+		s.stats.Placements++
+		if d.SLOViolated {
+			s.stats.SLOViolations++
+		}
+	}
+	s.queue = remaining
+	return decisions
+}
+
+// tryPlace attempts to place one job according to the policy, committing
+// the allocation on success.
+func (s *Scheduler) tryPlace(j *job.Job) *Decision {
+	var placement *core.Placement
+	var err error
+	switch s.policy {
+	case FCFS:
+		placement, err = s.placeFCFS(j)
+	case BestFit:
+		placement, err = s.placeBestFit(j)
+	case TopoAware, TopoAwareP:
+		placement, err = s.placeTopoAware(j)
+	}
+	if err != nil {
+		return &Decision{Job: j, Postponed: true, Reason: "no-capacity"}
+	}
+
+	if s.policy == TopoAwareP && placement.Utility < j.MinUtility && !s.clusterIdle() {
+		// Postpone: a better placement may open when jobs finish. On an
+		// idle cluster no future placement can beat this one, so place
+		// best-effort to avoid deadlock.
+		return &Decision{Job: j, Postponed: true, Reason: "low-utility"}
+	}
+
+	if err := s.state.Allocate(j.ID, placement.GPUs, placement.BusDemand, j.Traits()); err != nil {
+		return &Decision{Job: j, Postponed: true, Reason: "no-capacity"}
+	}
+	return &Decision{
+		Job:         j,
+		Placement:   placement,
+		SLOViolated: placement.Utility < j.MinUtility,
+	}
+}
+
+// clusterIdle reports whether no job is currently running.
+func (s *Scheduler) clusterIdle() bool { return len(s.state.Jobs()) == 0 }
+
+// filterHosts implements filterHostsByConstraints (Algorithm 1): machines
+// with enough free GPUs and enough uncommitted shared-bus bandwidth for
+// the job. Returned machine indices are ascending.
+func (s *Scheduler) filterHosts(j *job.Job) []int {
+	topo := s.state.Topology()
+	demand := estimateDemand(j, s.state)
+	var hosts []int
+	for m := 0; m < topo.NumMachines(); m++ {
+		if s.state.FreeCountOnMachine(m) < minGPUsPerHost(j) {
+			continue
+		}
+		if s.state.FreeBusBandwidth(m) < demand {
+			continue
+		}
+		hosts = append(hosts, m)
+	}
+	return hosts
+}
+
+// minGPUsPerHost is the minimum free GPUs a host must offer to be a
+// candidate: all of them for single-node jobs, one otherwise.
+func minGPUsPerHost(j *job.Job) int {
+	if j.SingleNode {
+		return j.GPUs
+	}
+	return 1
+}
+
+// estimateDemand conservatively estimates the job's shared-bus demand
+// using its best-case allocation on the empty topology.
+func estimateDemand(j *job.Job, st *cluster.State) float64 {
+	topo := st.Topology()
+	g := j.GPUs
+	if n := topo.NumGPUs(); g > n {
+		g = n
+	}
+	return perfmodel.BusDemand(j.Model, j.BatchSize, topo, topo.BestAllocation(g))
+}

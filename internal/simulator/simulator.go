@@ -1,0 +1,572 @@
+// Package simulator is the trace-driven cluster simulator of §5.3: a
+// discrete-event engine that drives the scheduler with job arrivals and
+// completions, models job progress as a piecewise-constant iteration rate
+// (base iteration time from the performance model, inflated by the
+// co-location interference of the jobs sharing its machines), and records
+// the per-job and per-policy metrics the paper's figures report.
+//
+// The companion package caffesim plays the role of the paper's prototype:
+// it executes jobs at single-iteration granularity. This simulator
+// abstracts iterations into continuous rates, which is what makes the
+// 10k-job/1k-machine scenarios of §5.5 tractable — mirroring exactly why
+// the authors built a simulator next to their prototype.
+package simulator
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"gputopo/internal/cluster"
+	"gputopo/internal/core"
+	"gputopo/internal/job"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/profile"
+	"gputopo/internal/sched"
+	"gputopo/internal/stats"
+	"gputopo/internal/topology"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Topology is the physical cluster; required.
+	Topology *topology.Topology
+	// Policy selects the placement strategy.
+	Policy sched.Policy
+	// Weights are the utility α coefficients (DefaultWeights when zero).
+	Weights core.Weights
+	// Profiles is the job profile store (generated from the topology
+	// when nil).
+	Profiles *profile.Store
+	// ComputeScale inflates compute times (1.0 = P100-class GPUs).
+	ComputeScale float64
+	// JitterStddev adds relative Gaussian jitter to every job's base
+	// iteration time, emulating run-to-run hardware variability (the
+	// paper repeats every experiment five times, §3.1). 0 disables.
+	JitterStddev float64
+	// Seed drives the jitter RNG.
+	Seed uint64
+	// SampleInterval is the spacing of the bandwidth/utility time series
+	// (seconds); 0 disables sampling.
+	SampleInterval float64
+}
+
+// JobResult records the outcome of one job.
+type JobResult struct {
+	Job     *job.Job
+	GPUs    []int
+	Start   float64 // placement time (s)
+	Finish  float64 // completion time (s)
+	Wait    float64 // Start - Arrival
+	Run     float64 // Finish - Start
+	Ideal   float64 // solo runtime under the best placement
+	Utility float64 // placement utility at decision time
+	P2P     bool
+	// SlowdownQoS is Run/Ideal - 1 (Figure 8e: placement quality only).
+	SlowdownQoS float64
+	// SlowdownQoSWait is (Finish-Arrival)/Ideal - 1 (Figure 8f: placement
+	// quality plus queue waiting).
+	SlowdownQoSWait float64
+	SLOViolated     bool
+	Postponements   int
+}
+
+// Sample is one point of the bandwidth/utility time series.
+type Sample struct {
+	Time float64
+	// P2PBandwidth is the aggregate GPU traffic of jobs whose GPUs all
+	// communicate peer-to-peer (GB/s); RoutedBandwidth covers jobs whose
+	// traffic is routed through host memory (the "GPU-CPU-GPU" series of
+	// Figure 8).
+	P2PBandwidth    float64
+	RoutedBandwidth float64
+	// MeanUtility is the mean placement utility of running jobs
+	// (Figure 9).
+	MeanUtility float64
+	// Running is the number of running jobs.
+	Running int
+}
+
+// Interval is one allocation of a job onto GPUs, for timeline renderings.
+type Interval struct {
+	JobID  string
+	GPUs   []int
+	Start  float64
+	Finish float64
+}
+
+// Result aggregates a full simulation run.
+type Result struct {
+	Policy sched.Policy
+	// Jobs holds per-job results ordered by job ID.
+	Jobs []JobResult
+	// Makespan is the cumulative execution time: the time the last job
+	// finishes (§5.2.2 compares BF ≈461.7s ... TOPO-AWARE-P ≈356.9s).
+	Makespan float64
+	// Timeline holds the placement intervals (Figure 8a–d).
+	Timeline []Interval
+	// Samples is the bandwidth/utility time series.
+	Samples []Sample
+	// SchedStats carries the decision-time measurements (§5.5.3).
+	SchedStats sched.Stats
+}
+
+// SLOViolations counts jobs placed below their minimum utility.
+func (r *Result) SLOViolations() int {
+	n := 0
+	for _, jr := range r.Jobs {
+		if jr.SLOViolated {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanSlowdownQoS returns the average placement-quality slowdown.
+func (r *Result) MeanSlowdownQoS() float64 {
+	xs := make([]float64, len(r.Jobs))
+	for i, jr := range r.Jobs {
+		xs[i] = jr.SlowdownQoS
+	}
+	return stats.Mean(xs)
+}
+
+// MeanSlowdownQoSWait returns the average slowdown including waiting.
+func (r *Result) MeanSlowdownQoSWait() float64 {
+	xs := make([]float64, len(r.Jobs))
+	for i, jr := range r.Jobs {
+		xs[i] = jr.SlowdownQoSWait
+	}
+	return stats.Mean(xs)
+}
+
+// TotalWait returns the summed queue waiting time.
+func (r *Result) TotalWait() float64 {
+	var sum float64
+	for _, jr := range r.Jobs {
+		sum += jr.Wait
+	}
+	return sum
+}
+
+// eventKind orders simultaneous events: finishes free resources before
+// arrivals claim them.
+type eventKind int
+
+const (
+	evFinish eventKind = iota
+	evArrival
+	evSample
+)
+
+type event struct {
+	time float64
+	kind eventKind
+	seq  int
+	job  *job.Job // arrival
+	id   string   // finish
+	gen  int      // finish generation; stale events are skipped
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// runningJob tracks the progress of a placed job.
+type runningJob struct {
+	job        *job.Job
+	gpus       []int
+	machines   []int   // distinct machines spanned by gpus
+	baseIter   float64 // seconds per iteration, placement-dependent, solo
+	remaining  float64 // iterations left
+	rate       float64 // iterations per second right now
+	lastUpdate float64
+	gen        int
+	start      float64
+	utility    float64
+	p2p        bool
+	violated   bool
+	linkUsage  float64 // GB/s while running
+}
+
+// Run executes the simulation of the given jobs (arrival times inside the
+// jobs) and returns the per-job metrics.
+func Run(cfg Config, jobs []*job.Job) (*Result, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("simulator: nil topology")
+	}
+	if cfg.ComputeScale == 0 {
+		cfg.ComputeScale = 1
+	}
+	zero := core.Weights{}
+	if cfg.Weights == zero {
+		cfg.Weights = core.DefaultWeights()
+	}
+	if cfg.Profiles == nil {
+		maxGPUs := cfg.Topology.NumGPUs()
+		if maxGPUs > 8 {
+			maxGPUs = 8
+		}
+		cfg.Profiles = profile.Generate(cfg.Topology, maxGPUs)
+	}
+	mapper, err := core.NewMapper(cfg.Profiles, cfg.Weights)
+	if err != nil {
+		return nil, err
+	}
+
+	st := cluster.NewState(cfg.Topology)
+	scheduler := sched.New(cfg.Policy, st, mapper)
+	rng := stats.NewRNG(cfg.Seed)
+
+	sim := &engine{
+		cfg:       cfg,
+		state:     st,
+		scheduler: scheduler,
+		running:   map[string]*runningJob{},
+		byMachine: map[int]map[string]*runningJob{},
+		postpones: map[string]int{},
+		rng:       rng,
+	}
+
+	seq := 0
+	ids := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		if ids[j.ID] {
+			return nil, fmt.Errorf("simulator: duplicate job ID %q", j.ID)
+		}
+		ids[j.ID] = true
+		heap.Push(&sim.events, event{time: j.Arrival, kind: evArrival, seq: seq, job: j})
+		seq++
+	}
+	sim.seq = seq
+	if cfg.SampleInterval > 0 {
+		heap.Push(&sim.events, event{time: 0, kind: evSample, seq: sim.nextSeq()})
+	}
+
+	if err := sim.loop(len(jobs)); err != nil {
+		return nil, err
+	}
+
+	sort.Slice(sim.results, func(i, j int) bool {
+		return sim.results[i].Job.ID < sim.results[j].Job.ID
+	})
+	sort.Slice(sim.timeline, func(i, j int) bool {
+		if sim.timeline[i].Start != sim.timeline[j].Start {
+			return sim.timeline[i].Start < sim.timeline[j].Start
+		}
+		return sim.timeline[i].JobID < sim.timeline[j].JobID
+	})
+	return &Result{
+		Policy:     cfg.Policy,
+		Jobs:       sim.results,
+		Makespan:   sim.makespan,
+		Timeline:   sim.timeline,
+		Samples:    sim.samples,
+		SchedStats: scheduler.Stats(),
+	}, nil
+}
+
+type engine struct {
+	cfg       Config
+	state     *cluster.State
+	scheduler *sched.Scheduler
+	events    eventHeap
+	seq       int
+	now       float64
+	running   map[string]*runningJob
+	byMachine map[int]map[string]*runningJob
+	postpones map[string]int
+	results   []JobResult
+	timeline  []Interval
+	samples   []Sample
+	makespan  float64
+	finished  int
+	rng       *stats.RNG
+}
+
+func (e *engine) nextSeq() int {
+	e.seq++
+	return e.seq
+}
+
+func (e *engine) loop(totalJobs int) error {
+	guard := 0
+	for e.events.Len() > 0 {
+		guard++
+		if guard > 200*totalJobs+1_000_000 {
+			return fmt.Errorf("simulator: event budget exceeded (livelock?)")
+		}
+		ev := heap.Pop(&e.events).(event)
+		if ev.time < e.now-1e-9 {
+			return fmt.Errorf("simulator: time went backwards (%.6f -> %.6f)", e.now, ev.time)
+		}
+		if ev.time > e.now {
+			e.now = ev.time
+		}
+		switch ev.kind {
+		case evArrival:
+			if err := e.scheduler.Submit(ev.job); err != nil {
+				return err
+			}
+			e.runScheduler()
+		case evFinish:
+			r, ok := e.running[ev.id]
+			if !ok || r.gen != ev.gen {
+				continue // stale
+			}
+			if err := e.finish(r); err != nil {
+				return err
+			}
+			e.runScheduler()
+		case evSample:
+			e.takeSample()
+			if e.finished < totalJobs {
+				heap.Push(&e.events, event{
+					time: ev.time + e.cfg.SampleInterval,
+					kind: evSample,
+					seq:  e.nextSeq(),
+				})
+			}
+		}
+		if e.finished == totalJobs && e.scheduler.QueueLen() == 0 && !e.hasPending() {
+			break
+		}
+	}
+	if e.finished != totalJobs {
+		return fmt.Errorf("simulator: only %d of %d jobs finished", e.finished, totalJobs)
+	}
+	return nil
+}
+
+func (e *engine) hasPending() bool {
+	for _, ev := range e.events {
+		if ev.kind != evSample {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceJob integrates one job's progress up to time t at its current
+// rate. Jobs advance lazily — only when their rate is about to change or
+// they finish — so event cost scales with affected machines, not with the
+// total number of running jobs.
+func (e *engine) advanceJob(r *runningJob, t float64) {
+	elapsed := t - r.lastUpdate
+	if elapsed > 0 {
+		r.remaining -= elapsed * r.rate
+		if r.remaining < 0 {
+			r.remaining = 0
+		}
+		r.lastUpdate = t
+	}
+}
+
+// runScheduler performs one Algorithm 1 iteration, starts any placed jobs,
+// and refreshes the rates of every job on the machines those placements
+// touched.
+func (e *engine) runScheduler() {
+	decisions := e.scheduler.Schedule()
+	affected := map[int]bool{}
+	for _, d := range decisions {
+		if d.Postponed {
+			e.postpones[d.Job.ID]++
+			continue
+		}
+		for _, m := range e.start(d) {
+			affected[m] = true
+		}
+	}
+	if len(affected) > 0 {
+		e.refreshMachines(affected)
+	}
+}
+
+func (e *engine) start(d *sched.Decision) []int {
+	j := d.Job
+	baseIter := perfmodel.IterationTimeMode(j.Model, j.BatchSize, e.cfg.Topology, d.Placement.GPUs, e.cfg.ComputeScale, j.Parallelism)
+	if e.cfg.JitterStddev > 0 {
+		f := e.rng.Normal(1, e.cfg.JitterStddev)
+		if f < 0.5 {
+			f = 0.5
+		}
+		baseIter *= f
+	}
+	r := &runningJob{
+		job:        j,
+		gpus:       d.Placement.GPUs,
+		machines:   e.state.MachinesOf(d.Placement.GPUs),
+		baseIter:   baseIter,
+		remaining:  float64(j.Iterations),
+		rate:       1 / baseIter,
+		lastUpdate: e.now,
+		start:      e.now,
+		utility:    d.Placement.Utility,
+		p2p:        d.Placement.P2P,
+		violated:   d.SLOViolated,
+		linkUsage:  perfmodel.AverageLinkUsage(j.Model, j.BatchSize, e.cfg.Topology, d.Placement.GPUs),
+	}
+	e.running[j.ID] = r
+	for _, m := range r.machines {
+		jobs := e.byMachine[m]
+		if jobs == nil {
+			jobs = map[string]*runningJob{}
+			e.byMachine[m] = jobs
+		}
+		jobs[j.ID] = r
+	}
+	return r.machines
+}
+
+// refreshMachines advances, re-rates and re-arms every job running on the
+// given machines.
+func (e *engine) refreshMachines(machines map[int]bool) {
+	seen := map[string]bool{}
+	for m := range machines {
+		for id, r := range e.byMachine[m] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			e.advanceJob(r, e.now)
+			slow := e.interferenceOn(r)
+			r.rate = 1 / (r.baseIter * (1 + slow))
+			r.gen++
+			heap.Push(&e.events, event{
+				time: e.now + r.remaining/r.rate,
+				kind: evFinish,
+				seq:  e.nextSeq(),
+				id:   id,
+				gen:  r.gen,
+			})
+		}
+	}
+}
+
+func (e *engine) finish(r *runningJob) error {
+	e.advanceJob(r, e.now)
+	if err := e.scheduler.Release(r.job.ID); err != nil {
+		return err
+	}
+	delete(e.running, r.job.ID)
+	for _, m := range r.machines {
+		delete(e.byMachine[m], r.job.ID)
+		if len(e.byMachine[m]) == 0 {
+			delete(e.byMachine, m)
+		}
+	}
+	e.finished++
+	if e.now > e.makespan {
+		e.makespan = e.now
+	}
+
+	ideal := e.idealTime(r.job)
+	run := e.now - r.start
+	wait := r.start - r.job.Arrival
+	e.results = append(e.results, JobResult{
+		Job:             r.job,
+		GPUs:            r.gpus,
+		Start:           r.start,
+		Finish:          e.now,
+		Wait:            wait,
+		Run:             run,
+		Ideal:           ideal,
+		Utility:         r.utility,
+		P2P:             r.p2p,
+		SlowdownQoS:     math.Max(0, run/ideal-1),
+		SlowdownQoSWait: math.Max(0, (e.now-r.job.Arrival)/ideal-1),
+		SLOViolated:     r.violated,
+		Postponements:   e.postpones[r.job.ID],
+	})
+	e.timeline = append(e.timeline, Interval{
+		JobID:  r.job.ID,
+		GPUs:   r.gpus,
+		Start:  r.start,
+		Finish: e.now,
+	})
+	// Co-runners on the freed machines speed up.
+	affected := map[int]bool{}
+	for _, m := range r.machines {
+		affected[m] = true
+	}
+	e.refreshMachines(affected)
+	return nil
+}
+
+// idealTime is the job's solo runtime under its best possible placement on
+// an empty cluster — the "fastest execution time" baseline of Figure 8e/f.
+func (e *engine) idealTime(j *job.Job) float64 {
+	topo := e.cfg.Topology
+	g := j.GPUs
+	if n := topo.NumGPUs(); g > n {
+		g = n
+	}
+	best := topo.BestAllocation(g)
+	return float64(j.Iterations) * perfmodel.IterationTimeMode(j.Model, j.BatchSize, topo, best, e.cfg.ComputeScale, j.Parallelism)
+}
+
+// interferenceOn returns the current fractional slowdown of the victim
+// from the jobs co-running on its machines, using the same calibrated
+// sensitivity×pressure model the profiles are generated from (Figure 6).
+func (e *engine) interferenceOn(victim *runningJob) float64 {
+	topo := e.cfg.Topology
+	var sum float64
+	seen := map[string]bool{victim.job.ID: true}
+	for _, m := range victim.machines {
+		for id, other := range e.byMachine[m] {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			locality := perfmodel.SameMachine
+			for _, g := range victim.gpus {
+				for _, og := range other.gpus {
+					if topo.SameSocket(g, og) {
+						locality = perfmodel.SameSocket
+					}
+				}
+			}
+			sum += perfmodel.CoLocationSlowdown(victim.job.Traits(), other.job.Traits(), locality)
+		}
+	}
+	return perfmodel.CapSlowdown(sum)
+}
+
+func (e *engine) takeSample() {
+	s := Sample{Time: e.now, Running: len(e.running)}
+	var utilSum float64
+	for _, r := range e.running {
+		if r.p2p || len(r.gpus) < 2 {
+			s.P2PBandwidth += r.linkUsage
+		} else {
+			s.RoutedBandwidth += r.linkUsage
+		}
+		utilSum += r.utility
+	}
+	if len(e.running) > 0 {
+		s.MeanUtility = utilSum / float64(len(e.running))
+	}
+	e.samples = append(e.samples, s)
+}

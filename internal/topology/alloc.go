@@ -1,0 +1,124 @@
+package topology
+
+import "sort"
+
+// PairwiseDistance returns the sum of pairwise shortest-path distances
+// among the GPU positions in set — the communication cost t of Eq. 3.
+func (t *Topology) PairwiseDistance(set []int) float64 {
+	var sum float64
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			sum += t.Distance(set[i], set[j])
+		}
+	}
+	return sum
+}
+
+// BestAllocation returns g GPU positions minimizing the pairwise distance
+// sum on an empty topology — the ideal placement the utility function
+// normalizes against. Results are cached per g and must not be mutated.
+func (t *Topology) BestAllocation(g int) []int {
+	return t.extremeAllocation(g, false)
+}
+
+// WorstAllocation returns g GPU positions maximizing the pairwise distance
+// sum — the worst case t_w of the objective function (Eq. 1). Results are
+// cached per g and must not be mutated.
+func (t *Topology) WorstAllocation(g int) []int {
+	return t.extremeAllocation(g, true)
+}
+
+// BestCommCost returns the pairwise-distance sum of the best allocation of
+// g GPUs (0 for g < 2).
+func (t *Topology) BestCommCost(g int) float64 {
+	if g < 2 {
+		return 0
+	}
+	return t.PairwiseDistance(t.BestAllocation(g))
+}
+
+// WorstCommCost returns the pairwise-distance sum of the worst allocation
+// of g GPUs (0 for g < 2).
+func (t *Topology) WorstCommCost(g int) float64 {
+	if g < 2 {
+		return 0
+	}
+	return t.PairwiseDistance(t.WorstAllocation(g))
+}
+
+// extremeAllocation greedily grows a GPU set from a set of seeds, keeping
+// the set with extreme pairwise distance. Machines hold at most 8 GPUs, so
+// greedy growth matches the exhaustive optimum on the topologies built
+// here (verified by tests against brute force). On clusters with many
+// identical machines the seed set is limited to the first two machines —
+// by symmetry every extreme allocation is reachable from them.
+func (t *Topology) extremeAllocation(g int, maximize bool) []int {
+	n := len(t.gpus)
+	if g <= 0 {
+		return nil
+	}
+	if g > n {
+		g = n
+	}
+	t.mu.Lock()
+	cache := t.extremeMin
+	if maximize {
+		cache = t.extremeMax
+	}
+	if got, ok := cache[g]; ok {
+		t.mu.Unlock()
+		return got
+	}
+	t.mu.Unlock()
+
+	var result []int
+	if g == n {
+		result = make([]int, n)
+		for i := range result {
+			result[i] = i
+		}
+	} else {
+		seedLimit := n
+		if len(t.machineStart) > 2 && n > 16 {
+			seedLimit = t.machineStart[2] // GPUs of the first two machines
+		}
+		bestScore := 0.0
+		var bestSet []int
+		used := make([]bool, n)
+		for seed := 0; seed < seedLimit; seed++ {
+			set := append(make([]int, 0, g), seed)
+			for i := range used {
+				used[i] = false
+			}
+			used[seed] = true
+			for len(set) < g {
+				cand, candScore := -1, 0.0
+				for v := 0; v < n; v++ {
+					if used[v] {
+						continue
+					}
+					var d float64
+					for _, u := range set {
+						d += t.Distance(u, v)
+					}
+					if cand == -1 || (maximize && d > candScore) || (!maximize && d < candScore) {
+						cand, candScore = v, d
+					}
+				}
+				set = append(set, cand)
+				used[cand] = true
+			}
+			score := t.PairwiseDistance(set)
+			if bestSet == nil || (maximize && score > bestScore) || (!maximize && score < bestScore) {
+				bestScore, bestSet = score, set
+			}
+		}
+		sort.Ints(bestSet)
+		result = bestSet
+	}
+
+	t.mu.Lock()
+	cache[g] = result
+	t.mu.Unlock()
+	return result
+}

@@ -1,0 +1,232 @@
+package topology
+
+import "fmt"
+
+// LevelWeights parameterizes the qualitative distance weights so the
+// ablation benchmark can vary them. Zero values fall back to the defaults.
+type LevelWeights struct {
+	GPUPeer float64 // direct GPU-GPU edge
+	GPULink float64 // GPU to switch/socket
+	Switch  float64 // switch to socket
+	Socket  float64 // socket to machine
+	Machine float64 // machine to network
+}
+
+// DefaultWeights returns the weights of Figure 7.
+func DefaultWeights() LevelWeights {
+	return LevelWeights{
+		GPUPeer: WeightGPUPeer,
+		GPULink: WeightGPULink,
+		Switch:  WeightSwitch,
+		Socket:  WeightSocket,
+		Machine: WeightMachine,
+	}
+}
+
+func (w LevelWeights) orDefault() LevelWeights {
+	d := DefaultWeights()
+	if w.GPUPeer == 0 {
+		w.GPUPeer = d.GPUPeer
+	}
+	if w.GPULink == 0 {
+		w.GPULink = d.GPULink
+	}
+	if w.Switch == 0 {
+		w.Switch = d.Switch
+	}
+	if w.Socket == 0 {
+		w.Socket = d.Socket
+	}
+	if w.Machine == 0 {
+		w.Machine = d.Machine
+	}
+	return w
+}
+
+// Power8Minsky builds the IBM Power8 S822LC "Minsky" machine of §3.1 and
+// Figure 1: two sockets, two P100 GPUs per socket, dual-lane NVLink
+// (40 GB/s) both between the GPUs of a socket and from each GPU to its
+// socket, and an X-Bus between the sockets.
+func Power8Minsky() *Topology { return Power8MinskyWeights(DefaultWeights()) }
+
+// Power8MinskyWeights is Power8Minsky with custom level weights.
+func Power8MinskyWeights(w LevelWeights) *Topology {
+	b := NewBuilder("Power8-Minsky")
+	b.SetRoutingPenalty(3.5)
+	addMinskyMachine(b, 0, w.orDefault(), -1)
+	return b.Build()
+}
+
+// addMinskyMachine appends one Minsky machine (index m) to the builder.
+// If netID >= 0 the machine vertex is linked to that network vertex.
+func addMinskyMachine(b *Builder, m int, w LevelWeights, netID int) {
+	mID := b.AddNode(LevelMachine, fmt.Sprintf("M%d", m), m, -1, -1)
+	if netID >= 0 {
+		b.AddLink(netID, mID, LinkNetwork, BandwidthNetwork, w.Machine)
+	}
+	for s := 0; s < 2; s++ {
+		sID := b.AddNode(LevelSocket, fmt.Sprintf("M%d/S%d", m, s), m, s, -1)
+		b.AddLink(mID, sID, LinkXBus, BandwidthXBus, w.Socket)
+		g0 := b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, 2*s), m, s, 2*s)
+		g1 := b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, 2*s+1), m, s, 2*s+1)
+		// Dual NVLink GPU-to-GPU within the socket and GPU-to-CPU.
+		b.AddLink(g0, g1, LinkNVLink2, BandwidthNVLink2, w.GPUPeer)
+		b.AddLink(g0, sID, LinkNVLink2, BandwidthNVLink2, w.GPULink)
+		b.AddLink(g1, sID, LinkNVLink2, BandwidthNVLink2, w.GPULink)
+	}
+}
+
+// PCIeBox builds the PCIe-Gen3 comparison machine of §3.2: the same
+// two-socket, four-GPU layout but with K80-class GPUs attached through
+// PCIe switches instead of NVLink. Its routing penalty is lower (2.5 vs
+// the NVLink machine's 3.5) because transfers were already staged over
+// PCIe, matching the smaller pack-vs-spread gap measured on that machine.
+func PCIeBox() *Topology {
+	w := DefaultWeights()
+	b := NewBuilder("Power8-PCIe")
+	b.SetRoutingPenalty(2.5)
+	m := 0
+	mID := b.AddNode(LevelMachine, "M0", m, -1, -1)
+	for s := 0; s < 2; s++ {
+		sID := b.AddNode(LevelSocket, fmt.Sprintf("M0/S%d", s), m, s, -1)
+		b.AddLink(mID, sID, LinkXBus, BandwidthXBus, w.Socket)
+		swID := b.AddNode(LevelSwitch, fmt.Sprintf("M0/SW%d", s), m, s, -1)
+		b.AddLink(sID, swID, LinkPCIe, BandwidthPCIe, w.Switch)
+		for k := 0; k < 2; k++ {
+			idx := 2*s + k
+			g := b.AddNode(LevelGPU, fmt.Sprintf("M0/GPU%d", idx), m, s, idx)
+			b.AddLink(g, swID, LinkPCIe, BandwidthPCIe, w.GPULink)
+		}
+	}
+	return b.Build()
+}
+
+// DGX1 builds the NVIDIA DGX-1 of Figure 1: eight P100s in a hybrid
+// cube-mesh of single-lane NVLinks (the 12 cube edges plus the diagonals of
+// two faces), each GPU also hanging off a PCIe switch (two GPUs per switch,
+// two switches per socket).
+func DGX1() *Topology {
+	w := DefaultWeights()
+	b := NewBuilder("DGX-1")
+	b.SetRoutingPenalty(3.5)
+	m := 0
+	mID := b.AddNode(LevelMachine, "M0", m, -1, -1)
+	var sw [4]int
+	for s := 0; s < 2; s++ {
+		sID := b.AddNode(LevelSocket, fmt.Sprintf("M0/S%d", s), m, s, -1)
+		b.AddLink(mID, sID, LinkXBus, BandwidthXBus, w.Socket)
+		for k := 0; k < 2; k++ {
+			swIdx := 2*s + k
+			sw[swIdx] = b.AddNode(LevelSwitch, fmt.Sprintf("M0/SW%d", swIdx), m, s, -1)
+			b.AddLink(sID, sw[swIdx], LinkPCIe, BandwidthPCIe, w.Switch)
+		}
+	}
+	var gpu [8]int
+	for i := 0; i < 8; i++ {
+		s := i / 4
+		gpu[i] = b.AddNode(LevelGPU, fmt.Sprintf("M0/GPU%d", i), m, s, i)
+		b.AddLink(gpu[i], sw[i/2], LinkPCIe, BandwidthPCIe, w.GPULink)
+	}
+	// Hybrid cube-mesh NVLink edges: cube edges + two face diagonals.
+	nvPairs := [][2]int{
+		// Top face (socket 0) ring and bottom face (socket 1) ring.
+		{0, 1}, {1, 3}, {3, 2}, {2, 0},
+		{4, 5}, {5, 7}, {7, 6}, {6, 4},
+		// Vertical cube edges.
+		{0, 4}, {1, 5}, {2, 6}, {3, 7},
+		// Diagonals of two faces.
+		{0, 3}, {1, 2}, {4, 7}, {5, 6},
+	}
+	for _, p := range nvPairs {
+		b.AddLink(gpu[p[0]], gpu[p[1]], LinkNVLink, BandwidthNVLink, w.GPUPeer)
+	}
+	return b.Build()
+}
+
+// MachineKind selects the per-machine layout for cluster topologies.
+type MachineKind int
+
+// Supported machine layouts.
+const (
+	KindMinsky MachineKind = iota
+	KindDGX1
+	KindPCIeBox
+)
+
+// Cluster builds a homogeneous cluster of n machines joined by a network
+// vertex. The simulated large-scale scenarios of §5.5 use Minsky machines
+// ("all simulated machines are homogeneous and follow the hardware topology
+// described in Section 3.1").
+func Cluster(n int, kind MachineKind) *Topology {
+	w := DefaultWeights()
+	name := fmt.Sprintf("Cluster-%dx", n)
+	b := NewBuilder(name)
+	switch kind {
+	case KindMinsky:
+		b.t.Name += "Minsky"
+		b.SetRoutingPenalty(3.5)
+	case KindDGX1:
+		b.t.Name += "DGX1"
+		b.SetRoutingPenalty(3.5)
+	case KindPCIeBox:
+		b.t.Name += "PCIe"
+		b.SetRoutingPenalty(2.5)
+	}
+	netID := b.AddNode(LevelNetwork, "Net", -1, -1, -1)
+	for m := 0; m < n; m++ {
+		switch kind {
+		case KindMinsky:
+			addMinskyMachine(b, m, w, netID)
+		case KindDGX1, KindPCIeBox:
+			// For cluster simulations the paper uses Minsky nodes; DGX-1
+			// and PCIe clusters are provided for completeness.
+			addClusterMachine(b, m, kind, w, netID)
+		}
+	}
+	return b.Build()
+}
+
+func addClusterMachine(b *Builder, m int, kind MachineKind, w LevelWeights, netID int) {
+	mID := b.AddNode(LevelMachine, fmt.Sprintf("M%d", m), m, -1, -1)
+	b.AddLink(netID, mID, LinkNetwork, BandwidthNetwork, w.Machine)
+	switch kind {
+	case KindPCIeBox:
+		for s := 0; s < 2; s++ {
+			sID := b.AddNode(LevelSocket, fmt.Sprintf("M%d/S%d", m, s), m, s, -1)
+			b.AddLink(mID, sID, LinkXBus, BandwidthXBus, w.Socket)
+			swID := b.AddNode(LevelSwitch, fmt.Sprintf("M%d/SW%d", m, s), m, s, -1)
+			b.AddLink(sID, swID, LinkPCIe, BandwidthPCIe, w.Switch)
+			for k := 0; k < 2; k++ {
+				idx := 2*s + k
+				g := b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, idx), m, s, idx)
+				b.AddLink(g, swID, LinkPCIe, BandwidthPCIe, w.GPULink)
+			}
+		}
+	case KindDGX1:
+		var sw [4]int
+		for s := 0; s < 2; s++ {
+			sID := b.AddNode(LevelSocket, fmt.Sprintf("M%d/S%d", m, s), m, s, -1)
+			b.AddLink(mID, sID, LinkXBus, BandwidthXBus, w.Socket)
+			for k := 0; k < 2; k++ {
+				swIdx := 2*s + k
+				sw[swIdx] = b.AddNode(LevelSwitch, fmt.Sprintf("M%d/SW%d", m, swIdx), m, s, -1)
+				b.AddLink(sID, sw[swIdx], LinkPCIe, BandwidthPCIe, w.Switch)
+			}
+		}
+		var gpu [8]int
+		for i := 0; i < 8; i++ {
+			s := i / 4
+			gpu[i] = b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, i), m, s, i)
+			b.AddLink(gpu[i], sw[i/2], LinkPCIe, BandwidthPCIe, w.GPULink)
+		}
+		nvPairs := [][2]int{
+			{0, 1}, {1, 3}, {3, 2}, {2, 0},
+			{4, 5}, {5, 7}, {7, 6}, {6, 4},
+			{0, 4}, {1, 5}, {2, 6}, {3, 7},
+			{0, 3}, {1, 2}, {4, 7}, {5, 6},
+		}
+		for _, p := range nvPairs {
+			b.AddLink(gpu[p[0]], gpu[p[1]], LinkNVLink, BandwidthNVLink, w.GPUPeer)
+		}
+	}
+}

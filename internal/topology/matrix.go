@@ -1,0 +1,308 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The prototype in the paper discovers the GPU topology at startup by
+// running `nvidia-smi topo --matrix` and `numactl --hardware` (§5.1). We
+// reproduce that code path with a parser for the same matrix format, so a
+// Topology can be built from discovery output instead of a hard-coded
+// builder. The recognized connectivity tokens follow nvidia-smi:
+//
+//	NV2  dual-lane NVLink between the two GPUs
+//	NV1  single-lane NVLink
+//	PIX  same PCIe switch
+//	PHB  same socket, through the host bridge
+//	SYS  across sockets, through the system bus
+//	X    the diagonal
+//
+// Socket membership is inferred from connectivity: GPUs joined by NV#, PIX
+// or PHB share a socket; SYS separates sockets.
+
+// ParseMatrix builds a single-machine topology from an nvidia-smi-style
+// connectivity matrix. The first line must be a header of GPU names; each
+// subsequent line is "GPUi TOKEN TOKEN ..." with exactly one token per GPU.
+// Extra columns (e.g. "CPU Affinity") are ignored.
+func ParseMatrix(text string) (*Topology, error) {
+	lines := nonEmptyLines(text)
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("topology: matrix needs a header and at least one row")
+	}
+	header := strings.Fields(lines[0])
+	var gpuNames []string
+	for _, h := range header {
+		if strings.HasPrefix(h, "GPU") {
+			gpuNames = append(gpuNames, h)
+		}
+	}
+	n := len(gpuNames)
+	if n == 0 {
+		return nil, fmt.Errorf("topology: no GPU columns in header %q", lines[0])
+	}
+	if len(lines)-1 < n {
+		return nil, fmt.Errorf("topology: matrix has %d rows for %d GPUs", len(lines)-1, n)
+	}
+
+	tokens := make([][]string, n)
+	for i := 0; i < n; i++ {
+		fields := strings.Fields(lines[i+1])
+		if len(fields) < n+1 {
+			return nil, fmt.Errorf("topology: row %q has %d fields, want >= %d", lines[i+1], len(fields), n+1)
+		}
+		if fields[0] != gpuNames[i] {
+			return nil, fmt.Errorf("topology: row %d is %q, want %q", i, fields[0], gpuNames[i])
+		}
+		tokens[i] = fields[1 : n+1]
+	}
+
+	// Validate tokens and symmetry.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			tok := tokens[i][j]
+			if i == j {
+				if tok != "X" {
+					return nil, fmt.Errorf("topology: diagonal entry (%d,%d) is %q, want X", i, j, tok)
+				}
+				continue
+			}
+			switch tok {
+			case "NV1", "NV2", "PIX", "PHB", "SYS":
+			default:
+				return nil, fmt.Errorf("topology: unknown connectivity token %q at (%d,%d)", tok, i, j)
+			}
+			if tokens[j][i] != tok {
+				return nil, fmt.Errorf("topology: matrix asymmetric at (%d,%d): %q vs %q", i, j, tok, tokens[j][i])
+			}
+		}
+	}
+
+	// Union-find over "same socket" relations (anything but SYS).
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if tokens[i][j] != "SYS" {
+				union(i, j)
+			}
+		}
+	}
+	socketOf := make([]int, n)
+	next := 0
+	rootSocket := map[int]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, ok := rootSocket[r]; !ok {
+			rootSocket[r] = next
+			next++
+		}
+		socketOf[i] = rootSocket[r]
+	}
+	numSockets := next
+
+	w := DefaultWeights()
+	b := NewBuilder("discovered")
+	b.SetRoutingPenalty(3.5)
+	mID := b.AddNode(LevelMachine, "M0", 0, -1, -1)
+	socketID := make([]int, numSockets)
+	for s := 0; s < numSockets; s++ {
+		socketID[s] = b.AddNode(LevelSocket, fmt.Sprintf("M0/S%d", s), 0, s, -1)
+		b.AddLink(mID, socketID[s], LinkXBus, BandwidthXBus, w.Socket)
+	}
+
+	// PIX pairs share a switch; build one switch per PIX-connected group.
+	switchOf := make([]int, n) // switch node ID per GPU, 0 = none yet
+	for i := range switchOf {
+		switchOf[i] = -1
+	}
+	gpuID := make([]int, n)
+	for i := 0; i < n; i++ {
+		gpuID[i] = b.AddNode(LevelGPU, fmt.Sprintf("M0/GPU%d", i), 0, socketOf[i], i)
+	}
+	swCount := 0
+	needsSwitch := func(i int) bool {
+		for j := 0; j < n; j++ {
+			if j != i && tokens[i][j] == "PIX" {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if switchOf[i] != -1 || !needsSwitch(i) {
+			continue
+		}
+		sw := b.AddNode(LevelSwitch, fmt.Sprintf("M0/SW%d", swCount), 0, socketOf[i], -1)
+		swCount++
+		b.AddLink(socketID[socketOf[i]], sw, LinkPCIe, BandwidthPCIe, w.Switch)
+		switchOf[i] = sw
+		b.AddLink(gpuID[i], sw, LinkPCIe, BandwidthPCIe, w.GPULink)
+		for j := i + 1; j < n; j++ {
+			if tokens[i][j] == "PIX" && switchOf[j] == -1 {
+				switchOf[j] = sw
+				b.AddLink(gpuID[j], sw, LinkPCIe, BandwidthPCIe, w.GPULink)
+			}
+		}
+	}
+	// GPUs without a switch attach straight to their socket. NVLink-to-host
+	// machines (Minsky) use NVLink2 for the host link when the GPU has any
+	// NV2 peer; otherwise PCIe.
+	for i := 0; i < n; i++ {
+		if switchOf[i] != -1 {
+			continue
+		}
+		hostNVLink := false
+		for j := 0; j < n; j++ {
+			if j != i && tokens[i][j] == "NV2" {
+				hostNVLink = true
+			}
+		}
+		if hostNVLink {
+			b.AddLink(gpuID[i], socketID[socketOf[i]], LinkNVLink2, BandwidthNVLink2, w.GPULink)
+		} else {
+			b.AddLink(gpuID[i], socketID[socketOf[i]], LinkPCIe, BandwidthPCIe, w.GPULink)
+		}
+	}
+	// Direct NVLink edges.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch tokens[i][j] {
+			case "NV2":
+				b.AddLink(gpuID[i], gpuID[j], LinkNVLink2, BandwidthNVLink2, w.GPUPeer)
+			case "NV1":
+				b.AddLink(gpuID[i], gpuID[j], LinkNVLink, BandwidthNVLink, w.GPUPeer)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// RenderMatrix emits the nvidia-smi-style connectivity matrix of a
+// single-machine topology — the inverse of ParseMatrix, used by the topoviz
+// tool and by round-trip tests.
+func (t *Topology) RenderMatrix() string {
+	n := t.NumGPUs()
+	var sb strings.Builder
+	sb.WriteString("     ")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%-6s", fmt.Sprintf("GPU%d", i))
+	}
+	sb.WriteString("\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%-5s", fmt.Sprintf("GPU%d", i))
+		for j := 0; j < n; j++ {
+			fmt.Fprintf(&sb, "%-6s", t.connectivityToken(i, j))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func (t *Topology) connectivityToken(i, j int) string {
+	if i == j {
+		return "X"
+	}
+	gi, gj := t.gpus[i], t.gpus[j]
+	lo, hi := gi, gj
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for _, l := range t.links {
+		if l.A == lo && l.B == hi {
+			if l.Type == LinkNVLink2 {
+				return "NV2"
+			}
+			if l.Type == LinkNVLink {
+				return "NV1"
+			}
+		}
+	}
+	if !t.SameMachine(i, j) {
+		return "SYS"
+	}
+	if !t.SameSocket(i, j) {
+		return "SYS"
+	}
+	if t.P2P(i, j) {
+		return "PIX"
+	}
+	return "PHB"
+}
+
+// RenderTree emits an indented textual rendering of the topology hierarchy
+// with link annotations, for the topoviz tool and documentation.
+func (t *Topology) RenderTree() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (routing penalty %.1f)\n", t.Name, t.RoutingPenalty)
+	type adj struct {
+		to   int
+		link Link
+	}
+	children := map[int][]adj{}
+	isChild := make([]bool, len(t.nodes))
+	for _, l := range t.links {
+		na, nb := t.nodes[l.A], t.nodes[l.B]
+		switch {
+		case na.Level < nb.Level:
+			children[l.A] = append(children[l.A], adj{to: l.B, link: l})
+			isChild[l.B] = true
+		case nb.Level < na.Level:
+			children[l.B] = append(children[l.B], adj{to: l.A, link: l})
+			isChild[l.A] = true
+		}
+	}
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		fmt.Fprintf(&sb, "%s%s\n", strings.Repeat("  ", depth), t.nodes[id].Name)
+		kids := children[id]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].to < kids[j].to })
+		for _, k := range kids {
+			fmt.Fprintf(&sb, "%s[%s %.0fGB/s w=%.0f]\n",
+				strings.Repeat("  ", depth+1), k.link.Type, k.link.Bandwidth, k.link.Weight)
+			walk(k.to, depth+1)
+		}
+	}
+	for _, n := range t.nodes {
+		if !isChild[n.ID] && n.Level != LevelGPU {
+			walk(n.ID, 0)
+		}
+	}
+	// Peer NVLink edges are not part of the tree; list them separately.
+	var peers []Link
+	for _, l := range t.links {
+		if t.nodes[l.A].Level == LevelGPU && t.nodes[l.B].Level == LevelGPU {
+			peers = append(peers, l)
+		}
+	}
+	if len(peers) > 0 {
+		sb.WriteString("peer links:\n")
+		for _, l := range peers {
+			fmt.Fprintf(&sb, "  %s -- %s [%s %.0fGB/s w=%.0f]\n",
+				t.nodes[l.A].Name, t.nodes[l.B].Name, l.Type, l.Bandwidth, l.Weight)
+		}
+	}
+	return sb.String()
+}
+
+func nonEmptyLines(text string) []string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) != "" {
+			out = append(out, line)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+const minskyMatrix = `
+     GPU0  GPU1  GPU2  GPU3  CPUAffinity
+GPU0 X     NV2   SYS   SYS   0-7
+GPU1 NV2   X     SYS   SYS   0-7
+GPU2 SYS   SYS   X     NV2   8-15
+GPU3 SYS   SYS   NV2   X     8-15
+`
+
+func TestParseMatrixMinsky(t *testing.T) {
+	topo, err := ParseMatrix(minskyMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 4 {
+		t.Fatalf("GPUs = %d", topo.NumGPUs())
+	}
+	if !topo.SameSocket(0, 1) || topo.SameSocket(0, 2) {
+		t.Fatal("socket inference wrong")
+	}
+	if !topo.P2P(0, 1) {
+		t.Fatal("NV2 pair should be P2P")
+	}
+	if topo.P2P(0, 2) {
+		t.Fatal("SYS pair should not be P2P")
+	}
+	if topo.Distance(0, 1) >= topo.Distance(0, 2) {
+		t.Fatal("NV2 distance should beat SYS distance")
+	}
+}
+
+func TestParseMatrixRoundTripMinsky(t *testing.T) {
+	built := Power8Minsky()
+	rendered := built.RenderMatrix()
+	parsed, err := ParseMatrix(rendered)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\nmatrix:\n%s", err, rendered)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if built.P2P(i, j) != parsed.P2P(i, j) {
+				t.Fatalf("P2P(%d,%d) changed in round trip", i, j)
+			}
+			if built.SameSocket(i, j) != parsed.SameSocket(i, j) {
+				t.Fatalf("SameSocket(%d,%d) changed in round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestParseMatrixPIXSwitch(t *testing.T) {
+	matrix := `
+     GPU0  GPU1  GPU2  GPU3
+GPU0 X     PIX   SYS   SYS
+GPU1 PIX   X     SYS   SYS
+GPU2 SYS   SYS   X     PIX
+GPU3 SYS   SYS   PIX   X
+`
+	topo, err := ParseMatrix(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.P2P(0, 1) {
+		t.Fatal("PIX pair should be P2P through the switch")
+	}
+	// PIX distance: GPU -> switch -> GPU = 2.
+	if d := topo.Distance(0, 1); d != 2 {
+		t.Fatalf("PIX distance = %v", d)
+	}
+	if topo.P2P(0, 2) {
+		t.Fatal("SYS pair should not be P2P")
+	}
+}
+
+func TestParseMatrixPHB(t *testing.T) {
+	matrix := `
+     GPU0  GPU1
+GPU0 X     PHB
+GPU1 PHB   X
+`
+	topo, err := ParseMatrix(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.SameSocket(0, 1) {
+		t.Fatal("PHB pair shares a socket")
+	}
+	if topo.P2P(0, 1) {
+		t.Fatal("PHB pair is routed through the host bridge, not P2P")
+	}
+}
+
+func TestParseMatrixErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"no GPUs":    "     CPU\nrow 1\nrow 2",
+		"bad token":  "     GPU0  GPU1\nGPU0 X     ZZZ\nGPU1 ZZZ   X",
+		"asymmetric": "     GPU0  GPU1\nGPU0 X     NV2\nGPU1 PIX   X",
+		"bad diag":   "     GPU0  GPU1\nGPU0 NV2   NV2\nGPU1 NV2   X",
+		"short row":  "     GPU0  GPU1\nGPU0 X\nGPU1 NV2 X",
+		"wrong name": "     GPU0  GPU1\nGPUX X     NV2\nGPU1 NV2   X",
+		"few rows":   "     GPU0  GPU1\nGPU0 X     NV2",
+	}
+	for name, m := range cases {
+		if _, err := ParseMatrix(m); err == nil {
+			t.Fatalf("case %q: expected error", name)
+		}
+	}
+}
+
+func TestRenderMatrixTokens(t *testing.T) {
+	out := Power8Minsky().RenderMatrix()
+	for _, tok := range []string{"NV2", "SYS", "X", "GPU0", "GPU3"} {
+		if !strings.Contains(out, tok) {
+			t.Fatalf("matrix missing %q:\n%s", tok, out)
+		}
+	}
+	dgx := DGX1().RenderMatrix()
+	if !strings.Contains(dgx, "NV1") {
+		t.Fatalf("DGX-1 matrix missing NV1:\n%s", dgx)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	out := Power8Minsky().RenderTree()
+	for _, frag := range []string{"M0", "M0/S0", "M0/GPU0", "NVLink2", "peer links:"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("tree missing %q:\n%s", frag, out)
+		}
+	}
+	clusterOut := Cluster(2, KindMinsky).RenderTree()
+	if !strings.Contains(clusterOut, "Net") {
+		t.Fatalf("cluster tree missing network root:\n%s", clusterOut)
+	}
+}
+
+func TestParsedMatrixUsableForPlacementQueries(t *testing.T) {
+	topo, err := ParseMatrix(minskyMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := topo.BestAllocation(2)
+	if !topo.SameSocket(best[0], best[1]) {
+		t.Fatalf("best allocation %v on parsed topology not packed", best)
+	}
+}

@@ -1,0 +1,178 @@
+// Package trace implements the trace-driven workflow of §5.3: logs from
+// prototype runs are parsed into trace files, and the trace files feed the
+// large-scale simulator. A trace records each job's submission parameters
+// (the paper's JSON job manifests) plus, when produced from a run, the
+// measured placement and timing — the "application and resource usage
+// profiles" the simulator consumes.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gputopo/internal/job"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/simulator"
+)
+
+// JobRecord is one job of a trace: submission parameters plus measured
+// outcomes (zero-valued when the trace was generated rather than recorded).
+type JobRecord struct {
+	ID         string  `json:"id"`
+	Model      string  `json:"model"`
+	BatchSize  int     `json:"batch_size"`
+	GPUs       int     `json:"gpus"`
+	MinUtility float64 `json:"min_utility"`
+	Arrival    float64 `json:"arrival"`
+	Iterations int     `json:"iterations"`
+
+	// Measured fields from the recorded run.
+	Placed  bool    `json:"placed,omitempty"`
+	GPUList []int   `json:"gpu_list,omitempty"`
+	Start   float64 `json:"start,omitempty"`
+	Finish  float64 `json:"finish,omitempty"`
+	Wait    float64 `json:"wait,omitempty"`
+	Run     float64 `json:"run,omitempty"`
+	Utility float64 `json:"utility,omitempty"`
+}
+
+// Trace is a set of job records with provenance metadata.
+type Trace struct {
+	Name     string      `json:"name"`
+	Topology string      `json:"topology"`
+	Policy   string      `json:"policy,omitempty"`
+	Jobs     []JobRecord `json:"jobs"`
+}
+
+// FromJobs builds a submission-only trace from a job stream.
+func FromJobs(name, topoName string, jobs []*job.Job) *Trace {
+	t := &Trace{Name: name, Topology: topoName}
+	for _, j := range jobs {
+		t.Jobs = append(t.Jobs, JobRecord{
+			ID:         j.ID,
+			Model:      j.Model.String(),
+			BatchSize:  j.BatchSize,
+			GPUs:       j.GPUs,
+			MinUtility: j.MinUtility,
+			Arrival:    j.Arrival,
+			Iterations: j.Iterations,
+		})
+	}
+	return t
+}
+
+// FromRun builds a trace from a finished run, recording measured
+// placements and timings — the prototype-log-to-trace conversion of §5.3.
+func FromRun(name, topoName string, res *simulator.Result) *Trace {
+	t := &Trace{Name: name, Topology: topoName, Policy: res.Policy.String()}
+	for _, jr := range res.Jobs {
+		t.Jobs = append(t.Jobs, JobRecord{
+			ID:         jr.Job.ID,
+			Model:      jr.Job.Model.String(),
+			BatchSize:  jr.Job.BatchSize,
+			GPUs:       jr.Job.GPUs,
+			MinUtility: jr.Job.MinUtility,
+			Arrival:    jr.Job.Arrival,
+			Iterations: jr.Job.Iterations,
+			Placed:     true,
+			GPUList:    jr.GPUs,
+			Start:      jr.Start,
+			Finish:     jr.Finish,
+			Wait:       jr.Wait,
+			Run:        jr.Run,
+			Utility:    jr.Utility,
+		})
+	}
+	sort.Slice(t.Jobs, func(i, j int) bool { return t.Jobs[i].ID < t.Jobs[j].ID })
+	return t
+}
+
+// ReplayJobs reconstructs the submittable jobs of the trace, ready to be
+// fed to either engine.
+func (t *Trace) ReplayJobs() ([]*job.Job, error) {
+	jobs := make([]*job.Job, 0, len(t.Jobs))
+	for _, r := range t.Jobs {
+		m, err := perfmodel.ParseNN(r.Model)
+		if err != nil {
+			return nil, fmt.Errorf("trace %s: job %s: %w", t.Name, r.ID, err)
+		}
+		j := job.New(r.ID, m, r.BatchSize, r.GPUs, r.MinUtility, r.Arrival)
+		if r.Iterations > 0 {
+			j.Iterations = r.Iterations
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("trace %s: %w", t.Name, err)
+		}
+		jobs = append(jobs, j)
+	}
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Arrival < jobs[k].Arrival })
+	return jobs, nil
+}
+
+// Write serializes the trace as indented JSON.
+func Write(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Read parses a JSON trace.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(t.Jobs) == 0 {
+		return nil, fmt.Errorf("trace %q: no jobs", t.Name)
+	}
+	return &t, nil
+}
+
+// Summary holds aggregate statistics of a trace.
+type Summary struct {
+	Jobs          int
+	TotalGPUs     int
+	MeanGPUs      float64
+	Span          float64 // last arrival - first arrival
+	ByModel       map[string]int
+	ByGPUs        map[int]int
+	MeanWait      float64 // recorded traces only
+	MeanRun       float64
+	PlacedRecords int
+}
+
+// Summarize computes aggregate statistics over the trace.
+func (t *Trace) Summarize() Summary {
+	s := Summary{ByModel: map[string]int{}, ByGPUs: map[int]int{}}
+	if len(t.Jobs) == 0 {
+		return s
+	}
+	first, last := t.Jobs[0].Arrival, t.Jobs[0].Arrival
+	var waitSum, runSum float64
+	for _, r := range t.Jobs {
+		s.Jobs++
+		s.TotalGPUs += r.GPUs
+		s.ByModel[r.Model]++
+		s.ByGPUs[r.GPUs]++
+		if r.Arrival < first {
+			first = r.Arrival
+		}
+		if r.Arrival > last {
+			last = r.Arrival
+		}
+		if r.Placed {
+			s.PlacedRecords++
+			waitSum += r.Wait
+			runSum += r.Run
+		}
+	}
+	s.MeanGPUs = float64(s.TotalGPUs) / float64(s.Jobs)
+	s.Span = last - first
+	if s.PlacedRecords > 0 {
+		s.MeanWait = waitSum / float64(s.PlacedRecords)
+		s.MeanRun = runSum / float64(s.PlacedRecords)
+	}
+	return s
+}

@@ -1,0 +1,144 @@
+// Package workload builds job streams: the fixed six-job prototype
+// scenario of Table 1 and the randomized large-scale workloads of §5.3
+// (Poisson arrivals with λ = 10 jobs/minute, Binomial(3,½) batch classes
+// where 0=tiny…3=big, and Binomial(2,½) network types where 0=AlexNet,
+// 1=CaffeRef, 2=GoogLeNet).
+package workload
+
+import (
+	"fmt"
+
+	"gputopo/internal/job"
+	"gputopo/internal/jobgraph"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/stats"
+	"gputopo/internal/topology"
+)
+
+// Table1 returns the six-job prototype scenario of §5.2 (Table 1): NN
+// types A/G/A/A/A/C, batch sizes 1/4/1/4/1/1, GPU counts 1/1/1/2/2/2,
+// minimum utilities 0.3/0.3/0.3/0.5/0.5/0.5, and the published arrival
+// times. Iteration counts are calibrated so solo runtimes match the
+// paper's Figure 8 timeline (Job 0 ≈70 s, Job 3 ≈116 s packed, Job 1's
+// GoogLeNet spanning most of the experiment).
+func Table1() []*job.Job {
+	mk := func(id string, m perfmodel.NN, batch, gpus int, minU, arrival float64, iters int) *job.Job {
+		j := job.New(id, m, batch, gpus, minU, arrival)
+		j.Iterations = iters
+		return j
+	}
+	return []*job.Job{
+		mk("J0", perfmodel.AlexNet, 1, 1, 0.3, 0.51, 2500),
+		mk("J1", perfmodel.GoogLeNet, 4, 1, 0.3, 15.03, 2100),
+		mk("J2", perfmodel.AlexNet, 1, 1, 0.3, 24.36, 2500),
+		mk("J3", perfmodel.AlexNet, 4, 2, 0.5, 25.33, 1000),
+		mk("J4", perfmodel.AlexNet, 1, 2, 0.5, 29.33, 1000),
+		mk("J5", perfmodel.CaffeRef, 1, 2, 0.5, 29.89, 1000),
+	}
+}
+
+// GenConfig parameterizes the random workload generator.
+type GenConfig struct {
+	// Jobs is the number of jobs to generate.
+	Jobs int
+	// ArrivalRate is the Poisson arrival rate in jobs per minute
+	// (the paper uses λ = 10).
+	ArrivalRate float64
+	// GPUWeights gives the relative probability of requesting 1, 2 or 4
+	// GPUs. The zero value defaults to {40, 40, 20} — "jobs have varied
+	// GPU requirements: some need a single GPU ... others need multiple
+	// GPUs" (§5.2).
+	GPUWeights [3]int
+	// MeanDuration is the target mean solo runtime in seconds used to
+	// derive iteration counts (default 120 s).
+	MeanDuration float64
+	// MinDuration and MaxDuration clamp the sampled duration
+	// (defaults 30 s and 600 s).
+	MinDuration, MaxDuration float64
+	// Seed makes the stream reproducible.
+	Seed uint64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.ArrivalRate == 0 {
+		c.ArrivalRate = 10
+	}
+	if c.GPUWeights == [3]int{} {
+		c.GPUWeights = [3]int{40, 40, 20}
+	}
+	if c.MeanDuration == 0 {
+		c.MeanDuration = 120
+	}
+	if c.MinDuration == 0 {
+		c.MinDuration = 30
+	}
+	if c.MaxDuration == 0 {
+		c.MaxDuration = 600
+	}
+	return c
+}
+
+// Generate produces a reproducible job stream per §5.3. The reference
+// topology is used only to translate target durations into iteration
+// counts through the performance model.
+func Generate(cfg GenConfig, topo *topology.Topology) ([]*job.Job, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("workload: non-positive job count %d", cfg.Jobs)
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("workload: nil topology")
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	totalW := cfg.GPUWeights[0] + cfg.GPUWeights[1] + cfg.GPUWeights[2]
+	if totalW <= 0 {
+		return nil, fmt.Errorf("workload: GPU weights sum to %d", totalW)
+	}
+
+	jobs := make([]*job.Job, 0, cfg.Jobs)
+	now := 0.0
+	for i := 0; i < cfg.Jobs; i++ {
+		// Poisson process: exponential inter-arrival gaps, rate per second.
+		now += rng.Exponential(cfg.ArrivalRate / 60)
+
+		class := jobgraph.BatchClass(rng.Binomial(3, 0.5))
+		nn := perfmodel.NN(rng.Binomial(2, 0.5))
+
+		gpus := 1
+		switch pick := rng.Intn(totalW); {
+		case pick < cfg.GPUWeights[0]:
+			gpus = 1
+		case pick < cfg.GPUWeights[0]+cfg.GPUWeights[1]:
+			gpus = 2
+		default:
+			gpus = 4
+		}
+		if gpus > topo.NumGPUs() {
+			gpus = topo.NumGPUs()
+		}
+
+		minU := 0.3
+		if gpus > 1 {
+			minU = 0.5
+		}
+
+		duration := rng.Exponential(1 / cfg.MeanDuration)
+		if duration < cfg.MinDuration {
+			duration = cfg.MinDuration
+		}
+		if duration > cfg.MaxDuration {
+			duration = cfg.MaxDuration
+		}
+
+		j := job.New(fmt.Sprintf("J%04d", i), nn, class.Size(), gpus, minU, now)
+		best := topo.BestAllocation(gpus)
+		iter := perfmodel.IterationTime(nn, class.Size(), topo, best, 1)
+		iters := int(duration / iter)
+		if iters < 1 {
+			iters = 1
+		}
+		j.Iterations = iters
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}

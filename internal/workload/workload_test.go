@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"gputopo/internal/jobgraph"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/topology"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	jobs := Table1()
+	if len(jobs) != 6 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	// Table 1 of the paper, column by column.
+	wantModels := []perfmodel.NN{
+		perfmodel.AlexNet, perfmodel.GoogLeNet, perfmodel.AlexNet,
+		perfmodel.AlexNet, perfmodel.AlexNet, perfmodel.CaffeRef,
+	}
+	wantBatch := []int{1, 4, 1, 4, 1, 1}
+	wantGPUs := []int{1, 1, 1, 2, 2, 2}
+	wantMinU := []float64{0.3, 0.3, 0.3, 0.5, 0.5, 0.5}
+	wantArrival := []float64{0.51, 15.03, 24.36, 25.33, 29.33, 29.89}
+	for i, j := range jobs {
+		if j.Model != wantModels[i] {
+			t.Fatalf("J%d model = %v", i, j.Model)
+		}
+		if j.BatchSize != wantBatch[i] {
+			t.Fatalf("J%d batch = %d", i, j.BatchSize)
+		}
+		if j.GPUs != wantGPUs[i] {
+			t.Fatalf("J%d GPUs = %d", i, j.GPUs)
+		}
+		if j.MinUtility != wantMinU[i] {
+			t.Fatalf("J%d min utility = %v", i, j.MinUtility)
+		}
+		if j.Arrival != wantArrival[i] {
+			t.Fatalf("J%d arrival = %v", i, j.Arrival)
+		}
+		if err := j.Validate(); err != nil {
+			t.Fatalf("J%d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	topo := topology.Power8Minsky()
+	if _, err := Generate(GenConfig{Jobs: 0}, topo); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+	if _, err := Generate(GenConfig{Jobs: 10}, nil); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	if _, err := Generate(GenConfig{Jobs: 10, GPUWeights: [3]int{0, 0, -1}}, topo); err == nil {
+		t.Fatal("negative GPU weights accepted")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	topo := topology.Cluster(2, topology.KindMinsky)
+	a, err := Generate(GenConfig{Jobs: 50, Seed: 4}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(GenConfig{Jobs: 50, Seed: 4}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Model != b[i].Model || a[i].BatchSize != b[i].BatchSize ||
+			a[i].GPUs != b[i].GPUs || a[i].Arrival != b[i].Arrival ||
+			a[i].Iterations != b[i].Iterations {
+			t.Fatalf("job %d differs across same-seed runs", i)
+		}
+	}
+	c, err := Generate(GenConfig{Jobs: 50, Seed: 5}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].Model == c[i].Model && a[i].BatchSize == c[i].BatchSize && a[i].GPUs == c[i].GPUs {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateArrivalsPoisson(t *testing.T) {
+	topo := topology.Power8Minsky()
+	jobs, err := Generate(GenConfig{Jobs: 2000, ArrivalRate: 10, Seed: 7}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, j := range jobs {
+		if j.Arrival <= prev {
+			t.Fatal("arrivals not strictly increasing")
+		}
+		prev = j.Arrival
+	}
+	// λ = 10 jobs/minute → mean gap 6 s.
+	meanGap := jobs[len(jobs)-1].Arrival / float64(len(jobs)-1)
+	if math.Abs(meanGap-6) > 0.5 {
+		t.Fatalf("mean inter-arrival %.2fs, want ≈6s", meanGap)
+	}
+}
+
+func TestGenerateDistributions(t *testing.T) {
+	topo := topology.Cluster(3, topology.KindMinsky)
+	jobs, err := Generate(GenConfig{Jobs: 4000, Seed: 11}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classCounts := map[jobgraph.BatchClass]int{}
+	modelCounts := map[perfmodel.NN]int{}
+	gpuCounts := map[int]int{}
+	for _, j := range jobs {
+		classCounts[j.Class()]++
+		modelCounts[j.Model]++
+		gpuCounts[j.GPUs]++
+		if j.GPUs > 1 && j.MinUtility != 0.5 {
+			t.Fatalf("multi-GPU job with min utility %v", j.MinUtility)
+		}
+		if j.GPUs == 1 && j.MinUtility != 0.3 {
+			t.Fatalf("single-GPU job with min utility %v", j.MinUtility)
+		}
+		if j.Iterations < 1 {
+			t.Fatal("job with no iterations")
+		}
+	}
+	// Binomial(3, ½): P(tiny)=P(big)=1/8, P(small)=P(medium)=3/8.
+	n := float64(len(jobs))
+	if f := float64(classCounts[jobgraph.BatchTiny]) / n; math.Abs(f-0.125) > 0.02 {
+		t.Fatalf("P(tiny) = %.3f, want ≈0.125", f)
+	}
+	if f := float64(classCounts[jobgraph.BatchSmall]) / n; math.Abs(f-0.375) > 0.03 {
+		t.Fatalf("P(small) = %.3f, want ≈0.375", f)
+	}
+	// Binomial(2, ½): AlexNet 1/4, CaffeRef 1/2, GoogLeNet 1/4.
+	if f := float64(modelCounts[perfmodel.CaffeRef]) / n; math.Abs(f-0.5) > 0.03 {
+		t.Fatalf("P(CaffeRef) = %.3f, want ≈0.5", f)
+	}
+	// GPU mix 40/40/20.
+	if f := float64(gpuCounts[4]) / n; math.Abs(f-0.2) > 0.03 {
+		t.Fatalf("P(4 GPUs) = %.3f, want ≈0.2", f)
+	}
+}
+
+func TestGenerateDurationClamping(t *testing.T) {
+	topo := topology.Power8Minsky()
+	jobs, err := Generate(GenConfig{
+		Jobs: 500, Seed: 3,
+		MeanDuration: 100, MinDuration: 50, MaxDuration: 200,
+	}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		best := topo.BestAllocation(j.GPUs)
+		dur := float64(j.Iterations) * perfmodel.IterationTime(j.Model, j.BatchSize, topo, best, 1)
+		// One iteration of slack for rounding.
+		iter := perfmodel.IterationTime(j.Model, j.BatchSize, topo, best, 1)
+		if dur < 50-iter || dur > 200+iter {
+			t.Fatalf("job %s solo duration %.1fs outside [50, 200]", j.ID, dur)
+		}
+	}
+}
+
+func TestGenerateGPUCapClampedToTopology(t *testing.T) {
+	topo := topology.Power8Minsky() // 4 GPUs
+	jobs, err := Generate(GenConfig{Jobs: 200, Seed: 1, GPUWeights: [3]int{0, 0, 1}}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.GPUs > 4 {
+			t.Fatalf("job requests %d GPUs on a 4-GPU topology", j.GPUs)
+		}
+	}
+}
