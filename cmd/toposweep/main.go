@@ -1,0 +1,101 @@
+// Command toposweep runs concurrent scenario sweeps over the simulated
+// cluster: grids of policy × cluster size × job count × α-weights ×
+// postponement thresholds × seed replicas, fanned across a bounded worker
+// pool with deterministic per-point seeds. The same grid produces
+// byte-identical artifacts at any worker count, so sweeps are comparable
+// across machines and commits.
+//
+//	toposweep -list                          show the available grids
+//	toposweep -grid default -workers 8       run a named grid
+//	toposweep -grid smoke -out smoke.json    write the JSON artifact
+//	toposweep -smoke                         CI shorthand for -grid smoke
+//	toposweep -grid alpha -csv alpha.csv     write a per-point CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gputopo/internal/sweep"
+)
+
+func main() {
+	var (
+		gridName = flag.String("grid", "default", "named grid to run (see -list)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size")
+		out      = flag.String("out", "", "write the JSON artifact to this path")
+		csv      = flag.String("csv", "", "write the per-point CSV to this path")
+		smoke    = flag.Bool("smoke", false, "run the sub-minute CI smoke grid (overrides -grid)")
+		seed     = flag.Uint64("seed", 42, "base seed; every point derives its own seed from it")
+		list     = flag.Bool("list", false, "list the available grids and exit")
+		quiet    = flag.Bool("quiet", false, "suppress per-point progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range sweep.GridNames() {
+			fmt.Printf("  %-10s %s\n", name, sweep.GridDescription(name))
+		}
+		return
+	}
+	if err := run(*gridName, *workers, *out, *csv, *smoke, *seed, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "toposweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(gridName string, workers int, out, csv string, smoke bool, seed uint64, quiet bool) error {
+	if smoke {
+		gridName = "smoke"
+	}
+	grid, err := sweep.Named(gridName, seed)
+	if err != nil {
+		return err
+	}
+
+	opt := sweep.Options{Workers: workers}
+	if !quiet {
+		total := len(grid.Points())
+		last := -1
+		opt.Progress = func(done, _ int) {
+			// Redraw at most 100 times regardless of grid size.
+			if pct := done * 100 / total; pct != last || done == total {
+				last = pct
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d points", gridName, done, total)
+			}
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	start := time.Now()
+	rep, err := sweep.Run(grid, opt)
+	if err != nil {
+		return err
+	}
+	rep.Elapsed = time.Since(start)
+
+	fmt.Println(rep.Render())
+
+	if out != "" {
+		js, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, js, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", out, len(js))
+	}
+	if csv != "" {
+		if err := os.WriteFile(csv, rep.CSV(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csv)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module gputopo
+
+go 1.24

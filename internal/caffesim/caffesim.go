@@ -309,11 +309,19 @@ func (e *protoEngine) accountIteration(r *runningJob) {
 
 func (e *protoEngine) interferenceOn(victim *runningJob) float64 {
 	topo := e.cfg.Topology
-	var sum float64
-	for id, other := range e.running {
-		if id == victim.job.ID {
-			continue
+	// Sum co-runner slowdowns in sorted ID order: float addition is not
+	// associative, so map iteration order would otherwise leak into every
+	// iteration duration and break bit-identical reproducibility.
+	ids := make([]string, 0, len(e.running))
+	for id := range e.running {
+		if id != victim.job.ID {
+			ids = append(ids, id)
 		}
+	}
+	sort.Strings(ids)
+	var sum float64
+	for _, id := range ids {
+		other := e.running[id]
 		locality := perfmodel.DifferentMachine
 		for _, g := range victim.gpus {
 			for _, og := range other.gpus {

@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"gputopo/internal/core"
 	"gputopo/internal/metrics"
 	"gputopo/internal/sched"
 	"gputopo/internal/simulator"
+	"gputopo/internal/sweep"
 	"gputopo/internal/topology"
 	"gputopo/internal/workload"
 )
@@ -72,30 +72,29 @@ type AlphaRow struct {
 
 // AlphaSweep varies the communication-cost weight αcc (splitting the
 // remainder equally between interference and fragmentation) on the
-// scenario-1 workload under TOPO-AWARE-P.
+// scenario-1 workload under TOPO-AWARE-P. It is a thin grid over the
+// α axis, executed concurrently by the sweep engine; every α point
+// regenerates the identical workload stream from the shared seed.
 func AlphaSweep(alphas []float64, jobs, machines int, seed uint64) ([]AlphaRow, error) {
-	topo := topology.Cluster(machines, topology.KindMinsky)
-	stream, err := workload.Generate(workload.GenConfig{Jobs: jobs, Seed: seed}, topo)
+	rep, err := sweep.Run(sweep.Grid{
+		Name:     "alpha",
+		Policies: []sched.Policy{sched.TopoAwareP},
+		Machines: []int{machines},
+		Jobs:     []int{jobs},
+		AlphasCC: alphas,
+		Seeds:    []uint64{seed},
+	}, sweep.Options{})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("alpha sweep: %w", err)
 	}
-	var rows []AlphaRow
-	for _, a := range alphas {
-		rest := (1 - a) / 2
-		res, err := simulator.Run(simulator.Config{
-			Topology: topo,
-			Policy:   sched.TopoAwareP,
-			Weights:  core.Weights{CommCost: a, Interference: rest, Fragmentation: rest},
-		}, stream)
-		if err != nil {
-			return nil, fmt.Errorf("alpha sweep a=%g: %w", a, err)
+	rows := make([]AlphaRow, len(rep.Points))
+	for i, p := range rep.Points {
+		rows[i] = AlphaRow{
+			AlphaCC:  p.AlphaCC,
+			Makespan: p.Makespan,
+			SLO:      p.SLOViolations,
+			MeanQoS:  p.MeanQoS,
 		}
-		rows = append(rows, AlphaRow{
-			AlphaCC:  a,
-			Makespan: res.Makespan,
-			SLO:      res.SLOViolations(),
-			MeanQoS:  res.MeanSlowdownQoS(),
-		})
 	}
 	return rows, nil
 }
@@ -126,33 +125,28 @@ type ThresholdRow struct {
 // ThresholdSweep overrides every multi-GPU job's minimum utility and
 // re-runs scenario 1 under TOPO-AWARE-P, exposing the waiting-time/QoS
 // trade-off that separates TOPO-AWARE-P from TOPO-AWARE (threshold 0
-// makes P behave exactly like TOPO-AWARE).
+// makes P behave exactly like TOPO-AWARE). It is a thin grid over the
+// threshold axis, executed concurrently by the sweep engine.
 func ThresholdSweep(thresholds []float64, jobs, machines int, seed uint64) ([]ThresholdRow, error) {
-	topo := topology.Cluster(machines, topology.KindMinsky)
-	var rows []ThresholdRow
-	for _, th := range thresholds {
-		stream, err := workload.Generate(workload.GenConfig{Jobs: jobs, Seed: seed}, topo)
-		if err != nil {
-			return nil, err
+	rep, err := sweep.Run(sweep.Grid{
+		Name:       "threshold",
+		Policies:   []sched.Policy{sched.TopoAwareP},
+		Machines:   []int{machines},
+		Jobs:       []int{jobs},
+		Thresholds: thresholds,
+		Seeds:      []uint64{seed},
+	}, sweep.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("threshold sweep: %w", err)
+	}
+	rows := make([]ThresholdRow, len(rep.Points))
+	for i, p := range rep.Points {
+		rows[i] = ThresholdRow{
+			MinUtility: p.Point.Threshold,
+			Makespan:   p.Makespan,
+			SLO:        p.SLOViolations,
+			TotalWait:  p.TotalWait,
 		}
-		for _, j := range stream {
-			if j.GPUs > 1 {
-				j.MinUtility = th
-			}
-		}
-		res, err := simulator.Run(simulator.Config{
-			Topology: topo,
-			Policy:   sched.TopoAwareP,
-		}, stream)
-		if err != nil {
-			return nil, fmt.Errorf("threshold sweep t=%g: %w", th, err)
-		}
-		rows = append(rows, ThresholdRow{
-			MinUtility: th,
-			Makespan:   res.Makespan,
-			SLO:        res.SLOViolations(),
-			TotalWait:  res.TotalWait(),
-		})
 	}
 	return rows, nil
 }

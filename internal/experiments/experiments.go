@@ -16,8 +16,8 @@ import (
 	"gputopo/internal/perfmodel"
 	"gputopo/internal/sched"
 	"gputopo/internal/simulator"
+	"gputopo/internal/sweep"
 	"gputopo/internal/topology"
-	"gputopo/internal/workload"
 )
 
 // BatchSweep is the per-GPU batch sizes of Figures 3–5.
@@ -118,10 +118,14 @@ type Fig5Series struct {
 // Fig5Bandwidth reproduces Figure 5: the interconnect bandwidth usage over
 // time of a solo 2-GPU AlexNet job at batch sizes 1, 4, 64 and 128,
 // sampled in 1-second windows like the prototype's nvidia-smi polling.
+// The four batch sizes run concurrently on the sweep engine's pool; each
+// writes into its own slot, so the series order is fixed.
 func Fig5Bandwidth(seed uint64) ([]Fig5Series, error) {
-	topo := topology.Power8Minsky()
-	var out []Fig5Series
-	for _, b := range []int{1, 4, 64, 128} {
+	batches := []int{1, 4, 64, 128}
+	out := make([]Fig5Series, len(batches))
+	err := sweep.ForEach(len(batches), 0, func(i int) error {
+		b := batches[i]
+		topo := topology.Power8Minsky()
 		j := job.New("fig5", perfmodel.AlexNet, b, 2, 0.5, 0)
 		// Run long enough to fill ~250 s of samples like the figure.
 		iter := perfmodel.IterationTime(perfmodel.AlexNet, b, topo, []int{0, 1}, 1)
@@ -135,7 +139,7 @@ func Fig5Bandwidth(seed uint64) ([]Fig5Series, error) {
 			Seed:     seed,
 		}, []*job.Job{j})
 		if err != nil {
-			return nil, fmt.Errorf("fig5 batch %d: %w", b, err)
+			return fmt.Errorf("fig5 batch %d: %w", b, err)
 		}
 		pts := res.Bandwidth["fig5"]
 		var sum, peak float64
@@ -149,7 +153,11 @@ func Fig5Bandwidth(seed uint64) ([]Fig5Series, error) {
 		if len(pts) > 0 {
 			mean = sum / float64(len(pts))
 		}
-		out = append(out, Fig5Series{Batch: b, Points: pts, Mean: mean, Peak: peak})
+		out[i] = Fig5Series{Batch: b, Points: pts, Mean: mean, Peak: peak}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -270,76 +278,77 @@ func (m *MultiPolicy) ByPolicy(p sched.Policy) *simulator.Result {
 	return nil
 }
 
+// multiPolicyFrom collects a single-cell sweep's results into the
+// paper's presentation order.
+func multiPolicyFrom(rep *sweep.Report) *MultiPolicy {
+	out := &MultiPolicy{}
+	for _, pol := range sched.AllPolicies() {
+		if pr := rep.ByPolicy(pol); pr != nil {
+			out.Results = append(out.Results, pr.Sim)
+		}
+	}
+	return out
+}
+
 // Fig8Prototype reproduces the §5.2 prototype experiment: the Table 1 six
 // job workload on one Minsky machine under all four policies, executed at
-// iteration granularity by the prototype engine.
+// iteration granularity by the prototype engine — a one-cell sweep over
+// the policy axis.
 func Fig8Prototype(seed uint64) (*MultiPolicy, map[sched.Policy]*caffesim.Result, error) {
-	topo := topology.Power8Minsky()
-	out := &MultiPolicy{}
+	rep, err := sweep.Run(sweep.Grid{
+		Name:   "fig8",
+		Source: sweep.SourceTable1,
+		Engine: sweep.EngineProto,
+		Seeds:  []uint64{seed},
+	}, sweep.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig8: %w", err)
+	}
 	protos := map[sched.Policy]*caffesim.Result{}
 	for _, pol := range sched.AllPolicies() {
-		res, err := caffesim.Run(caffesim.Config{
-			Topology: topo,
-			Policy:   pol,
-			Seed:     seed,
-		}, workload.Table1())
-		if err != nil {
-			return nil, nil, fmt.Errorf("fig8 %s: %w", pol, err)
+		if pr := rep.ByPolicy(pol); pr != nil {
+			protos[pol] = pr.Proto
 		}
-		protos[pol] = res
-		out.Results = append(out.Results, &res.Result)
 	}
-	return out, protos, nil
+	return multiPolicyFrom(rep), protos, nil
 }
 
 // Fig9Validation reproduces §5.4: the same Table 1 scenario on the
 // trace-driven simulator, for comparison against the prototype results
 // (the two engines should agree within iteration-boundary noise).
 func Fig9Validation(seed uint64) (*MultiPolicy, error) {
-	topo := topology.Power8Minsky()
-	out := &MultiPolicy{}
-	for _, pol := range sched.AllPolicies() {
-		res, err := simulator.Run(simulator.Config{
-			Topology:       topo,
-			Policy:         pol,
-			Seed:           seed,
-			SampleInterval: 4,
-		}, workload.Table1())
-		if err != nil {
-			return nil, fmt.Errorf("fig9 %s: %w", pol, err)
-		}
-		out.Results = append(out.Results, res)
+	rep, err := sweep.Run(sweep.Grid{
+		Name:           "fig9",
+		Source:         sweep.SourceTable1,
+		Seeds:          []uint64{seed},
+		SampleInterval: 4,
+	}, sweep.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
 	}
-	return out, nil
+	return multiPolicyFrom(rep), nil
 }
 
 // Scenario runs the large-scale simulation of §5.5 with the given scale
-// (Scenario 1: 100 jobs / 5 machines; Scenario 2: 10k jobs / 1k machines).
-// The Poisson arrival rate scales with the cluster size so the
-// per-machine pressure matches scenario 1's λ = 10 jobs/minute on 5
+// (Scenario 1: 100 jobs / 5 machines; Scenario 2: 10k jobs / 1k machines)
+// as a one-cell sweep over the policy axis, so the four policies run
+// concurrently. The Poisson arrival rate scales with the cluster size so
+// the per-machine pressure matches scenario 1's λ = 10 jobs/minute on 5
 // machines (the paper specifies λ = 10 for the workload generator but not
 // how scenario 2 stays "heavily loaded"; constant per-machine load is the
 // substitution that preserves the queueing behaviour its figures show).
 func Scenario(jobs, machines int, seed uint64) (*MultiPolicy, error) {
-	topo := topology.Cluster(machines, topology.KindMinsky)
-	rate := 10 * float64(machines) / 5
-	stream, err := workload.Generate(workload.GenConfig{
-		Jobs:        jobs,
-		ArrivalRate: rate,
-		Seed:        seed,
-	}, topo)
+	rep, err := sweep.Run(sweep.Grid{
+		Name:           "scenario",
+		Machines:       []int{machines},
+		Jobs:           []int{jobs},
+		Seeds:          []uint64{seed},
+		RatePerMachine: 2, // λ = 10 jobs/minute per 5 machines
+	}, sweep.Options{})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	out := &MultiPolicy{}
-	for _, pol := range sched.AllPolicies() {
-		res, err := simulator.Run(simulator.Config{Topology: topo, Policy: pol}, stream)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %s: %w", pol, err)
-		}
-		out.Results = append(out.Results, res)
-	}
-	return out, nil
+	return multiPolicyFrom(rep), nil
 }
 
 // RenderScenario formats a multi-policy comparison with both slowdown

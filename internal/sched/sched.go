@@ -9,6 +9,7 @@
 package sched
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
@@ -48,6 +49,26 @@ func (p Policy) String() string {
 
 // AllPolicies lists every policy, in the paper's presentation order.
 func AllPolicies() []Policy { return []Policy{BestFit, FCFS, TopoAware, TopoAwareP} }
+
+// MarshalJSON encodes the policy as its figure name, keeping sweep
+// artifacts readable and stable across any renumbering of the constants.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON decodes a policy from its figure name.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	parsed, err := ParsePolicy(name)
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
 
 // ParsePolicy maps a policy name to its constant.
 func ParsePolicy(name string) (Policy, error) {

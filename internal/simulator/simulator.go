@@ -441,15 +441,29 @@ func (e *engine) start(d *sched.Decision) []int {
 }
 
 // refreshMachines advances, re-rates and re-arms every job running on the
-// given machines.
+// given machines. Machines and jobs are visited in sorted order: iteration
+// order decides event sequence numbers (tie-breaking of simultaneous
+// finishes) and the addition order of interference terms, so ranging over
+// the maps directly would let Go's randomized map order leak into results
+// and break the bit-identical reproducibility the sweep engine asserts.
 func (e *engine) refreshMachines(machines map[int]bool) {
-	seen := map[string]bool{}
+	ms := make([]int, 0, len(machines))
 	for m := range machines {
-		for id, r := range e.byMachine[m] {
-			if seen[id] {
-				continue
+		ms = append(ms, m)
+	}
+	sort.Ints(ms)
+	seen := map[string]bool{}
+	for _, m := range ms {
+		ids := make([]string, 0, len(e.byMachine[m]))
+		for id := range e.byMachine[m] {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
 			}
-			seen[id] = true
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			r := e.byMachine[m][id]
 			e.advanceJob(r, e.now)
 			slow := e.interferenceOn(r)
 			r.rate = 1 / (r.baseIter * (1 + slow))
@@ -532,32 +546,46 @@ func (e *engine) idealTime(j *job.Job) float64 {
 // sensitivity×pressure model the profiles are generated from (Figure 6).
 func (e *engine) interferenceOn(victim *runningJob) float64 {
 	topo := e.cfg.Topology
-	var sum float64
+	// Collect co-runners in sorted ID order: float addition is not
+	// associative, so summing in map order would make the slowdown — and
+	// with it every downstream metric — depend on map iteration order.
 	seen := map[string]bool{victim.job.ID: true}
+	var ids []string
 	for _, m := range victim.machines {
-		for id, other := range e.byMachine[m] {
-			if seen[id] {
-				continue
+		for id := range e.byMachine[m] {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
 			}
-			seen[id] = true
-			locality := perfmodel.SameMachine
-			for _, g := range victim.gpus {
-				for _, og := range other.gpus {
-					if topo.SameSocket(g, og) {
-						locality = perfmodel.SameSocket
-					}
+		}
+	}
+	sort.Strings(ids)
+	var sum float64
+	for _, id := range ids {
+		other := e.running[id]
+		locality := perfmodel.SameMachine
+		for _, g := range victim.gpus {
+			for _, og := range other.gpus {
+				if topo.SameSocket(g, og) {
+					locality = perfmodel.SameSocket
 				}
 			}
-			sum += perfmodel.CoLocationSlowdown(victim.job.Traits(), other.job.Traits(), locality)
 		}
+		sum += perfmodel.CoLocationSlowdown(victim.job.Traits(), other.job.Traits(), locality)
 	}
 	return perfmodel.CapSlowdown(sum)
 }
 
 func (e *engine) takeSample() {
 	s := Sample{Time: e.now, Running: len(e.running)}
+	ids := make([]string, 0, len(e.running))
+	for id := range e.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var utilSum float64
-	for _, r := range e.running {
+	for _, id := range ids {
+		r := e.running[id]
 		if r.p2p || len(r.gpus) < 2 {
 			s.P2PBandwidth += r.linkUsage
 		} else {

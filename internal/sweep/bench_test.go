@@ -1,0 +1,37 @@
+package sweep
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchGrid is the smoke grid's shape: 32 points of generated workloads.
+func benchGrid() Grid {
+	return Grid{
+		Name:           "bench",
+		Machines:       []int{2, 5},
+		Jobs:           []int{40, 100},
+		Replicas:       2,
+		BaseSeed:       42,
+		RatePerMachine: 2,
+	}
+}
+
+// BenchmarkSweepSerial and BenchmarkSweepParallel bracket the worker
+// pool: their ratio is the parallel speedup on the benchmark machine
+// (≈1 on a single-core runner, approaching NumCPU on larger ones).
+func BenchmarkSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(benchGrid(), Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(benchGrid(), Options{Workers: runtime.NumCPU()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"gputopo/internal/sched"
+)
+
+// namedGrids is the registry of predefined sweeps the toposweep CLI (and
+// CI) can run by name. Each entry is a function of the base seed so the
+// whole sweep reseeds coherently from one flag.
+var namedGrids = map[string]struct {
+	desc  string
+	build func(seed uint64) Grid
+}{
+	"smoke": {
+		desc: "CI smoke: 4 policies × {2,5} machines × {40,100} jobs × 2 replicas (32 points, sub-minute)",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name:           "smoke",
+				Machines:       []int{2, 5},
+				Jobs:           []int{40, 100},
+				Replicas:       2,
+				BaseSeed:       seed,
+				RatePerMachine: 2,
+			}
+		},
+	},
+	"default": {
+		desc: "policy × cluster-size × load sweep: 4 policies × {2,5,10} machines × {50,100,200} jobs × 3 replicas (108 points)",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name:           "default",
+				Machines:       []int{2, 5, 10},
+				Jobs:           []int{50, 100, 200},
+				Replicas:       3,
+				BaseSeed:       seed,
+				RatePerMachine: 2,
+			}
+		},
+	},
+	"scenario1": {
+		desc: "§5.5 scenario 1 at paper scale with replicas: 4 policies × 5 machines × 100 jobs × 5 replicas",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name:           "scenario1",
+				Machines:       []int{5},
+				Jobs:           []int{100},
+				Replicas:       5,
+				BaseSeed:       seed,
+				RatePerMachine: 2,
+			}
+		},
+	},
+	"scenario2": {
+		desc: "§5.5 scenario 2 at paper scale: 4 policies × 1000 machines × 10000 jobs (slow)",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name:           "scenario2",
+				Machines:       []int{1000},
+				Jobs:           []int{10000},
+				BaseSeed:       seed,
+				RatePerMachine: 2,
+			}
+		},
+	},
+	"alpha": {
+		desc: "αcc utility-weight ablation under TOPO-AWARE-P, 3 replicas",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name:     "alpha",
+				Policies: []sched.Policy{sched.TopoAwareP},
+				Machines: []int{5},
+				Jobs:     []int{100},
+				AlphasCC: []float64{0, 0.2, 1.0 / 3, 0.5, 0.8, 1},
+				Replicas: 3,
+				BaseSeed: seed,
+			}
+		},
+	},
+	"threshold": {
+		desc: "TOPO-AWARE-P postponement-threshold ablation, 3 replicas",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name:       "threshold",
+				Policies:   []sched.Policy{sched.TopoAwareP},
+				Machines:   []int{5},
+				Jobs:       []int{100},
+				Thresholds: []float64{0, 0.3, 0.5, 0.7, 0.9},
+				Replicas:   3,
+				BaseSeed:   seed,
+			}
+		},
+	},
+	"table1": {
+		desc: "Table 1 six-job prototype scenario across all 4 policies (simulator engine)",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name:     "table1",
+				Source:   SourceTable1,
+				BaseSeed: seed,
+			}
+		},
+	},
+}
+
+// Named builds the predefined grid with the given name, reseeded from
+// seed.
+func Named(name string, seed uint64) (Grid, error) {
+	entry, ok := namedGrids[name]
+	if !ok {
+		return Grid{}, fmt.Errorf("sweep: unknown grid %q (use one of %v)", name, GridNames())
+	}
+	return entry.build(seed), nil
+}
+
+// GridNames lists the registered grid names, sorted.
+func GridNames() []string {
+	names := make([]string, 0, len(namedGrids))
+	for name := range namedGrids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GridDescription returns the one-line description of a registered grid
+// ("" when unknown).
+func GridDescription(name string) string {
+	return namedGrids[name].desc
+}
