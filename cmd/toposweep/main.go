@@ -1,22 +1,30 @@
 // Command toposweep runs concurrent scenario sweeps over the simulated
-// cluster: grids of policy × cluster size × job count × α-weights ×
-// postponement thresholds × seed replicas, fanned across a bounded worker
-// pool with deterministic per-point seeds. The same grid produces
-// byte-identical artifacts at any worker count, so sweeps are comparable
-// across machines and commits.
+// cluster: grids of policy × topology × cluster size × job count ×
+// α-weights × postponement thresholds × seed replicas, fanned across a
+// bounded worker pool with deterministic per-point seeds. The same grid
+// produces byte-identical artifacts at any worker count, so sweeps are
+// comparable across machines and commits — and diffable.
 //
-//	toposweep -list                          show the available grids
-//	toposweep -grid default -workers 8       run a named grid
-//	toposweep -grid smoke -out smoke.json    write the JSON artifact
-//	toposweep -smoke                         CI shorthand for -grid smoke
-//	toposweep -grid alpha -csv alpha.csv     write a per-point CSV
+//	toposweep -list                           show the available grids
+//	toposweep -list topology                  dump a named grid as a JSON spec
+//	toposweep -grid default -workers 8        run a named grid
+//	toposweep -grid @spec.json -out out.json  run an ad-hoc grid spec file
+//	toposweep -smoke                          CI shorthand for -grid smoke
+//	toposweep -grid alpha -csv alpha.csv      write a per-point CSV
+//	toposweep -diff old.json new.json         regression-diff two artifacts
+//
+// The grid spec file format is documented in docs/sweeps.md; runnable
+// examples live in examples/sweeps/.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"gputopo/internal/sweep"
@@ -24,34 +32,152 @@ import (
 
 func main() {
 	var (
-		gridName = flag.String("grid", "default", "named grid to run (see -list)")
+		gridName = flag.String("grid", "default", "named grid to run (see -list), or @file.json for a grid spec file")
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size")
 		out      = flag.String("out", "", "write the JSON artifact to this path")
 		csv      = flag.String("csv", "", "write the per-point CSV to this path")
 		smoke    = flag.Bool("smoke", false, "run the sub-minute CI smoke grid (overrides -grid)")
-		seed     = flag.Uint64("seed", 42, "base seed; every point derives its own seed from it")
-		list     = flag.Bool("list", false, "list the available grids and exit")
+		seed     = flag.Uint64("seed", 42, "base seed; every point derives its own seed from it (overrides a spec file's base_seed when set explicitly)")
+		list     = flag.Bool("list", false, "list the available grids and exit; with a grid name argument, dump that grid as a JSON spec template")
 		quiet    = flag.Bool("quiet", false, "suppress per-point progress")
+		diff     = flag.Bool("diff", false, "diff two JSON artifacts: toposweep -diff old.json new.json; exits 2 on regression (flags go before the file arguments)")
+		tol      = flag.Float64("tol", 0, "relative tolerance for -diff (0 = exact)")
+		tolMet   = flag.String("tol-metric", "", "per-metric tolerance overrides for -diff, e.g. makespan_s=0.05,slo_violations=0")
+		strict   = flag.Bool("strict", false, "with -diff, also exit 2 on improvements — any delta is a behavior change (used by the CI golden-baseline gate)")
 	)
 	flag.Parse()
 
-	if *list {
-		for _, name := range sweep.GridNames() {
-			fmt.Printf("  %-10s %s\n", name, sweep.GridDescription(name))
+	switch {
+	case *diff:
+		res, err := diffFiles(os.Stdout, flag.Args(), *tol, *tolMet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "toposweep:", err)
+			os.Exit(1)
 		}
-		return
-	}
-	if err := run(*gridName, *workers, *out, *csv, *smoke, *seed, *quiet); err != nil {
-		fmt.Fprintln(os.Stderr, "toposweep:", err)
-		os.Exit(1)
+		if res.HasRegressions() || (*strict && (res.Improvements > 0 || len(res.AddedCells) > 0)) {
+			os.Exit(2)
+		}
+	case *list:
+		if err := listGrids(os.Stdout, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "toposweep:", err)
+			os.Exit(1)
+		}
+	default:
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		if err := run(os.Stdout, *gridName, *workers, *out, *csv, *smoke, *seed, seedSet, *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "toposweep:", err)
+			os.Exit(1)
+		}
 	}
 }
 
-func run(gridName string, workers int, out, csv string, smoke bool, seed uint64, quiet bool) error {
+// listGrids prints the registered grids in sorted order, or — given a
+// grid name — dumps that grid as an indented JSON spec usable as a
+// template for -grid @file.json. An unknown name is an error.
+func listGrids(w io.Writer, args []string) error {
+	if len(args) > 1 {
+		return fmt.Errorf("-list takes at most one grid name, got %q", args)
+	}
+	if len(args) == 1 {
+		g, err := sweep.Named(args[0], 42)
+		if err != nil {
+			return err
+		}
+		js, err := g.SpecJSON()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(js)
+		return err
+	}
+	for _, name := range sweep.GridNames() {
+		fmt.Fprintf(w, "  %-12s %s\n", name, sweep.GridDescription(name))
+	}
+	return nil
+}
+
+// parseTolerances builds diff options from the -tol/-tol-metric flags.
+func parseTolerances(tol float64, tolMetric string) (sweep.DiffOptions, error) {
+	opt := sweep.DiffOptions{RelTol: tol}
+	if tolMetric == "" {
+		return opt, nil
+	}
+	known := map[string]bool{}
+	for _, m := range sweep.DiffMetricNames() {
+		known[m] = true
+	}
+	opt.PerMetric = map[string]float64{}
+	for _, pair := range strings.Split(tolMetric, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return opt, fmt.Errorf("-tol-metric entry %q is not metric=value", pair)
+		}
+		if !known[name] {
+			return opt, fmt.Errorf("-tol-metric: unknown metric %q (use one of %v)", name, sweep.DiffMetricNames())
+		}
+		t, err := strconv.ParseFloat(val, 64)
+		if err != nil || t < 0 {
+			return opt, fmt.Errorf("-tol-metric: bad tolerance %q for %s", val, name)
+		}
+		opt.PerMetric[name] = t
+	}
+	return opt, nil
+}
+
+// diffFiles loads two JSON artifacts, diffs them under the tolerances and
+// writes the markdown delta report. The caller decides the exit code from
+// the returned result.
+func diffFiles(w io.Writer, args []string, tol float64, tolMetric string) (*sweep.DiffResult, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("-diff needs exactly two artifacts: toposweep -diff old.json new.json")
+	}
+	opt, err := parseTolerances(tol, tolMetric)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*sweep.Report, 2)
+	for i, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		reports[i], err = sweep.LoadReport(data, path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := sweep.Diff(reports[0], reports[1], opt)
+	res.OldName, res.NewName = args[0], args[1]
+	_, err = io.WriteString(w, res.Markdown())
+	return res, err
+}
+
+// resolveGrid turns the -grid argument into a Grid: a registered name, or
+// a spec file when prefixed with @.
+func resolveGrid(gridName string, seed uint64, seedSet bool) (sweep.Grid, error) {
+	if path, ok := strings.CutPrefix(gridName, "@"); ok {
+		g, err := sweep.LoadGridSpec(path)
+		if err != nil {
+			return sweep.Grid{}, err
+		}
+		if seedSet {
+			g.BaseSeed = seed
+		}
+		return g, nil
+	}
+	return sweep.Named(gridName, seed)
+}
+
+func run(w io.Writer, gridName string, workers int, out, csv string, smoke bool, seed uint64, seedSet, quiet bool) error {
 	if smoke {
 		gridName = "smoke"
 	}
-	grid, err := sweep.Named(gridName, seed)
+	grid, err := resolveGrid(gridName, seed, seedSet)
 	if err != nil {
 		return err
 	}
@@ -64,7 +190,7 @@ func run(gridName string, workers int, out, csv string, smoke bool, seed uint64,
 			// Redraw at most 100 times regardless of grid size.
 			if pct := done * 100 / total; pct != last || done == total {
 				last = pct
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d points", gridName, done, total)
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d points", grid.Name, done, total)
 			}
 			if done == total {
 				fmt.Fprintln(os.Stderr)
@@ -79,7 +205,7 @@ func run(gridName string, workers int, out, csv string, smoke bool, seed uint64,
 	}
 	rep.Elapsed = time.Since(start)
 
-	fmt.Println(rep.Render())
+	fmt.Fprintln(w, rep.Render())
 
 	if out != "" {
 		js, err := rep.JSON()
@@ -89,13 +215,13 @@ func run(gridName string, workers int, out, csv string, smoke bool, seed uint64,
 		if err := os.WriteFile(out, js, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d bytes)\n", out, len(js))
+		fmt.Fprintf(w, "wrote %s (%d bytes)\n", out, len(js))
 	}
 	if csv != "" {
 		if err := os.WriteFile(csv, rep.CSV(), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", csv)
+		fmt.Fprintf(w, "wrote %s\n", csv)
 	}
 	return nil
 }

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"gputopo/internal/sweep"
+)
+
+func TestListGridsSortedAndComplete(t *testing.T) {
+	var buf bytes.Buffer
+	if err := listGrids(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		names = append(names, strings.Fields(line)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("grid listing not sorted: %v", names)
+	}
+	if len(names) != len(sweep.GridNames()) {
+		t.Fatalf("listing has %d grids, registry has %d", len(names), len(sweep.GridNames()))
+	}
+}
+
+func TestListGridsDumpsSpecTemplate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := listGrids(&buf, []string{"topology"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := sweep.ParseGridSpec(buf.Bytes())
+	if err != nil {
+		t.Fatalf("dumped spec does not parse back: %v", err)
+	}
+	if g.Name != "topology" || len(g.Topologies) != 3 {
+		t.Fatalf("round-tripped grid %q with %d topologies", g.Name, len(g.Topologies))
+	}
+}
+
+func TestListGridsUnknownNameErrors(t *testing.T) {
+	if err := listGrids(&bytes.Buffer{}, []string{"no-such-grid"}); err == nil {
+		t.Fatal("unknown grid name did not error")
+	}
+	if err := listGrids(&bytes.Buffer{}, []string{"a", "b"}); err == nil {
+		t.Fatal("two positional args did not error")
+	}
+}
+
+func TestRunUnknownGridErrors(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "no-such-grid", 1, "", "", false, 1, false, true); err == nil {
+		t.Fatal("unknown grid name did not error")
+	}
+}
+
+// writeSpec drops a tiny single-cell grid spec into a temp dir.
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const tinySpec = `{
+  "name": "tiny",
+  "policies": ["TOPO-AWARE"],
+  "machines": [1],
+  "jobs": [5],
+  "base_seed": 7,
+  "rate_per_machine": 2
+}`
+
+func TestRunGridSpecFile(t *testing.T) {
+	path := writeSpec(t, tinySpec)
+	outPath := filepath.Join(filepath.Dir(path), "out.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "@"+path, 2, outPath, "", false, 0, false, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sweep.LoadReport(data, outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grid.Name != "tiny" || len(rep.Points) != 1 {
+		t.Fatalf("artifact grid %q with %d points", rep.Grid.Name, len(rep.Points))
+	}
+	if rep.Grid.BaseSeed != 7 {
+		t.Fatalf("spec base_seed overridden to %d without an explicit -seed", rep.Grid.BaseSeed)
+	}
+}
+
+func TestRunGridSpecFileSeedOverride(t *testing.T) {
+	path := writeSpec(t, tinySpec)
+	outPath := filepath.Join(filepath.Dir(path), "out.json")
+	if err := run(&bytes.Buffer{}, "@"+path, 1, outPath, "", false, 99, true, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sweep.LoadReport(data, outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grid.BaseSeed != 99 {
+		t.Fatalf("explicit -seed not applied: base_seed = %d", rep.Grid.BaseSeed)
+	}
+}
+
+func TestDiffFilesSelfAndPerturbed(t *testing.T) {
+	rep, err := sweep.Run(sweep.Grid{
+		Name:           "difftest",
+		Machines:       []int{1},
+		Jobs:           []int{5},
+		BaseSeed:       7,
+		RatePerMachine: 2,
+	}, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(oldPath, js, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	res, err := diffFiles(&buf, []string{oldPath, oldPath}, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasRegressions() {
+		t.Fatalf("self-diff reports regressions:\n%s", buf.String())
+	}
+
+	// Perturb one makespan and expect a regression plus a markdown table.
+	rep2 := *rep
+	cells := append([]sweep.CellSummary(nil), rep.Cells...)
+	cells[0].Makespan.Mean *= 1.5
+	rep2.Cells = cells
+	js2, err := rep2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(newPath, js2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	res, err = diffFiles(&buf, []string{oldPath, newPath}, 0.01, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasRegressions() {
+		t.Fatal("perturbed artifact not flagged as regression")
+	}
+	if out := buf.String(); !strings.Contains(out, "| cell | metric |") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("markdown delta table missing:\n%s", out)
+	}
+
+	if _, err := diffFiles(&buf, []string{oldPath}, 0, ""); err == nil {
+		t.Fatal("one-argument diff did not error")
+	}
+}
+
+func TestParseTolerances(t *testing.T) {
+	opt, err := parseTolerances(0.02, "makespan_s=0.1,slo_violations=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.RelTol != 0.02 || opt.PerMetric["makespan_s"] != 0.1 {
+		t.Fatalf("tolerances parsed as %+v", opt)
+	}
+	if _, err := parseTolerances(0, "bogus_metric=1"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	if _, err := parseTolerances(0, "makespan_s"); err == nil {
+		t.Fatal("missing =value accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package gputopo
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinksResolve walks every markdown file in the repository and
+// checks that relative links point at files or directories that exist.
+// External links (http, mailto), pure anchors, and links that escape the
+// repository root (GitHub-web-relative paths like the CI badge) are
+// skipped. CI runs this in the docs job; it is also part of the normal
+// test suite so broken links fail fast locally.
+func TestDocsLinksResolve(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mdFiles []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		// SNIPPETS.md and PAPERS.md are verbatim external reference
+		// material (retrieved exemplar code and related work) whose
+		// links point into their original repositories, not this one.
+		if strings.HasSuffix(d.Name(), ".md") && d.Name() != "SNIPPETS.md" && d.Name() != "PAPERS.md" {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 5 {
+		t.Fatalf("only %d markdown files found — walker broken?", len(mdFiles))
+	}
+	checked := 0
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			rel, err := filepath.Rel(root, resolved)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				continue // GitHub-web-relative (e.g. the CI badge), not a repo file
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (%s)", relPath(root, md), m[1], rel)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links checked — regex or corpus broken?")
+	}
+}
+
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil {
+		return rel
+	}
+	return path
+}

@@ -5,10 +5,8 @@ import (
 
 	"gputopo/internal/metrics"
 	"gputopo/internal/sched"
-	"gputopo/internal/simulator"
 	"gputopo/internal/sweep"
 	"gputopo/internal/topology"
-	"gputopo/internal/workload"
 )
 
 // Ablations for the design choices DESIGN.md calls out. These have no
@@ -27,23 +25,39 @@ type WeightAblationRow struct {
 // LevelWeightAblation re-runs the Table 1 scenario under TOPO-AWARE-P with
 // different socket-level distance weights, supporting the §4.1.2 claim
 // that only the ordering of level weights matters: placements — and
-// therefore makespans — should not change.
+// therefore makespans — should not change. It is a thin grid over the
+// topology axis — one TopologySpec per socket weight — executed
+// concurrently by the sweep engine (the explicit zero seed matches the
+// pre-port serial loop, which ran the simulator with its zero-value
+// config seed).
 func LevelWeightAblation(socketWeights []float64) ([]WeightAblationRow, error) {
-	var rows []WeightAblationRow
-	for _, w := range socketWeights {
-		topo := topology.Power8MinskyWeights(topology.LevelWeights{Socket: w})
-		res, err := simulator.Run(simulator.Config{
-			Topology: topo,
-			Policy:   sched.TopoAwareP,
-		}, workload.Table1())
-		if err != nil {
-			return nil, fmt.Errorf("weight ablation w=%g: %w", w, err)
+	if len(socketWeights) == 0 {
+		return nil, nil // like the pre-port serial loop over zero weights
+	}
+	specs := make([]sweep.TopologySpec, len(socketWeights))
+	for i, w := range socketWeights {
+		specs[i] = sweep.TopologySpec{
+			Builder: topology.KindMinsky.String(),
+			Weights: &topology.LevelWeights{Socket: w},
 		}
-		rows = append(rows, WeightAblationRow{
-			SocketWeight: w,
-			Makespan:     res.Makespan,
-			SLO:          res.SLOViolations(),
-		})
+	}
+	rep, err := sweep.Run(sweep.Grid{
+		Name:       "levelweights",
+		Source:     sweep.SourceTable1,
+		Policies:   []sched.Policy{sched.TopoAwareP},
+		Topologies: specs,
+		Seeds:      []uint64{0},
+	}, sweep.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("weight ablation: %w", err)
+	}
+	rows := make([]WeightAblationRow, len(rep.Points))
+	for i, p := range rep.Points {
+		rows[i] = WeightAblationRow{
+			SocketWeight: p.Topology.Weights.Socket,
+			Makespan:     p.Makespan,
+			SLO:          p.SLOViolations,
+		}
 	}
 	return rows, nil
 }
@@ -76,6 +90,9 @@ type AlphaRow struct {
 // α axis, executed concurrently by the sweep engine; every α point
 // regenerates the identical workload stream from the shared seed.
 func AlphaSweep(alphas []float64, jobs, machines int, seed uint64) ([]AlphaRow, error) {
+	if len(alphas) == 0 {
+		return nil, nil // like the pre-port serial loop over zero alphas
+	}
 	rep, err := sweep.Run(sweep.Grid{
 		Name:     "alpha",
 		Policies: []sched.Policy{sched.TopoAwareP},
@@ -128,6 +145,9 @@ type ThresholdRow struct {
 // makes P behave exactly like TOPO-AWARE). It is a thin grid over the
 // threshold axis, executed concurrently by the sweep engine.
 func ThresholdSweep(thresholds []float64, jobs, machines int, seed uint64) ([]ThresholdRow, error) {
+	if len(thresholds) == 0 {
+		return nil, nil // like the pre-port serial loop over zero thresholds
+	}
 	rep, err := sweep.Run(sweep.Grid{
 		Name:       "threshold",
 		Policies:   []sched.Policy{sched.TopoAwareP},

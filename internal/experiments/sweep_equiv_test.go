@@ -130,6 +130,26 @@ func legacyThresholdSweep(thresholds []float64, jobs, machines int, seed uint64)
 	return rows, nil
 }
 
+func legacyLevelWeightAblation(socketWeights []float64) ([]WeightAblationRow, error) {
+	var rows []WeightAblationRow
+	for _, w := range socketWeights {
+		topo := topology.Power8MinskyWeights(topology.LevelWeights{Socket: w})
+		res, err := simulator.Run(simulator.Config{
+			Topology: topo,
+			Policy:   sched.TopoAwareP,
+		}, workload.Table1())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WeightAblationRow{
+			SocketWeight: w,
+			Makespan:     res.Makespan,
+			SLO:          res.SLOViolations(),
+		})
+	}
+	return rows, nil
+}
+
 // sameResult compares the observable outcome of two simulation runs
 // exactly: per-job placements and timings must match bit for bit.
 func sameResult(t *testing.T, label string, got, want *simulator.Result) {
@@ -226,6 +246,37 @@ func TestAlphaSweepMatchesLegacy(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("alpha row %d: %+v != %+v", i, got[i], want[i])
 		}
+	}
+}
+
+func TestLevelWeightAblationMatchesLegacy(t *testing.T) {
+	weights := []float64{5, 20, 40, 100}
+	got, err := LevelWeightAblation(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := legacyLevelWeightAblation(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("level-weight row %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	// Empty inputs stay a no-op, like the legacy loops — not a grid
+	// validation error.
+	if rows, err := LevelWeightAblation(nil); err != nil || len(rows) != 0 {
+		t.Fatalf("empty ablation: rows=%v err=%v", rows, err)
+	}
+	if rows, err := AlphaSweep(nil, 10, 1, 1); err != nil || len(rows) != 0 {
+		t.Fatalf("empty alpha sweep: rows=%v err=%v", rows, err)
+	}
+	if rows, err := ThresholdSweep([]float64{}, 10, 1, 1); err != nil || len(rows) != 0 {
+		t.Fatalf("empty threshold sweep: rows=%v err=%v", rows, err)
 	}
 }
 

@@ -5,16 +5,17 @@ import (
 	"sort"
 )
 
-// Summary holds descriptive statistics for a sample.
+// Summary holds descriptive statistics for a sample. The JSON form uses
+// snake_case keys, matching the sweep artifact format (docs/sweeps.md).
 type Summary struct {
-	N      int
-	Mean   float64
-	Stddev float64
-	Min    float64
-	Max    float64
-	P50    float64
-	P95    float64
-	P99    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
 }
 
 // Summarize computes descriptive statistics over xs. A nil or empty slice

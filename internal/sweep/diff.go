@@ -1,0 +1,249 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The per-cell metrics the differ compares, in report order. Every entry
+// is the mean across a cell's replicas; lower is better for all of them.
+var diffMetrics = []struct {
+	name string
+	get  func(CellSummary) float64
+}{
+	{"makespan_s", func(c CellSummary) float64 { return c.Makespan.Mean }},
+	{"mean_slowdown_qos", func(c CellSummary) float64 { return c.MeanQoS.Mean }},
+	{"mean_slowdown_qos_wait", func(c CellSummary) float64 { return c.MeanQoSWait.Mean }},
+	{"total_wait_s", func(c CellSummary) float64 { return c.TotalWait.Mean }},
+	{"slo_violations", func(c CellSummary) float64 { return c.SLOViolations.Mean }},
+}
+
+// DiffMetricNames lists the metric names the differ compares (the keys
+// accepted by DiffOptions.PerMetric), in output order.
+func DiffMetricNames() []string {
+	names := make([]string, len(diffMetrics))
+	for i, m := range diffMetrics {
+		names[i] = m.name
+	}
+	return names
+}
+
+// DiffOptions tunes the differ's tolerances. The zero value compares
+// exactly: any increase of any metric is a regression.
+type DiffOptions struct {
+	// RelTol is the default relative tolerance: a metric change counts
+	// only when |new-old| > RelTol·|old|.
+	RelTol float64
+	// PerMetric overrides RelTol for individual metrics (keys from
+	// DiffMetricNames).
+	PerMetric map[string]float64
+}
+
+func (o DiffOptions) tol(metric string) float64 {
+	if t, ok := o.PerMetric[metric]; ok {
+		return t
+	}
+	return o.RelTol
+}
+
+// DeltaStatus classifies one cell-metric comparison.
+type DeltaStatus int
+
+// Comparison outcomes. Every metric is lower-is-better, so an increase
+// beyond tolerance is a regression and a decrease an improvement.
+const (
+	DeltaEqual DeltaStatus = iota
+	DeltaImprovement
+	DeltaRegression
+)
+
+// String names the status for tables and logs.
+func (s DeltaStatus) String() string {
+	switch s {
+	case DeltaEqual:
+		return "ok"
+	case DeltaImprovement:
+		return "improved"
+	case DeltaRegression:
+		return "REGRESSION"
+	default:
+		return fmt.Sprintf("DeltaStatus(%d)", int(s))
+	}
+}
+
+// MetricDelta is one metric of one cell compared across two reports.
+type MetricDelta struct {
+	Cell   string
+	Metric string
+	Old    float64
+	New    float64
+	// Rel is (new-old)/|old|; ±Inf when old is zero and new is not, and
+	// NaN when either side is NaN.
+	Rel    float64
+	Status DeltaStatus
+}
+
+// DiffResult is the deterministic join of two sweep reports by cell key.
+type DiffResult struct {
+	// OldName and NewName label the sides (grid names or file paths).
+	OldName, NewName string
+	// MissingCells are cell keys present in the old report but absent
+	// from the new one — lost coverage, counted as regressions.
+	MissingCells []string
+	// AddedCells are cell keys only the new report has (informational).
+	AddedCells []string
+	// Deltas holds every compared cell-metric pair, in old-report cell
+	// order then metric order.
+	Deltas []MetricDelta
+	// Regressions, Improvements and Unchanged count Deltas by status;
+	// Regressions also counts MissingCells.
+	Regressions  int
+	Improvements int
+	Unchanged    int
+}
+
+// HasRegressions reports whether any metric regressed beyond tolerance or
+// any cell disappeared.
+func (d *DiffResult) HasRegressions() bool { return d.Regressions > 0 }
+
+// compareMetric classifies new against old under a relative tolerance.
+// NaN on both sides is equal (the cell is consistently degenerate); NaN on
+// one side is a regression — a metric silently becoming undefined (or
+// recovering, which still demands a baseline refresh) must not pass CI.
+func compareMetric(old, new, tol float64) (rel float64, status DeltaStatus) {
+	oldNaN, newNaN := math.IsNaN(old), math.IsNaN(new)
+	switch {
+	case oldNaN && newNaN:
+		return 0, DeltaEqual
+	case oldNaN || newNaN:
+		return math.NaN(), DeltaRegression
+	}
+	if old == new {
+		return 0, DeltaEqual
+	}
+	if old == 0 {
+		rel = math.Inf(1)
+		if new < 0 {
+			rel = math.Inf(-1)
+		}
+	} else {
+		rel = (new - old) / math.Abs(old)
+	}
+	switch {
+	case rel > tol:
+		return rel, DeltaRegression
+	case rel < -tol:
+		return rel, DeltaImprovement
+	default:
+		return rel, DeltaEqual
+	}
+}
+
+// Diff joins two reports' cells by key and classifies every metric delta
+// under the options' tolerances. The result is deterministic: cells are
+// visited in the old report's order, added cells sorted by key.
+func Diff(oldRep, newRep *Report, opt DiffOptions) *DiffResult {
+	d := &DiffResult{OldName: oldRep.Grid.Name, NewName: newRep.Grid.Name}
+	newCells := make(map[string]CellSummary, len(newRep.Cells))
+	for _, c := range newRep.Cells {
+		newCells[c.Key()] = c
+	}
+	seen := make(map[string]bool, len(oldRep.Cells))
+	for _, oc := range oldRep.Cells {
+		key := oc.Key()
+		seen[key] = true
+		nc, ok := newCells[key]
+		if !ok {
+			d.MissingCells = append(d.MissingCells, key)
+			d.Regressions++
+			continue
+		}
+		for _, m := range diffMetrics {
+			rel, status := compareMetric(m.get(oc), m.get(nc), opt.tol(m.name))
+			d.Deltas = append(d.Deltas, MetricDelta{
+				Cell:   key,
+				Metric: m.name,
+				Old:    m.get(oc),
+				New:    m.get(nc),
+				Rel:    rel,
+				Status: status,
+			})
+			switch status {
+			case DeltaRegression:
+				d.Regressions++
+			case DeltaImprovement:
+				d.Improvements++
+			default:
+				d.Unchanged++
+			}
+		}
+	}
+	for _, c := range newRep.Cells {
+		if !seen[c.Key()] {
+			d.AddedCells = append(d.AddedCells, c.Key())
+		}
+	}
+	sort.Strings(d.AddedCells)
+	return d
+}
+
+// Markdown renders the diff as a GitHub-flavored markdown report: a
+// verdict line, the changed cells as a delta table (unchanged metrics are
+// summarized, not listed), and any missing/added cells. The output is
+// deterministic, so it can be committed or posted by CI verbatim.
+func (d *DiffResult) Markdown() string {
+	var sb strings.Builder
+	verdict := "✅ no regressions"
+	if d.HasRegressions() {
+		verdict = fmt.Sprintf("❌ %d regression(s)", d.Regressions)
+	}
+	fmt.Fprintf(&sb, "## Sweep diff: `%s` → `%s`\n\n", d.OldName, d.NewName)
+	fmt.Fprintf(&sb, "%s — %d metric(s) compared, %d unchanged, %d improved, %d missing cell(s), %d added cell(s)\n",
+		verdict, len(d.Deltas), d.Unchanged, d.Improvements, len(d.MissingCells), len(d.AddedCells))
+	var changed []MetricDelta
+	for _, md := range d.Deltas {
+		if md.Status != DeltaEqual {
+			changed = append(changed, md)
+		}
+	}
+	if len(changed) > 0 {
+		sb.WriteString("\n| cell | metric | old | new | Δ | status |\n")
+		sb.WriteString("|---|---|---:|---:|---:|---|\n")
+		for _, md := range changed {
+			fmt.Fprintf(&sb, "| %s | %s | %.6g | %.6g | %+.2f%% | %s |\n",
+				md.Cell, md.Metric, md.Old, md.New, 100*md.Rel, md.Status)
+		}
+	}
+	if len(d.MissingCells) > 0 {
+		sb.WriteString("\nCells missing from the new report:\n")
+		for _, k := range d.MissingCells {
+			fmt.Fprintf(&sb, "- ❌ `%s`\n", k)
+		}
+	}
+	if len(d.AddedCells) > 0 {
+		sb.WriteString("\nCells only in the new report:\n")
+		for _, k := range d.AddedCells {
+			fmt.Fprintf(&sb, "- ➕ `%s`\n", k)
+		}
+	}
+	return sb.String()
+}
+
+// LoadReport reads a JSON sweep artifact (as written by toposweep -out or
+// Report.JSON) back into a Report for diffing.
+func LoadReport(data []byte, name string) (*Report, error) {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("sweep: parsing report %s: %w", name, err)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("sweep: report %s has no cells — not a sweep artifact?", name)
+	}
+	if rep.Grid.Name == "" {
+		rep.Grid.Name = name
+	}
+	return &rep, nil
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"gputopo/internal/sched"
+	"gputopo/internal/topology"
 )
 
 // namedGrids is the registry of predefined sweeps the toposweep CLI (and
@@ -19,6 +20,7 @@ var namedGrids = map[string]struct {
 		build: func(seed uint64) Grid {
 			return Grid{
 				Name:           "smoke",
+				Topologies:     []TopologySpec{{Builder: "minsky"}},
 				Machines:       []int{2, 5},
 				Jobs:           []int{40, 100},
 				Replicas:       2,
@@ -32,6 +34,7 @@ var namedGrids = map[string]struct {
 		build: func(seed uint64) Grid {
 			return Grid{
 				Name:           "default",
+				Topologies:     []TopologySpec{{Builder: "minsky"}},
 				Machines:       []int{2, 5, 10},
 				Jobs:           []int{50, 100, 200},
 				Replicas:       3,
@@ -45,6 +48,7 @@ var namedGrids = map[string]struct {
 		build: func(seed uint64) Grid {
 			return Grid{
 				Name:           "scenario1",
+				Topologies:     []TopologySpec{{Builder: "minsky"}},
 				Machines:       []int{5},
 				Jobs:           []int{100},
 				Replicas:       5,
@@ -58,6 +62,7 @@ var namedGrids = map[string]struct {
 		build: func(seed uint64) Grid {
 			return Grid{
 				Name:           "scenario2",
+				Topologies:     []TopologySpec{{Builder: "minsky"}},
 				Machines:       []int{1000},
 				Jobs:           []int{10000},
 				BaseSeed:       seed,
@@ -69,13 +74,14 @@ var namedGrids = map[string]struct {
 		desc: "αcc utility-weight ablation under TOPO-AWARE-P, 3 replicas",
 		build: func(seed uint64) Grid {
 			return Grid{
-				Name:     "alpha",
-				Policies: []sched.Policy{sched.TopoAwareP},
-				Machines: []int{5},
-				Jobs:     []int{100},
-				AlphasCC: []float64{0, 0.2, 1.0 / 3, 0.5, 0.8, 1},
-				Replicas: 3,
-				BaseSeed: seed,
+				Name:       "alpha",
+				Policies:   []sched.Policy{sched.TopoAwareP},
+				Topologies: []TopologySpec{{Builder: "minsky"}},
+				Machines:   []int{5},
+				Jobs:       []int{100},
+				AlphasCC:   []float64{0, 0.2, 1.0 / 3, 0.5, 0.8, 1},
+				Replicas:   3,
+				BaseSeed:   seed,
 			}
 		},
 	},
@@ -85,6 +91,7 @@ var namedGrids = map[string]struct {
 			return Grid{
 				Name:       "threshold",
 				Policies:   []sched.Policy{sched.TopoAwareP},
+				Topologies: []TopologySpec{{Builder: "minsky"}},
 				Machines:   []int{5},
 				Jobs:       []int{100},
 				Thresholds: []float64{0, 0.3, 0.5, 0.7, 0.9},
@@ -97,9 +104,49 @@ var namedGrids = map[string]struct {
 		desc: "Table 1 six-job prototype scenario across all 4 policies (simulator engine)",
 		build: func(seed uint64) Grid {
 			return Grid{
-				Name:     "table1",
-				Source:   SourceTable1,
+				Name:       "table1",
+				Source:     SourceTable1,
+				Topologies: []TopologySpec{{Builder: "minsky"}},
+				BaseSeed:   seed,
+			}
+		},
+	},
+	"topology": {
+		desc: "topology ablation: 4 policies × {4×Minsky, 2×DGX-1, 4×PCIe} (16 GPUs each) × 3 replicas",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name: "topology",
+				// Equal GPU capacity per variant (16 GPUs) so the axis
+				// isolates interconnect structure, not cluster size. The
+				// cluster-wide default arrival rate (λ = 10 jobs/min)
+				// keeps the offered load identical across variants too.
+				Topologies: []TopologySpec{
+					{Builder: "minsky", Machines: 4},
+					{Builder: "dgx1", Machines: 2},
+					{Builder: "pcie", Machines: 4},
+				},
+				Jobs:     []int{80},
+				Replicas: 3,
 				BaseSeed: seed,
+			}
+		},
+	},
+	"levelweights": {
+		desc: "§4.1.2 level-weight ablation: Table 1 under TOPO-AWARE-P with socket weights {5,10,20,40,100}",
+		build: func(seed uint64) Grid {
+			specs := make([]TopologySpec, 0, 5)
+			for _, w := range []float64{5, 10, 20, 40, 100} {
+				specs = append(specs, TopologySpec{
+					Builder: "minsky",
+					Weights: &topology.LevelWeights{Socket: w},
+				})
+			}
+			return Grid{
+				Name:       "levelweights",
+				Source:     SourceTable1,
+				Policies:   []sched.Policy{sched.TopoAwareP},
+				Topologies: specs,
+				BaseSeed:   seed,
 			}
 		},
 	},

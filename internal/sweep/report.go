@@ -63,6 +63,7 @@ type CellSummary struct {
 	Engine        Engine        `json:"engine"`
 	Source        Source        `json:"source"`
 	Policy        sched.Policy  `json:"policy"`
+	Topology      TopologySpec  `json:"topology"`
 	Machines      int           `json:"machines"`
 	Jobs          int           `json:"jobs"`
 	AlphaCC       float64       `json:"alpha_cc"`
@@ -73,6 +74,13 @@ type CellSummary struct {
 	MeanQoSWait   stats.Summary `json:"mean_slowdown_qos_wait"`
 	TotalWait     stats.Summary `json:"total_wait_s"`
 	SLOViolations stats.Summary `json:"slo_violations"`
+}
+
+// Key identifies the cell across reports: every axis except the replica,
+// in a fixed order. Diffing two artifacts joins their cells by this key.
+func (c CellSummary) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%s/m%d/j%d/a%g/t%g",
+		c.Engine, c.Source, c.Policy, c.Topology.Key(), c.Machines, c.Jobs, c.AlphaCC, c.Threshold)
 }
 
 // summarizeCells groups point results by cell, preserving first-seen
@@ -105,6 +113,7 @@ func summarizeCells(points []Point, results []PointResult) []CellSummary {
 			Engine:        a.first.Engine,
 			Source:        a.first.Source,
 			Policy:        a.first.Policy,
+			Topology:      a.first.Topology,
 			Machines:      a.first.Machines,
 			Jobs:          a.first.Jobs,
 			AlphaCC:       a.first.AlphaCC,
@@ -156,13 +165,13 @@ func (r *Report) JSON() ([]byte, error) {
 // and pandas consumption.
 func (r *Report) CSV() []byte {
 	var buf bytes.Buffer
-	buf.WriteString("index,engine,source,policy,machines,jobs,alpha_cc,threshold,replica,seed," +
+	buf.WriteString("index,engine,source,policy,topology,machines,jobs,alpha_cc,threshold,replica,seed," +
 		"makespan_s,slo_violations,mean_slowdown_qos,mean_slowdown_qos_wait,total_wait_s," +
 		"jobs_finished,placements,postponements\n")
 	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 	for _, p := range r.Points {
-		fmt.Fprintf(&buf, "%d,%s,%s,%s,%d,%d,%s,%s,%d,%d,%s,%d,%s,%s,%s,%d,%d,%d\n",
-			p.Index, p.Engine, p.Source, p.Policy, p.Point.Machines, p.Point.Jobs,
+		fmt.Fprintf(&buf, "%d,%s,%s,%s,%s,%d,%d,%s,%s,%d,%d,%s,%d,%s,%s,%s,%d,%d,%d\n",
+			p.Index, p.Engine, p.Source, p.Policy, p.Topology.Key(), p.Point.Machines, p.Point.Jobs,
 			f(p.AlphaCC), f(p.Point.Threshold), p.Replica, p.Seed,
 			f(p.Makespan), p.SLOViolations, f(p.MeanQoS), f(p.MeanQoSWait), f(p.TotalWait),
 			p.JobsFinished, p.Placements, p.Postponements)
@@ -184,6 +193,7 @@ func (r *Report) Render() string {
 		}
 		rows = append(rows, []string{
 			c.Policy.String(),
+			c.Topology.Key(),
 			fmt.Sprintf("%d", c.Machines),
 			fmt.Sprintf("%d", c.Jobs),
 			alpha,
@@ -198,7 +208,7 @@ func (r *Report) Render() string {
 	out := fmt.Sprintf("Sweep %q — %d points, %d cells (engine %s, source %s)\n",
 		r.Grid.Name, len(r.Points), len(r.Cells), r.Grid.Engine, r.Grid.Source) +
 		metrics.Table([]string{
-			"policy", "machines", "jobs", "αcc", "thresh", "reps",
+			"policy", "topology", "machines", "jobs", "αcc", "thresh", "reps",
 			"makespan(s)", "QoS slow", "wait(s)", "SLO-viol",
 		}, rows)
 	if r.Elapsed > 0 {

@@ -1,0 +1,249 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"gputopo/internal/topology"
+)
+
+// TopologySpec names the physical topology of a grid cell declaratively:
+// a registered builder ("minsky", "dgx1", "pcie"), an optional machine
+// count, and optional per-level distance-weight overrides. The zero value
+// is the legacy default — a Minsky cluster sized by the grid's Machines
+// axis (or one standalone Minsky machine for Table 1 replays).
+//
+// Because the spec is plain data, it can serve as a grid axis: the sweep
+// engine expands Grid.Topologies like any other axis, and the spec
+// round-trips through grid spec files and report artifacts.
+type TopologySpec struct {
+	// Builder is a name accepted by topology.ParseMachineKind; empty
+	// means "minsky".
+	Builder string `json:"builder,omitempty"`
+	// Machines pins the machine count of this topology. 0 defers to the
+	// grid's Machines axis; a grid may set one or the other, not both.
+	Machines int `json:"machines,omitempty"`
+	// Weights overrides the qualitative level weights (zero fields keep
+	// the Figure 7 defaults).
+	Weights *topology.LevelWeights `json:"weights,omitempty"`
+}
+
+// builderOrDefault returns the builder name with the empty default applied.
+func (ts TopologySpec) builderOrDefault() string {
+	if ts.Builder == "" {
+		return topology.KindMinsky.String()
+	}
+	return ts.Builder
+}
+
+// Key is the compact deterministic label of the spec used in cell keys,
+// CSV artifacts and diff tables: builder, then ":N" when the machine count
+// is pinned, then the non-zero weight overrides in fixed field order,
+// e.g. "minsky", "dgx1:2", "minsky[socket=5]".
+func (ts TopologySpec) Key() string {
+	var sb strings.Builder
+	sb.WriteString(ts.builderOrDefault())
+	if ts.Machines > 0 {
+		fmt.Fprintf(&sb, ":%d", ts.Machines)
+	}
+	if ts.Weights != nil {
+		var parts []string
+		add := func(name string, v float64) {
+			if v != 0 {
+				parts = append(parts, fmt.Sprintf("%s=%g", name, v))
+			}
+		}
+		add("gpupeer", ts.Weights.GPUPeer)
+		add("gpulink", ts.Weights.GPULink)
+		add("switch", ts.Weights.Switch)
+		add("socket", ts.Weights.Socket)
+		add("machine", ts.Weights.Machine)
+		if len(parts) > 0 {
+			sb.WriteString("[" + strings.Join(parts, ";") + "]")
+		}
+	}
+	return sb.String()
+}
+
+// EffectiveMachines resolves the machine count of a point on this
+// topology: the spec's pinned count when set, else the Machines-axis
+// value.
+func (ts TopologySpec) EffectiveMachines(axis int) int {
+	if ts.Machines > 0 {
+		return ts.Machines
+	}
+	return axis
+}
+
+// Validate checks the spec against the builder registry.
+func (ts TopologySpec) Validate() error {
+	if _, err := topology.ParseMachineKind(ts.builderOrDefault()); err != nil {
+		return err
+	}
+	if ts.Machines < 0 {
+		return fmt.Errorf("topology spec %s: machines must be >= 0, got %d", ts.Key(), ts.Machines)
+	}
+	if w := ts.Weights; w != nil {
+		for _, f := range []struct {
+			name string
+			v    float64
+		}{
+			{"gpu_peer", w.GPUPeer}, {"gpu_link", w.GPULink}, {"switch", w.Switch},
+			{"socket", w.Socket}, {"machine", w.Machine},
+		} {
+			if f.v < 0 {
+				return fmt.Errorf("topology spec %s: weight %s must be >= 0, got %g", ts.Key(), f.name, f.v)
+			}
+		}
+	}
+	return nil
+}
+
+// Build materializes the topology. machines is the Machines-axis value,
+// overridden by the spec's own pinned count when set. standalone selects
+// the single-machine builder (no network root) when the effective count
+// is <= 1 — the Table 1 / prototype substrate — while generated workloads
+// always get a cluster with a network root, even for one machine,
+// preserving the legacy Machines-axis behavior bit for bit.
+func (ts TopologySpec) Build(machines int, standalone bool) (*topology.Topology, error) {
+	machines = ts.EffectiveMachines(machines)
+	kind, err := topology.ParseMachineKind(ts.builderOrDefault())
+	if err != nil {
+		return nil, err
+	}
+	w := topology.DefaultWeights()
+	if ts.Weights != nil {
+		w = *ts.Weights
+	}
+	if standalone && machines <= 1 {
+		return topology.Machine(kind, w)
+	}
+	if machines < 1 {
+		machines = 1
+	}
+	return topology.ClusterWeights(machines, kind, w), nil
+}
+
+// Validate checks a grid for the mistakes a hand-written spec file can
+// make: empty-but-present axes, out-of-range values, unknown topology
+// builders, and a Machines axis that conflicts with pinned topology
+// machine counts. Axes left absent (nil) are fine — withDefaults fills
+// them — but an explicitly empty axis ("machines": []) is an error,
+// because it would silently expand to zero points.
+func (g Grid) Validate() error {
+	type axis struct {
+		name  string
+		isNil bool
+		n     int
+	}
+	for _, a := range []axis{
+		{"policies", g.Policies == nil, len(g.Policies)},
+		{"machines", g.Machines == nil, len(g.Machines)},
+		{"jobs", g.Jobs == nil, len(g.Jobs)},
+		{"alphas_cc", g.AlphasCC == nil, len(g.AlphasCC)},
+		{"thresholds", g.Thresholds == nil, len(g.Thresholds)},
+		{"seeds", g.Seeds == nil, len(g.Seeds)},
+		{"topologies", g.Topologies == nil, len(g.Topologies)},
+	} {
+		if !a.isNil && a.n == 0 {
+			return fmt.Errorf("sweep: grid %q: axis %q is present but empty — omit it to use the default", g.Name, a.name)
+		}
+	}
+	for _, m := range g.Machines {
+		if m < 1 {
+			return fmt.Errorf("sweep: grid %q: machines axis value %d must be >= 1", g.Name, m)
+		}
+	}
+	for _, j := range g.Jobs {
+		if j < 0 {
+			return fmt.Errorf("sweep: grid %q: jobs axis value %d must be >= 0", g.Name, j)
+		}
+	}
+	for _, a := range g.AlphasCC {
+		if a != NoOverride && (a < 0 || a > 1) {
+			return fmt.Errorf("sweep: grid %q: alphas_cc value %g must be in [0,1] (or %d for the engine default)", g.Name, a, NoOverride)
+		}
+	}
+	for _, th := range g.Thresholds {
+		if th != NoOverride && (th < 0 || th > 1) {
+			return fmt.Errorf("sweep: grid %q: thresholds value %g must be in [0,1] (or %d for the engine default)", g.Name, th, NoOverride)
+		}
+	}
+	if g.Replicas < 0 {
+		return fmt.Errorf("sweep: grid %q: replicas must be >= 0, got %d", g.Name, g.Replicas)
+	}
+	if g.RatePerMachine < 0 {
+		return fmt.Errorf("sweep: grid %q: rate_per_machine must be >= 0, got %g", g.Name, g.RatePerMachine)
+	}
+	if g.SampleInterval < 0 {
+		return fmt.Errorf("sweep: grid %q: sample_interval must be >= 0, got %g", g.Name, g.SampleInterval)
+	}
+	if g.JitterStddev < 0 {
+		return fmt.Errorf("sweep: grid %q: jitter_stddev must be >= 0, got %g", g.Name, g.JitterStddev)
+	}
+	pinned := false
+	for _, ts := range g.Topologies {
+		if err := ts.Validate(); err != nil {
+			return fmt.Errorf("sweep: grid %q: %w", g.Name, err)
+		}
+		if ts.Machines > 0 {
+			pinned = true
+		}
+	}
+	if pinned && g.Machines != nil {
+		return fmt.Errorf("sweep: grid %q: a topology spec pins its machine count, so the machines axis must be omitted", g.Name)
+	}
+	return nil
+}
+
+// ParseGridSpec decodes a JSON grid spec (the format documented in
+// docs/sweeps.md) and validates it. Unknown fields, malformed JSON,
+// unknown enum names (policies, engine, source, topology builders) and
+// out-of-range axis values are all rejected with errors that name the
+// offending field.
+func ParseGridSpec(data []byte) (Grid, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("sweep: invalid grid spec: %w", err)
+	}
+	if dec.More() {
+		return Grid{}, fmt.Errorf("sweep: invalid grid spec: trailing data after the JSON object")
+	}
+	if err := g.Validate(); err != nil {
+		return Grid{}, err
+	}
+	return g, nil
+}
+
+// LoadGridSpec reads and parses a grid spec file. When the grid has no
+// name, the file path stands in so reports stay identifiable.
+func LoadGridSpec(path string) (Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Grid{}, fmt.Errorf("sweep: reading grid spec: %w", err)
+	}
+	g, err := ParseGridSpec(data)
+	if err != nil {
+		return Grid{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if g.Name == "" {
+		g.Name = path
+	}
+	return g, nil
+}
+
+// SpecJSON serializes the grid as an indented spec file — the same format
+// ParseGridSpec accepts — so any named grid doubles as a template for
+// ad-hoc sweeps (toposweep -list <name>).
+func (g Grid) SpecJSON() ([]byte, error) {
+	js, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(js, '\n'), nil
+}

@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"gputopo/internal/topology"
+)
+
+func TestParseGridSpecValid(t *testing.T) {
+	g, err := ParseGridSpec([]byte(`{
+		"name": "adhoc",
+		"policies": ["FCFS", "TOPO-AWARE-P"],
+		"topologies": [
+			{"builder": "minsky", "machines": 4},
+			{"builder": "dgx1", "machines": 2, "weights": {"socket": 40}}
+		],
+		"jobs": [50],
+		"alphas_cc": [0.5],
+		"replicas": 2,
+		"base_seed": 42
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Points()) != 2*2*2 {
+		t.Fatalf("points = %d, want 8", len(g.Points()))
+	}
+	if g.Topologies[1].Weights.Socket != 40 {
+		t.Fatalf("weights lost: %+v", g.Topologies[1])
+	}
+	// Pinned machine counts flow into the points.
+	if pts := g.Points(); pts[0].Machines != 4 || pts[len(pts)-1].Machines != 2 {
+		t.Fatalf("pinned machine counts not applied: %d/%d", pts[0].Machines, pts[len(pts)-1].Machines)
+	}
+}
+
+// errCase asserts ParseGridSpec rejects the spec with an error mentioning
+// every fragment.
+func errCase(t *testing.T, label, spec string, fragments ...string) {
+	t.Helper()
+	_, err := ParseGridSpec([]byte(spec))
+	if err == nil {
+		t.Fatalf("%s: spec accepted", label)
+	}
+	for _, f := range fragments {
+		if !strings.Contains(err.Error(), f) {
+			t.Fatalf("%s: error %q does not mention %q", label, err, f)
+		}
+	}
+}
+
+func TestParseGridSpecErrors(t *testing.T) {
+	errCase(t, "malformed JSON", `{"name": "x",`)
+	errCase(t, "trailing data", `{"name": "x"} {"name": "y"}`, "trailing")
+	errCase(t, "unknown field", `{"name": "x", "polices": ["FCFS"]}`, "polices")
+	errCase(t, "unknown policy", `{"policies": ["SJF"]}`, "SJF")
+	errCase(t, "unknown engine", `{"engine": "fpga"}`, "fpga")
+	errCase(t, "unknown source", `{"source": "replay"}`, "replay")
+	errCase(t, "empty policies axis", `{"policies": []}`, "policies", "empty")
+	errCase(t, "empty machines axis", `{"machines": []}`, "machines", "empty")
+	errCase(t, "empty topologies axis", `{"topologies": []}`, "topologies", "empty")
+	errCase(t, "bad topology builder", `{"topologies": [{"builder": "tpu-pod"}]}`, "tpu-pod")
+	errCase(t, "negative spec machines", `{"topologies": [{"machines": -1}]}`, "machines")
+	errCase(t, "negative weight", `{"topologies": [{"weights": {"socket": -3}}]}`, "socket")
+	errCase(t, "zero machines", `{"machines": [0]}`, "machines")
+	errCase(t, "negative jobs", `{"jobs": [-5]}`, "jobs")
+	errCase(t, "alpha out of range", `{"alphas_cc": [1.5]}`, "alphas_cc")
+	errCase(t, "threshold out of range", `{"thresholds": [2]}`, "thresholds")
+	errCase(t, "negative replicas", `{"replicas": -1}`, "replicas")
+	errCase(t, "negative rate", `{"rate_per_machine": -2}`, "rate_per_machine")
+	errCase(t, "pinned machines with machines axis",
+		`{"topologies": [{"builder": "minsky", "machines": 2}], "machines": [2]}`,
+		"machines axis")
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, name := range GridNames() {
+		g, err := Named(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := g.SpecJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseGridSpec(js)
+		if err != nil {
+			t.Fatalf("grid %q template does not parse back: %v", name, err)
+		}
+		if len(back.Points()) != len(g.Points()) {
+			t.Fatalf("grid %q round-trip changed point count %d -> %d",
+				name, len(g.Points()), len(back.Points()))
+		}
+	}
+}
+
+func TestTopologySpecKeyAndBuild(t *testing.T) {
+	cases := []struct {
+		spec TopologySpec
+		key  string
+	}{
+		{TopologySpec{}, "minsky"},
+		{TopologySpec{Builder: "dgx1", Machines: 2}, "dgx1:2"},
+		{TopologySpec{Builder: "pcie", Weights: &topology.LevelWeights{Socket: 5}}, "pcie[socket=5]"},
+		{TopologySpec{Weights: &topology.LevelWeights{GPUPeer: 2, Machine: 50}}, "minsky[gpupeer=2;machine=50]"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Key(); got != c.key {
+			t.Fatalf("Key() = %q, want %q", got, c.key)
+		}
+	}
+
+	// Standalone build matches the plain builders.
+	topo, err := TopologySpec{}.Build(0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := topology.Power8Minsky(); topo.Name != want.Name || topo.NumGPUs() != want.NumGPUs() {
+		t.Fatalf("standalone minsky built %q with %d GPUs", topo.Name, topo.NumGPUs())
+	}
+	// Cluster build for generated workloads, even at one machine.
+	topo, err = TopologySpec{}.Build(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := topology.Cluster(1, topology.KindMinsky); topo.Name != want.Name {
+		t.Fatalf("generated single-machine topology %q, want %q", topo.Name, want.Name)
+	}
+	// DGX-1 cluster has 8 GPUs per machine.
+	topo, err = TopologySpec{Builder: "dgx1", Machines: 2}.Build(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 16 {
+		t.Fatalf("dgx1:2 has %d GPUs, want 16", topo.NumGPUs())
+	}
+	if _, err := (TopologySpec{Builder: "bogus"}).Build(1, false); err == nil {
+		t.Fatal("bogus builder did not error")
+	}
+}
+
+// TestTopologyAxisSweep runs a real sweep over the topology axis and
+// checks that the axis lands in cells, keys and artifacts.
+func TestTopologyAxisSweep(t *testing.T) {
+	g := Grid{
+		Name: "topo-axis",
+		Topologies: []TopologySpec{
+			{Builder: "minsky", Machines: 2},
+			{Builder: "pcie", Machines: 2},
+		},
+		Jobs:           []int{10},
+		BaseSeed:       7,
+		RatePerMachine: 2,
+	}
+	rep, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2*4 {
+		t.Fatalf("points = %d, want 8", len(rep.Points))
+	}
+	if len(rep.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(rep.Cells))
+	}
+	keys := map[string]bool{}
+	for _, c := range rep.Cells {
+		keys[c.Key()] = true
+	}
+	if len(keys) != 8 {
+		t.Fatalf("cell keys collide across topologies: %v", keys)
+	}
+	// The same workload stream placed on NVLink vs PCIe machines must not
+	// be identical in every metric — otherwise the axis is not reaching
+	// the engine.
+	if rep.Cells[0].Makespan.Mean == rep.Cells[4].Makespan.Mean &&
+		rep.Cells[0].TotalWait.Mean == rep.Cells[4].TotalWait.Mean &&
+		rep.Cells[0].MeanQoS.Mean == rep.Cells[4].MeanQoS.Mean {
+		t.Fatal("minsky and pcie cells are metric-identical; topology axis ineffective")
+	}
+	csv := string(rep.CSV())
+	if !strings.Contains(csv, "minsky:2") || !strings.Contains(csv, "pcie:2") {
+		t.Fatalf("CSV missing topology keys:\n%s", csv)
+	}
+}

@@ -129,22 +129,28 @@ type Grid struct {
 	Engine Engine `json:"engine"`
 	Source Source `json:"source"`
 	// Policies defaults to sched.AllPolicies().
-	Policies []sched.Policy `json:"policies"`
+	Policies []sched.Policy `json:"policies,omitempty"`
+	// Topologies is the topology axis: each spec names a builder, an
+	// optional pinned machine count and optional level-weight overrides.
+	// Empty defaults to one zero spec — a Minsky cluster sized by the
+	// Machines axis (the legacy behavior).
+	Topologies []TopologySpec `json:"topologies,omitempty"`
 	// Machines is the cluster-size axis (default {1}; ignored by
-	// SourceTable1, which always runs on one Minsky machine).
-	Machines []int `json:"machines"`
+	// SourceTable1, which runs on one standalone machine, and by
+	// topology specs that pin their own machine count).
+	Machines []int `json:"machines,omitempty"`
 	// Jobs is the workload-size axis (default {0}; ignored by
 	// SourceTable1).
-	Jobs []int `json:"jobs"`
+	Jobs []int `json:"jobs,omitempty"`
 	// AlphasCC is the utility-weight axis: each value αcc gets weights
 	// {αcc, (1-αcc)/2, (1-αcc)/2}; NoOverride keeps the engine default.
-	AlphasCC []float64 `json:"alphas_cc"`
+	AlphasCC []float64 `json:"alphas_cc,omitempty"`
 	// Thresholds overrides every multi-GPU job's minimum utility;
 	// NoOverride keeps the generated values.
-	Thresholds []float64 `json:"thresholds"`
+	Thresholds []float64 `json:"thresholds,omitempty"`
 	// Seeds is the replica axis: each seed drives one workload/jitter
 	// stream. Leave nil and set Replicas to derive seeds from BaseSeed.
-	Seeds []uint64 `json:"seeds"`
+	Seeds []uint64 `json:"seeds,omitempty"`
 	// Replicas expands BaseSeed into this many derived seeds when Seeds
 	// is nil (default 1 → {BaseSeed}).
 	Replicas int    `json:"replicas,omitempty"`
@@ -162,6 +168,9 @@ type Grid struct {
 func (g Grid) withDefaults() Grid {
 	if len(g.Policies) == 0 {
 		g.Policies = sched.AllPolicies()
+	}
+	if len(g.Topologies) == 0 {
+		g.Topologies = []TopologySpec{{}}
 	}
 	if len(g.Machines) == 0 {
 		g.Machines = []int{1}
@@ -196,6 +205,7 @@ type Point struct {
 	Engine    Engine       `json:"engine"`
 	Source    Source       `json:"source"`
 	Policy    sched.Policy `json:"policy"`
+	Topology  TopologySpec `json:"topology"`
 	Machines  int          `json:"machines"`
 	Jobs      int          `json:"jobs"`
 	AlphaCC   float64      `json:"alpha_cc"`
@@ -207,38 +217,45 @@ type Point struct {
 }
 
 // cellKey identifies the aggregation cell of a point: every axis except
-// the seed replica. Replicas of one cell are summarized together.
+// the seed replica. Replicas of one cell are summarized together. The
+// format matches CellSummary.Key so point- and cell-level joins agree.
 func (p Point) cellKey() string {
-	return fmt.Sprintf("%s|%s|%s|m%d|j%d|a%g|t%g",
-		p.Engine, p.Source, p.Policy, p.Machines, p.Jobs, p.AlphaCC, p.Threshold)
+	return fmt.Sprintf("%s/%s/%s/%s/m%d/j%d/a%g/t%g",
+		p.Engine, p.Source, p.Policy, p.Topology.Key(), p.Machines, p.Jobs, p.AlphaCC, p.Threshold)
 }
 
 // Points expands the grid into its cross product. Expansion is serial and
 // deterministic: point i of a given grid is always the same configuration
-// with the same seed. Policies vary innermost so the points comparing
-// policies on one workload sit next to each other in reports.
+// with the same seed. Topologies vary outermost; policies vary innermost
+// so the points comparing policies on one workload sit next to each other
+// in reports. A point's Machines field records the effective machine
+// count: the topology spec's pinned count when set, else the Machines-axis
+// value.
 func (g Grid) Points() []Point {
 	g = g.withDefaults()
 	var pts []Point
-	for _, m := range g.Machines {
-		for _, j := range g.Jobs {
-			for _, a := range g.AlphasCC {
-				for _, th := range g.Thresholds {
-					for rep, seed := range g.Seeds {
-						for _, pol := range g.Policies {
-							pts = append(pts, Point{
-								Index:     len(pts),
-								Engine:    g.Engine,
-								Source:    g.Source,
-								Policy:    pol,
-								Machines:  m,
-								Jobs:      j,
-								AlphaCC:   a,
-								Threshold: th,
-								Replica:   rep,
-								Seed:      seed,
-								grid:      g,
-							})
+	for _, ts := range g.Topologies {
+		for _, m := range g.Machines {
+			for _, j := range g.Jobs {
+				for _, a := range g.AlphasCC {
+					for _, th := range g.Thresholds {
+						for rep, seed := range g.Seeds {
+							for _, pol := range g.Policies {
+								pts = append(pts, Point{
+									Index:     len(pts),
+									Engine:    g.Engine,
+									Source:    g.Source,
+									Policy:    pol,
+									Topology:  ts,
+									Machines:  ts.EffectiveMachines(m),
+									Jobs:      j,
+									AlphaCC:   a,
+									Threshold: th,
+									Replica:   rep,
+									Seed:      seed,
+									grid:      g,
+								})
+							}
 						}
 					}
 				}
@@ -323,6 +340,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 // returning the aggregated report. The report's serialized form is
 // byte-identical for any worker count.
 func Run(g Grid, opt Options) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
 	g = g.withDefaults()
 	points := g.Points()
 	runner := opt.Runner
@@ -361,23 +381,33 @@ func Run(g Grid, opt Options) (*Report, error) {
 	}, nil
 }
 
-// defaultRunner materializes the point's topology and workload and runs
-// the selected engine. Each invocation builds private state (topology,
-// jobs, profiles), so concurrent points share nothing.
+// defaultRunner materializes the point's topology (from its TopologySpec)
+// and workload and runs the selected engine. Each invocation builds
+// private state (topology, jobs, profiles), so concurrent points share
+// nothing.
 func defaultRunner(p Point) (*RunOutput, error) {
 	var topo *topology.Topology
 	var jobs []*job.Job
 	switch p.Source {
 	case SourceTable1:
-		topo = topology.Power8Minsky()
+		// Table 1 replays run on one standalone machine unless the spec
+		// pins a larger cluster.
+		t, err := p.Topology.Build(p.Topology.Machines, true)
+		if err != nil {
+			return nil, err
+		}
+		topo = t
 		jobs = workload.Table1()
 	case SourceGenerated:
-		topo = topology.Cluster(p.Machines, topology.KindMinsky)
+		t, err := p.Topology.Build(p.Machines, false)
+		if err != nil {
+			return nil, err
+		}
+		topo = t
 		gen := workload.GenConfig{Jobs: p.Jobs, Seed: p.Seed}
 		if p.grid.RatePerMachine > 0 {
 			gen.ArrivalRate = p.grid.RatePerMachine * float64(p.Machines)
 		}
-		var err error
 		jobs, err = workload.Generate(gen, topo)
 		if err != nil {
 			return nil, err

@@ -3,13 +3,15 @@ package topology
 import "fmt"
 
 // LevelWeights parameterizes the qualitative distance weights so the
-// ablation benchmark can vary them. Zero values fall back to the defaults.
+// ablation experiments (and sweep topology specs) can vary them. Zero
+// values fall back to the defaults of Figure 7. The JSON form is used by
+// grid spec files (see internal/sweep and docs/sweeps.md).
 type LevelWeights struct {
-	GPUPeer float64 // direct GPU-GPU edge
-	GPULink float64 // GPU to switch/socket
-	Switch  float64 // switch to socket
-	Socket  float64 // socket to machine
-	Machine float64 // machine to network
+	GPUPeer float64 `json:"gpu_peer,omitempty"` // direct GPU-GPU edge
+	GPULink float64 `json:"gpu_link,omitempty"` // GPU to switch/socket
+	Switch  float64 `json:"switch,omitempty"`   // switch to socket
+	Socket  float64 `json:"socket,omitempty"`   // socket to machine
+	Machine float64 `json:"machine,omitempty"`  // machine to network
 }
 
 // DefaultWeights returns the weights of Figure 7.
@@ -81,8 +83,11 @@ func addMinskyMachine(b *Builder, m int, w LevelWeights, netID int) {
 // PCIe switches instead of NVLink. Its routing penalty is lower (2.5 vs
 // the NVLink machine's 3.5) because transfers were already staged over
 // PCIe, matching the smaller pack-vs-spread gap measured on that machine.
-func PCIeBox() *Topology {
-	w := DefaultWeights()
+func PCIeBox() *Topology { return PCIeBoxWeights(DefaultWeights()) }
+
+// PCIeBoxWeights is PCIeBox with custom level weights.
+func PCIeBoxWeights(w LevelWeights) *Topology {
+	w = w.orDefault()
 	b := NewBuilder("Power8-PCIe")
 	b.SetRoutingPenalty(2.5)
 	m := 0
@@ -105,8 +110,11 @@ func PCIeBox() *Topology {
 // cube-mesh of single-lane NVLinks (the 12 cube edges plus the diagonals of
 // two faces), each GPU also hanging off a PCIe switch (two GPUs per switch,
 // two switches per socket).
-func DGX1() *Topology {
-	w := DefaultWeights()
+func DGX1() *Topology { return DGX1Weights(DefaultWeights()) }
+
+// DGX1Weights is DGX1 with custom level weights.
+func DGX1Weights(w LevelWeights) *Topology {
+	w = w.orDefault()
 	b := NewBuilder("DGX-1")
 	b.SetRoutingPenalty(3.5)
 	m := 0
@@ -153,12 +161,67 @@ const (
 	KindPCIeBox
 )
 
+// String returns the canonical builder name ("minsky", "dgx1", "pcie")
+// accepted by ParseMachineKind and by sweep topology specs.
+func (k MachineKind) String() string {
+	switch k {
+	case KindMinsky:
+		return "minsky"
+	case KindDGX1:
+		return "dgx1"
+	case KindPCIeBox:
+		return "pcie"
+	default:
+		return fmt.Sprintf("MachineKind(%d)", int(k))
+	}
+}
+
+// ParseMachineKind maps a builder name to its MachineKind. It accepts the
+// canonical names returned by String plus a few common aliases.
+func ParseMachineKind(name string) (MachineKind, error) {
+	switch name {
+	case "minsky", "power8", "power8-minsky":
+		return KindMinsky, nil
+	case "dgx1", "dgx-1":
+		return KindDGX1, nil
+	case "pcie", "pciebox", "power8-pcie":
+		return KindPCIeBox, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown builder %q (use one of %v)", name, MachineKindNames())
+	}
+}
+
+// MachineKindNames lists the canonical builder names, in declaration order.
+func MachineKindNames() []string {
+	return []string{KindMinsky.String(), KindDGX1.String(), KindPCIeBox.String()}
+}
+
+// Machine builds a single standalone machine of the given kind (no network
+// root) with custom level weights — the Table 1 / prototype substrate.
+func Machine(kind MachineKind, w LevelWeights) (*Topology, error) {
+	switch kind {
+	case KindMinsky:
+		return Power8MinskyWeights(w), nil
+	case KindDGX1:
+		return DGX1Weights(w), nil
+	case KindPCIeBox:
+		return PCIeBoxWeights(w), nil
+	default:
+		return nil, fmt.Errorf("topology: unknown machine kind %v", kind)
+	}
+}
+
 // Cluster builds a homogeneous cluster of n machines joined by a network
 // vertex. The simulated large-scale scenarios of §5.5 use Minsky machines
 // ("all simulated machines are homogeneous and follow the hardware topology
 // described in Section 3.1").
 func Cluster(n int, kind MachineKind) *Topology {
-	w := DefaultWeights()
+	return ClusterWeights(n, kind, DefaultWeights())
+}
+
+// ClusterWeights is Cluster with custom level weights.
+func ClusterWeights(n int, kind MachineKind, w LevelWeights) *Topology {
+	w = w.orDefault()
 	name := fmt.Sprintf("Cluster-%dx", n)
 	b := NewBuilder(name)
 	switch kind {

@@ -477,14 +477,14 @@ func minFloat(a, b float64) float64 {
 // Graph exposes the underlying weighted graph (read-only use).
 func (t *Topology) Graph() *graph.Graph { return t.g }
 
+// socketKey identifies a socket by (machine value, socket index).
+type socketKey struct{ Machine, Socket int }
+
 // computeMatrices derives the per-machine distance/bandwidth/P2P matrices
 // and the hierarchical cross-machine aggregates. Distances use a
 // restricted Dijkstra that never expands a GPU vertex other than the
 // source: physical GPUs do not forward traffic, so a GPU can terminate a
 // path but never relay one.
-// socketKey identifies a socket by (machine value, socket index).
-type socketKey struct{ Machine, Socket int }
-
 func (t *Topology) computeMatrices() {
 	t.extremeMin = map[int][]int{}
 	t.extremeMax = map[int][]int{}
