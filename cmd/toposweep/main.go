@@ -8,10 +8,17 @@
 //	toposweep -list                           show the available grids
 //	toposweep -list topology                  dump a named grid as a JSON spec
 //	toposweep -grid default -workers 8        run a named grid
+//	toposweep -grid hetero                    heterogeneous (mixed-machine) clusters
 //	toposweep -grid @spec.json -out out.json  run an ad-hoc grid spec file
 //	toposweep -smoke                          CI shorthand for -grid smoke
 //	toposweep -grid alpha -csv alpha.csv      write a per-point CSV
 //	toposweep -diff old.json new.json         regression-diff two artifacts
+//
+// Topology specs in grid files cover homogeneous builders, heterogeneous
+// machine mixes ("mix": [{"kind": "minsky", "count": 2}, ...]) and
+// discovered machines parsed from nvidia-smi-style connectivity-matrix
+// files ("matrix_file": "path/to/machine.matrix", resolved against the
+// working directory).
 //
 // The grid spec file format is documented in docs/sweeps.md; runnable
 // examples live in examples/sweeps/.

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -96,6 +97,68 @@ func TestRunGridSpecFile(t *testing.T) {
 	}
 	if rep.Grid.BaseSeed != 7 {
 		t.Fatalf("spec base_seed overridden to %d without an explicit -seed", rep.Grid.BaseSeed)
+	}
+}
+
+// TestRunHeteroGridSpecFile drives a mixed-machine + discovered-matrix
+// spec through the CLI path end to end.
+func TestRunHeteroGridSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	matrixPath := filepath.Join(dir, "machine.matrix")
+	matrix := "     GPU0  GPU1  GPU2  GPU3\n" +
+		"GPU0 X     NV2   SYS   SYS\n" +
+		"GPU1 NV2   X     SYS   SYS\n" +
+		"GPU2 SYS   SYS   X     NV2\n" +
+		"GPU3 SYS   SYS   NV2   X\n"
+	if err := os.WriteFile(matrixPath, []byte(matrix), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := `{
+  "name": "hetero-tiny",
+  "policies": ["TOPO-AWARE-P"],
+  "topologies": [
+    {"mix": [{"kind": "minsky", "count": 1}, {"kind": "pcie", "count": 1}]},
+    {"matrix_file": ` + strconv.Quote(matrixPath) + `, "machines": 2}
+  ],
+  "jobs": [5],
+  "base_seed": 7,
+  "rate_per_machine": 2
+}`
+	path := writeSpec(t, spec)
+	outPath := filepath.Join(dir, "out.json")
+	if err := run(&bytes.Buffer{}, "@"+path, 2, outPath, "", false, 0, false, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sweep.LoadReport(data, outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("artifact has %d points, want 2", len(rep.Points))
+	}
+	if got := rep.Points[0].Topology.Key(); got != "mix[minsky:1+pcie:1]" {
+		t.Fatalf("first point topology %q", got)
+	}
+	if rep.Points[0].Machines != 2 || rep.Points[1].Machines != 2 {
+		t.Fatalf("machine counts %d/%d, want 2/2", rep.Points[0].Machines, rep.Points[1].Machines)
+	}
+}
+
+// TestRunBadHeteroSpecFails covers the CLI-visible validation error
+// paths: a missing matrix file and a mix/builder conflict both abort
+// before any simulation runs.
+func TestRunBadHeteroSpecFails(t *testing.T) {
+	missing := writeSpec(t, `{"topologies": [{"matrix_file": "no/such.matrix"}]}`)
+	if err := run(&bytes.Buffer{}, "@"+missing, 1, "", "", false, 0, false, true); err == nil {
+		t.Fatal("missing matrix file did not error")
+	}
+	conflict := writeSpec(t, `{"topologies": [{"builder": "minsky", "mix": [{"kind": "dgx1", "count": 1}]}]}`)
+	if err := run(&bytes.Buffer{}, "@"+conflict, 1, "", "", false, 0, false, true); err == nil {
+		t.Fatal("mix+builder conflict did not error")
 	}
 }
 

@@ -4,7 +4,10 @@
 //
 //	topoviz -topo minsky
 //	topoviz -topo dgx1 -matrix
+//	topoviz -topo cluster -machines 3
+//	topoviz -mix minsky:2+dgx1:1
 //	topoviz -parse matrix.txt
+//	topoviz -parse matrix.txt -machines 4
 package main
 
 import (
@@ -17,18 +20,19 @@ import (
 
 func main() {
 	topoName := flag.String("topo", "minsky", "topology: minsky, dgx1, pcie, cluster")
-	machines := flag.Int("machines", 2, "machines for -topo cluster")
+	machines := flag.Int("machines", 0, "machine count: for -topo cluster (default 2) and -parse (default 1, >1 stamps the parsed machine into a cluster)")
 	matrix := flag.Bool("matrix", false, "print the nvidia-smi-style connectivity matrix")
 	parse := flag.String("parse", "", "parse a connectivity-matrix file instead of building")
+	mix := flag.String("mix", "", "build a heterogeneous cluster from builder:count pairs, e.g. minsky:2+dgx1:1 (overrides -topo)")
 	flag.Parse()
 
-	if err := run(*topoName, *machines, *matrix, *parse); err != nil {
+	if err := run(*topoName, *machines, *matrix, *parse, *mix); err != nil {
 		fmt.Fprintln(os.Stderr, "topoviz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoName string, machines int, matrix bool, parse string) error {
+func run(topoName string, machines int, matrix bool, parse, mix string) error {
 	var topo *topology.Topology
 	switch {
 	case parse != "":
@@ -36,7 +40,20 @@ func run(topoName string, machines int, matrix bool, parse string) error {
 		if err != nil {
 			return err
 		}
-		topo, err = topology.ParseMatrix(string(data))
+		if machines > 1 {
+			topo, err = topology.MatrixCluster(string(data), machines)
+		} else {
+			topo, err = topology.ParseMatrix(string(data))
+		}
+		if err != nil {
+			return err
+		}
+	case mix != "":
+		specs, err := topology.ParseMix(mix)
+		if err != nil {
+			return err
+		}
+		topo, err = topology.HeterogeneousCluster(specs)
 		if err != nil {
 			return err
 		}
@@ -47,13 +64,21 @@ func run(topoName string, machines int, matrix bool, parse string) error {
 	case topoName == "pcie":
 		topo = topology.PCIeBox()
 	case topoName == "cluster":
+		if machines < 1 {
+			machines = 2
+		}
 		topo = topology.Cluster(machines, topology.KindMinsky)
 	default:
 		return fmt.Errorf("unknown topology %q", topoName)
 	}
 
 	fmt.Println(topo.RenderTree())
-	if matrix || parse != "" {
+	if matrix && topo.NumMachines() > 1 {
+		// RenderMatrix is single-machine format: cross-machine pairs
+		// would render as SYS and parse back as one machine.
+		return fmt.Errorf("-matrix renders single machines only; %s has %d machines", topo.Name, topo.NumMachines())
+	}
+	if matrix || (parse != "" && topo.NumMachines() == 1) {
 		fmt.Println(topo.RenderMatrix())
 	}
 

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gputopo/internal/topology"
+)
+
+func TestRunBuilders(t *testing.T) {
+	for _, name := range []string{"minsky", "dgx1", "pcie"} {
+		if err := run(name, 0, true, "", ""); err != nil {
+			t.Fatalf("run(%q): %v", name, err)
+		}
+	}
+	if err := run("cluster", 0, false, "", ""); err != nil {
+		t.Fatalf("run(cluster): %v", err)
+	}
+	// The connectivity matrix is single-machine format; a cluster must
+	// refuse it rather than render misleading SYS-everywhere output.
+	if err := run("cluster", 0, true, "", ""); err == nil {
+		t.Fatal("-matrix on a cluster did not error")
+	}
+	if err := run("no-such-topo", 0, false, "", ""); err == nil {
+		t.Fatal("unknown topology did not error")
+	}
+}
+
+func TestRunMix(t *testing.T) {
+	if err := run("", 0, false, "", "minsky:2+dgx1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, false, "", "bogus:1"); err == nil {
+		t.Fatal("bad mix did not error")
+	}
+}
+
+func TestRunParse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.matrix")
+	if err := os.WriteFile(path, []byte(topology.Power8Minsky().RenderMatrix()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Single parsed machine and a stamped 3-machine cluster.
+	if err := run("", 0, false, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 3, false, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, false, filepath.Join(t.TempDir(), "absent"), ""); err == nil {
+		t.Fatal("missing matrix file did not error")
+	}
+}

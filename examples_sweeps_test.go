@@ -1,0 +1,33 @@
+package gputopo
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gputopo/internal/sweep"
+)
+
+// TestExampleGridSpecsLoad validates every shipped grid spec in
+// examples/sweeps/ through the same LoadGridSpec path toposweep uses, so
+// a spec-format change (or a broken matrix_file reference — paths resolve
+// against the repository root, which is also this test's working
+// directory) cannot silently rot the examples the docs point at.
+func TestExampleGridSpecsLoad(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join("examples", "sweeps", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no example grid specs found under examples/sweeps/")
+	}
+	for _, path := range specs {
+		g, err := sweep.LoadGridSpec(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if len(g.Points()) == 0 {
+			t.Errorf("%s: grid expands to zero points", path)
+		}
+	}
+}

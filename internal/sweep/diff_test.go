@@ -155,6 +155,32 @@ func TestGoldenBaseline(t *testing.T) {
 	}
 }
 
+// TestGoldenHeteroBaseline does the same for the heterogeneous-cluster
+// baseline CI diffs against the `hetero` named grid. Regenerate with
+// `go run ./cmd/toposweep -grid hetero -out internal/sweep/testdata/golden_hetero.json`.
+func TestGoldenHeteroBaseline(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden_hetero.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadReport(data, "golden_hetero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Grid.Name != "hetero" || len(rep.Cells) == 0 {
+		t.Fatalf("golden hetero baseline is grid %q with %d cells", rep.Grid.Name, len(rep.Cells))
+	}
+	// Every cell of the baseline runs on a heterogeneous mix.
+	for _, c := range rep.Cells {
+		if len(c.Topology.Mix) == 0 {
+			t.Fatalf("hetero baseline cell %q has no machine mix", c.Key())
+		}
+	}
+	if d := Diff(rep, rep, DiffOptions{}); d.HasRegressions() {
+		t.Fatalf("golden hetero self-diff not clean:\n%s", d.Markdown())
+	}
+}
+
 // TestDiffRealSweepRoundTrip exercises the full artifact path: run, write
 // JSON, load, self-diff.
 func TestDiffRealSweepRoundTrip(t *testing.T) {

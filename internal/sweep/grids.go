@@ -131,6 +131,27 @@ var namedGrids = map[string]struct {
 			}
 		},
 	},
+	"hetero": {
+		desc: "heterogeneous clusters: 4 policies × {minsky:2+dgx1:1, dgx1:1+pcie:2, minsky:1+dgx1:1+pcie:1} (16 GPUs each) × 2 replicas (24 points)",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name: "hetero",
+				// Equal GPU capacity per mix (16 GPUs) so the axis
+				// isolates machine heterogeneity, not cluster size —
+				// mixed-generation fleets are the datacenter norm, and
+				// they exercise the allocator's per-shape extremal
+				// search (alloc.go) that homogeneous clusters mask.
+				Topologies: []TopologySpec{
+					{Mix: []MixEntry{{Kind: "minsky", Count: 2}, {Kind: "dgx1", Count: 1}}},
+					{Mix: []MixEntry{{Kind: "dgx1", Count: 1}, {Kind: "pcie", Count: 2}}},
+					{Mix: []MixEntry{{Kind: "minsky", Count: 1}, {Kind: "dgx1", Count: 1}, {Kind: "pcie", Count: 1}}},
+				},
+				Jobs:     []int{60},
+				Replicas: 2,
+				BaseSeed: seed,
+			}
+		},
+	},
 	"levelweights": {
 		desc: "§4.1.2 level-weight ablation: Table 1 under TOPO-AWARE-P with socket weights {5,10,20,40,100}",
 		build: func(seed uint64) Grid {

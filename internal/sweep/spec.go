@@ -6,29 +6,96 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"gputopo/internal/topology"
 )
 
-// TopologySpec names the physical topology of a grid cell declaratively:
-// a registered builder ("minsky", "dgx1", "pcie"), an optional machine
-// count, and optional per-level distance-weight overrides. The zero value
-// is the legacy default — a Minsky cluster sized by the grid's Machines
-// axis (or one standalone Minsky machine for Table 1 replays).
+// matrixFileCache memoizes matrix-file contents by path for the lifetime
+// of the process. Every point of a matrix_file grid re-builds its
+// topology, so without the cache a P-point sweep would re-read the file
+// P times from inside the worker pool — and a file modified mid-sweep
+// could put different substrates inside one artifact, breaking the
+// any-worker-count determinism guarantee.
+var matrixFileCache sync.Map // path -> string
+
+// readMatrixFile returns the (cached) content of a matrix file.
+func readMatrixFile(path string) (string, error) {
+	if data, ok := matrixFileCache.Load(path); ok {
+		return data.(string), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	content, _ := matrixFileCache.LoadOrStore(path, string(data))
+	return content.(string), nil
+}
+
+// TopologySpec names the physical topology of a grid cell declaratively.
+// Exactly one of three sources applies:
+//
+//   - Builder: a registered homogeneous builder ("minsky", "dgx1",
+//     "pcie") sized by Machines or the grid's Machines axis. The zero
+//     value is the legacy default — a Minsky cluster sized by the axis.
+//   - Mix: a heterogeneous cluster as ordered builder:count runs
+//     (topology.HeterogeneousCluster). A mix pins its own machine count.
+//   - MatrixFile: a discovered machine parsed from an nvidia-smi-style
+//     connectivity-matrix file (topology.ParseMatrix), stamped once per
+//     machine under a network root.
 //
 // Because the spec is plain data, it can serve as a grid axis: the sweep
 // engine expands Grid.Topologies like any other axis, and the spec
 // round-trips through grid spec files and report artifacts.
 type TopologySpec struct {
 	// Builder is a name accepted by topology.ParseMachineKind; empty
-	// means "minsky".
+	// means "minsky" (unless Mix or MatrixFile is set).
 	Builder string `json:"builder,omitempty"`
+	// Mix declares a heterogeneous cluster as ordered builder:count
+	// pairs. Mutually exclusive with Builder, MatrixFile and Machines.
+	Mix []MixEntry `json:"mix,omitempty"`
+	// MatrixFile is the path of a connectivity-matrix file, resolved
+	// against the working directory. Mutually exclusive with Builder and
+	// Mix.
+	MatrixFile string `json:"matrix_file,omitempty"`
 	// Machines pins the machine count of this topology. 0 defers to the
 	// grid's Machines axis; a grid may set one or the other, not both.
 	Machines int `json:"machines,omitempty"`
 	// Weights overrides the qualitative level weights (zero fields keep
 	// the Figure 7 defaults).
 	Weights *topology.LevelWeights `json:"weights,omitempty"`
+}
+
+// MixEntry is one run of identical machines in a heterogeneous topology
+// spec: Count machines built by the named builder.
+type MixEntry struct {
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+}
+
+// mixSpecs converts the Mix entries to topology machine specs.
+func (ts TopologySpec) mixSpecs() ([]topology.MachineSpec, error) {
+	specs := make([]topology.MachineSpec, 0, len(ts.Mix))
+	for _, e := range ts.Mix {
+		kind, err := topology.ParseMachineKind(e.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if e.Count < 1 {
+			return nil, fmt.Errorf("mix entry %s:%d needs a machine count >= 1", e.Kind, e.Count)
+		}
+		specs = append(specs, topology.MachineSpec{Kind: kind, Count: e.Count})
+	}
+	return specs, nil
+}
+
+// mixKey renders the mix in the canonical "minsky:2+dgx1:1" form.
+func (ts TopologySpec) mixKey() string {
+	parts := make([]string, len(ts.Mix))
+	for i, e := range ts.Mix {
+		parts[i] = fmt.Sprintf("%s:%d", e.Kind, e.Count)
+	}
+	return strings.Join(parts, "+")
 }
 
 // builderOrDefault returns the builder name with the empty default applied.
@@ -40,12 +107,20 @@ func (ts TopologySpec) builderOrDefault() string {
 }
 
 // Key is the compact deterministic label of the spec used in cell keys,
-// CSV artifacts and diff tables: builder, then ":N" when the machine count
-// is pinned, then the non-zero weight overrides in fixed field order,
-// e.g. "minsky", "dgx1:2", "minsky[socket=5]".
+// CSV artifacts and diff tables: the source ("minsky",
+// "mix[minsky:2+dgx1:1]", "matrix[path/to/file]"), then ":N" when the
+// machine count is pinned, then the non-zero weight overrides in fixed
+// field order, e.g. "dgx1:2", "minsky[socket=5]", "matrix[dgx1.matrix]:4".
 func (ts TopologySpec) Key() string {
 	var sb strings.Builder
-	sb.WriteString(ts.builderOrDefault())
+	switch {
+	case len(ts.Mix) > 0:
+		fmt.Fprintf(&sb, "mix[%s]", ts.mixKey())
+	case ts.MatrixFile != "":
+		fmt.Fprintf(&sb, "matrix[%s]", ts.MatrixFile)
+	default:
+		sb.WriteString(ts.builderOrDefault())
+	}
 	if ts.Machines > 0 {
 		fmt.Fprintf(&sb, ":%d", ts.Machines)
 	}
@@ -69,18 +144,61 @@ func (ts TopologySpec) Key() string {
 }
 
 // EffectiveMachines resolves the machine count of a point on this
-// topology: the spec's pinned count when set, else the Machines-axis
-// value.
+// topology: a mix's total count, else the spec's pinned count when set,
+// else the Machines-axis value.
 func (ts TopologySpec) EffectiveMachines(axis int) int {
+	if len(ts.Mix) > 0 {
+		total := 0
+		for _, e := range ts.Mix {
+			total += e.Count
+		}
+		return total
+	}
 	if ts.Machines > 0 {
 		return ts.Machines
 	}
 	return axis
 }
 
-// Validate checks the spec against the builder registry.
+// pinsMachines reports whether the spec fixes its own machine count and
+// therefore conflicts with a grid-level Machines axis.
+func (ts TopologySpec) pinsMachines() bool {
+	return ts.Machines > 0 || len(ts.Mix) > 0
+}
+
+// Validate checks the spec against the builder registry, rejects
+// conflicting topology sources, and — for matrix specs — requires the
+// file to exist and parse, so a bad path fails before any simulation
+// runs.
 func (ts TopologySpec) Validate() error {
-	if _, err := topology.ParseMachineKind(ts.builderOrDefault()); err != nil {
+	if ts.Mix != nil && len(ts.Mix) == 0 {
+		return fmt.Errorf("topology spec: mix is present but empty — omit it to use a builder")
+	}
+	if len(ts.Mix) > 0 {
+		if ts.Builder != "" {
+			return fmt.Errorf("topology spec %s: mix and builder are mutually exclusive", ts.Key())
+		}
+		if ts.MatrixFile != "" {
+			return fmt.Errorf("topology spec %s: mix and matrix_file are mutually exclusive", ts.Key())
+		}
+		if ts.Machines != 0 {
+			return fmt.Errorf("topology spec %s: a mix pins its own machine count; machines must be omitted", ts.Key())
+		}
+		if _, err := ts.mixSpecs(); err != nil {
+			return fmt.Errorf("topology spec %s: %w", ts.Key(), err)
+		}
+	} else if ts.MatrixFile != "" {
+		if ts.Builder != "" {
+			return fmt.Errorf("topology spec %s: matrix_file and builder are mutually exclusive", ts.Key())
+		}
+		data, err := readMatrixFile(ts.MatrixFile)
+		if err != nil {
+			return fmt.Errorf("topology spec %s: reading matrix file: %w", ts.Key(), err)
+		}
+		if _, err := topology.ParseMatrix(data); err != nil {
+			return fmt.Errorf("topology spec %s: %w", ts.Key(), err)
+		}
+	} else if _, err := topology.ParseMachineKind(ts.builderOrDefault()); err != nil {
 		return err
 	}
 	if ts.Machines < 0 {
@@ -103,20 +221,41 @@ func (ts TopologySpec) Validate() error {
 }
 
 // Build materializes the topology. machines is the Machines-axis value,
-// overridden by the spec's own pinned count when set. standalone selects
-// the single-machine builder (no network root) when the effective count
-// is <= 1 — the Table 1 / prototype substrate — while generated workloads
-// always get a cluster with a network root, even for one machine,
-// preserving the legacy Machines-axis behavior bit for bit.
+// overridden by the spec's own pinned count when set (a mix always pins
+// its total). standalone selects the single-machine builder (no network
+// root) when the effective count is <= 1 — the Table 1 / prototype
+// substrate — while generated workloads always get a cluster with a
+// network root, even for one machine, preserving the legacy Machines-axis
+// behavior bit for bit. Mix topologies are always clusters.
 func (ts TopologySpec) Build(machines int, standalone bool) (*topology.Topology, error) {
 	machines = ts.EffectiveMachines(machines)
-	kind, err := topology.ParseMachineKind(ts.builderOrDefault())
-	if err != nil {
-		return nil, err
-	}
 	w := topology.DefaultWeights()
 	if ts.Weights != nil {
 		w = *ts.Weights
+	}
+	switch {
+	case len(ts.Mix) > 0:
+		specs, err := ts.mixSpecs()
+		if err != nil {
+			return nil, err
+		}
+		return topology.HeterogeneousClusterWeights(specs, w)
+	case ts.MatrixFile != "":
+		data, err := readMatrixFile(ts.MatrixFile)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: topology %s: %w", ts.Key(), err)
+		}
+		if standalone && machines <= 1 {
+			return topology.ParseMatrixWeights(data, w)
+		}
+		if machines < 1 {
+			machines = 1
+		}
+		return topology.MatrixClusterWeights(data, machines, w)
+	}
+	kind, err := topology.ParseMachineKind(ts.builderOrDefault())
+	if err != nil {
+		return nil, err
 	}
 	if standalone && machines <= 1 {
 		return topology.Machine(kind, w)
@@ -189,7 +328,7 @@ func (g Grid) Validate() error {
 		if err := ts.Validate(); err != nil {
 			return fmt.Errorf("sweep: grid %q: %w", g.Name, err)
 		}
-		if ts.Machines > 0 {
+		if ts.pinsMachines() {
 			pinned = true
 		}
 	}

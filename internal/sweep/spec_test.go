@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -72,6 +74,140 @@ func TestParseGridSpecErrors(t *testing.T) {
 	errCase(t, "pinned machines with machines axis",
 		`{"topologies": [{"builder": "minsky", "machines": 2}], "machines": [2]}`,
 		"machines axis")
+}
+
+// writeMatrixFile drops a rendered connectivity matrix into a temp dir
+// and returns its path.
+func writeMatrixFile(t *testing.T, topo *topology.Topology) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "machine.matrix")
+	if err := os.WriteFile(path, []byte(topo.RenderMatrix()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseGridSpecMixAndMatrixErrors(t *testing.T) {
+	errCase(t, "mix with builder",
+		`{"topologies": [{"builder": "minsky", "mix": [{"kind": "dgx1", "count": 1}]}]}`,
+		"mix and builder")
+	errCase(t, "mix with matrix_file",
+		`{"topologies": [{"mix": [{"kind": "dgx1", "count": 1}], "matrix_file": "x"}]}`,
+		"mix and matrix_file")
+	errCase(t, "mix with pinned machines",
+		`{"topologies": [{"mix": [{"kind": "dgx1", "count": 1}], "machines": 2}]}`,
+		"pins its own machine count")
+	errCase(t, "mix with unknown kind",
+		`{"topologies": [{"mix": [{"kind": "tpu-pod", "count": 1}]}]}`,
+		"tpu-pod")
+	errCase(t, "mix with zero count",
+		`{"topologies": [{"mix": [{"kind": "dgx1", "count": 0}]}]}`,
+		"count >= 1")
+	errCase(t, "empty mix",
+		`{"topologies": [{"mix": []}]}`,
+		"mix is present but empty")
+	errCase(t, "mix with machines axis",
+		`{"topologies": [{"mix": [{"kind": "dgx1", "count": 1}]}], "machines": [2]}`,
+		"machines axis")
+	errCase(t, "matrix_file missing",
+		`{"topologies": [{"matrix_file": "no/such/file.matrix"}]}`,
+		"no/such/file.matrix")
+	errCase(t, "matrix_file with builder",
+		`{"topologies": [{"builder": "dgx1", "matrix_file": "x"}]}`,
+		"matrix_file and builder")
+	badMatrix := filepath.Join(t.TempDir(), "bad.matrix")
+	if err := os.WriteFile(badMatrix, []byte("not a matrix at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errCase(t, "matrix_file unparseable",
+		`{"topologies": [{"matrix_file": "`+badMatrix+`"}]}`,
+		"matrix")
+}
+
+func TestMixSpecKeyBuildAndPoints(t *testing.T) {
+	spec := TopologySpec{Mix: []MixEntry{{Kind: "minsky", Count: 2}, {Kind: "dgx1", Count: 1}}}
+	if got, want := spec.Key(), "mix[minsky:2+dgx1:1]"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	if got := spec.EffectiveMachines(7); got != 3 {
+		t.Fatalf("EffectiveMachines = %d, want 3 (mix pins its total)", got)
+	}
+	topo, err := spec.Build(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 2*4+8 || topo.NumMachines() != 3 {
+		t.Fatalf("mix built %d GPUs on %d machines", topo.NumGPUs(), topo.NumMachines())
+	}
+
+	g, err := ParseGridSpec([]byte(`{
+		"name": "hetero-adhoc",
+		"policies": ["TOPO-AWARE-P"],
+		"topologies": [{"mix": [{"kind": "minsky", "count": 2}, {"kind": "dgx1", "count": 1}]}],
+		"jobs": [10],
+		"base_seed": 3
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := g.Points()
+	if len(pts) != 1 || pts[0].Machines != 3 {
+		t.Fatalf("mix grid expanded to %d points, machines %d", len(pts), pts[0].Machines)
+	}
+}
+
+func TestMatrixFileSpecKeyAndBuild(t *testing.T) {
+	path := writeMatrixFile(t, topology.DGX1())
+	spec := TopologySpec{MatrixFile: path, Machines: 2}
+	if got, want := spec.Key(), "matrix["+path+"]:2"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster build stamps the parsed machine per machine count.
+	topo, err := spec.Build(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 16 || topo.NumMachines() != 2 {
+		t.Fatalf("matrix cluster built %d GPUs on %d machines", topo.NumGPUs(), topo.NumMachines())
+	}
+	// Standalone single-machine build goes through ParseMatrix directly.
+	topo, err = TopologySpec{MatrixFile: path}.Build(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 8 || topo.NumMachines() != 1 {
+		t.Fatalf("standalone matrix build: %d GPUs on %d machines", topo.NumGPUs(), topo.NumMachines())
+	}
+}
+
+// TestHeteroAndMatrixSweep runs a real sweep over a mixed cluster and a
+// discovered-matrix substrate and checks both land in distinct cells.
+func TestHeteroAndMatrixSweep(t *testing.T) {
+	path := writeMatrixFile(t, topology.Power8Minsky())
+	g := Grid{
+		Name: "hetero-matrix",
+		Topologies: []TopologySpec{
+			{Mix: []MixEntry{{Kind: "minsky", Count: 1}, {Kind: "dgx1", Count: 1}}},
+			{MatrixFile: path, Machines: 2},
+		},
+		Jobs:           []int{10},
+		BaseSeed:       7,
+		RatePerMachine: 2,
+	}
+	rep, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(rep.Cells))
+	}
+	csv := string(rep.CSV())
+	if !strings.Contains(csv, "mix[minsky:1+dgx1:1]") || !strings.Contains(csv, "matrix["+path+"]:2") {
+		t.Fatalf("CSV missing hetero/matrix topology keys:\n%s", csv)
+	}
 }
 
 func TestSpecJSONRoundTrip(t *testing.T) {

@@ -1,6 +1,10 @@
 package topology
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // PairwiseDistance returns the sum of pairwise shortest-path distances
 // among the GPU positions in set — the communication cost t of Eq. 3.
@@ -49,9 +53,10 @@ func (t *Topology) WorstCommCost(g int) float64 {
 // extremeAllocation greedily grows a GPU set from a set of seeds, keeping
 // the set with extreme pairwise distance. Machines hold at most 8 GPUs, so
 // greedy growth matches the exhaustive optimum on the topologies built
-// here (verified by tests against brute force). On clusters with many
-// identical machines the seed set is limited to the first two machines —
-// by symmetry every extreme allocation is reachable from them.
+// here (verified by tests against brute force). On large clusters the
+// seed set is limited to the first two machines of each distinct machine
+// shape (see seedCandidates) — by symmetry among same-shape machines
+// every extreme allocation is reachable from them.
 func (t *Topology) extremeAllocation(g int, maximize bool) []int {
 	n := len(t.gpus)
 	if g <= 0 {
@@ -78,14 +83,10 @@ func (t *Topology) extremeAllocation(g int, maximize bool) []int {
 			result[i] = i
 		}
 	} else {
-		seedLimit := n
-		if len(t.machineStart) > 2 && n > 16 {
-			seedLimit = t.machineStart[2] // GPUs of the first two machines
-		}
 		bestScore := 0.0
 		var bestSet []int
 		used := make([]bool, n)
-		for seed := 0; seed < seedLimit; seed++ {
+		for _, seed := range t.seedCandidates() {
 			set := append(make([]int, 0, g), seed)
 			for i := range used {
 				used[i] = false
@@ -121,4 +122,64 @@ func (t *Topology) extremeAllocation(g int, maximize bool) []int {
 	cache[g] = result
 	t.mu.Unlock()
 	return result
+}
+
+// seedCandidates returns the GPU positions extremeAllocation grows greedy
+// sets from, in ascending order. Small topologies seed from every GPU. On
+// large clusters the seeds are the GPUs of the first two machines of each
+// *distinct machine shape*: same-shape machines are interchangeable under
+// relabeling, so any extreme allocation maps onto one seeded there — but
+// a heterogeneous cluster (e.g. minsky,minsky,dgx1) hides its best dense
+// allocation inside the odd machine, which a first-two-machines-only
+// heuristic can never reach.
+func (t *Topology) seedCandidates() []int {
+	n := len(t.gpus)
+	if len(t.machineStart) <= 2 || n <= 16 {
+		seeds := make([]int, n)
+		for i := range seeds {
+			seeds[i] = i
+		}
+		return seeds
+	}
+	var seeds []int
+	seen := map[string]int{}
+	for mi := range t.machineStart {
+		sig := t.machineShape(mi)
+		if seen[sig] >= 2 {
+			continue
+		}
+		seen[sig]++
+		end := n
+		if mi+1 < len(t.machineStart) {
+			end = t.machineStart[mi+1]
+		}
+		for pos := t.machineStart[mi]; pos < end; pos++ {
+			seeds = append(seeds, pos)
+		}
+	}
+	return seeds
+}
+
+// machineShape fingerprints machine mi by everything the extremal search
+// can observe: its intra-machine distance matrix and its attachment costs
+// toward the network root. Machines with equal shapes are interchangeable
+// for allocation purposes.
+func (t *Topology) machineShape(mi int) string {
+	start := t.machineStart[mi]
+	end := len(t.gpus)
+	if mi+1 < len(t.machineStart) {
+		end = t.machineStart[mi+1]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "k%d;net%g", end-start, t.netDist[mi])
+	for _, row := range t.intraDist[mi] {
+		for _, d := range row {
+			fmt.Fprintf(&sb, ",%g", d)
+		}
+	}
+	sb.WriteString(";root")
+	for pos := start; pos < end; pos++ {
+		fmt.Fprintf(&sb, ",%g", t.toRootDist[pos])
+	}
+	return sb.String()
 }

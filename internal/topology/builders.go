@@ -1,6 +1,10 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // LevelWeights parameterizes the qualitative distance weights so the
 // ablation experiments (and sweep topology specs) can vary them. Zero
@@ -237,16 +241,114 @@ func ClusterWeights(n int, kind MachineKind, w LevelWeights) *Topology {
 	}
 	netID := b.AddNode(LevelNetwork, "Net", -1, -1, -1)
 	for m := 0; m < n; m++ {
-		switch kind {
-		case KindMinsky:
-			addMinskyMachine(b, m, w, netID)
-		case KindDGX1, KindPCIeBox:
-			// For cluster simulations the paper uses Minsky nodes; DGX-1
-			// and PCIe clusters are provided for completeness.
-			addClusterMachine(b, m, kind, w, netID)
-		}
+		addMachineOfKind(b, m, kind, w, netID)
 	}
 	return b.Build()
+}
+
+// addMachineOfKind appends one machine of the given kind to the builder.
+func addMachineOfKind(b *Builder, m int, kind MachineKind, w LevelWeights, netID int) {
+	switch kind {
+	case KindMinsky:
+		addMinskyMachine(b, m, w, netID)
+	case KindDGX1, KindPCIeBox:
+		// For cluster simulations the paper uses Minsky nodes; DGX-1
+		// and PCIe clusters are provided for completeness.
+		addClusterMachine(b, m, kind, w, netID)
+	}
+}
+
+// usesNVLink reports whether the machine kind attaches GPUs over NVLink.
+// It decides the routing penalty of mixed clusters: NVLink machines stage
+// routed transfers through host memory (penalty 3.5), while all-PCIe
+// systems already paid the staging cost (2.5, matching PCIeBox — see
+// §3.2).
+func (k MachineKind) usesNVLink() bool { return k != KindPCIeBox }
+
+// MachineSpec is one run of identical machines inside a heterogeneous
+// cluster: Count machines of the given Kind.
+type MachineSpec struct {
+	Kind  MachineKind
+	Count int
+}
+
+// MixString renders a machine mix in the canonical "minsky:2+dgx1:1" form
+// accepted by ParseMix and used in sweep cell keys.
+func MixString(specs []MachineSpec) string {
+	parts := make([]string, len(specs))
+	for i, s := range specs {
+		parts[i] = fmt.Sprintf("%s:%d", s.Kind, s.Count)
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseMix parses a "minsky:2+dgx1:1" mix description into machine specs.
+// Every entry needs a registered builder name and a count >= 1.
+func ParseMix(s string) ([]MachineSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("topology: empty machine mix")
+	}
+	var specs []MachineSpec
+	for _, part := range strings.Split(s, "+") {
+		name, countStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("topology: mix entry %q is not builder:count", part)
+		}
+		kind, err := ParseMachineKind(name)
+		if err != nil {
+			return nil, err
+		}
+		count, err := strconv.Atoi(countStr)
+		if err != nil || count < 1 {
+			return nil, fmt.Errorf("topology: mix entry %q needs a machine count >= 1", part)
+		}
+		specs = append(specs, MachineSpec{Kind: kind, Count: count})
+	}
+	return specs, nil
+}
+
+// HeterogeneousCluster builds a mixed-kind cluster joined by a network
+// vertex: the machines of each spec in order, so "minsky:2+dgx1:1" yields
+// machines M0,M1 (Minsky) and M2 (DGX-1). Mixed-generation fleets are the
+// norm in production datacenters, and the allocator's Eq. 1 normalizers
+// are only meaningful on them when the extremal search considers every
+// distinct machine shape (see extremeAllocation).
+func HeterogeneousCluster(specs []MachineSpec) (*Topology, error) {
+	return HeterogeneousClusterWeights(specs, DefaultWeights())
+}
+
+// HeterogeneousClusterWeights is HeterogeneousCluster with custom level
+// weights.
+func HeterogeneousClusterWeights(specs []MachineSpec, w LevelWeights) (*Topology, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("topology: heterogeneous cluster needs at least one machine spec")
+	}
+	w = w.orDefault()
+	b := NewBuilder("Cluster-" + MixString(specs))
+	penalty := 2.5
+	for _, s := range specs {
+		switch s.Kind {
+		case KindMinsky, KindDGX1, KindPCIeBox:
+		default:
+			return nil, fmt.Errorf("topology: unknown machine kind %v in mix", s.Kind)
+		}
+		if s.Count < 1 {
+			return nil, fmt.Errorf("topology: machine spec %s:%d needs a count >= 1", s.Kind, s.Count)
+		}
+		if s.Kind.usesNVLink() {
+			penalty = 3.5
+		}
+	}
+	b.SetRoutingPenalty(penalty)
+	netID := b.AddNode(LevelNetwork, "Net", -1, -1, -1)
+	m := 0
+	for _, s := range specs {
+		for i := 0; i < s.Count; i++ {
+			addMachineOfKind(b, m, s.Kind, w, netID)
+			m++
+		}
+	}
+	return b.Build(), nil
 }
 
 func addClusterMachine(b *Builder, m int, kind MachineKind, w LevelWeights, netID int) {

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,14 +20,36 @@ import (
 //	SYS  across sockets, through the system bus
 //	X    the diagonal
 //
-// Socket membership is inferred from connectivity: GPUs joined by NV#, PIX
-// or PHB share a socket; SYS separates sockets.
+// Socket membership comes from the CPU-affinity column when the dump has
+// one (GPUs sharing an affinity range share a socket — that is how the
+// prototype combines `nvidia-smi topo --matrix` with `numactl --hardware`);
+// otherwise it is inferred from connectivity: GPUs joined by NV#, PIX or
+// PHB share a socket; SYS separates sockets.
 
-// ParseMatrix builds a single-machine topology from an nvidia-smi-style
-// connectivity matrix. The first line must be a header of GPU names; each
-// subsequent line is "GPUi TOKEN TOKEN ..." with exactly one token per GPU.
-// Extra columns (e.g. "CPU Affinity") are ignored.
-func ParseMatrix(text string) (*Topology, error) {
+// ErrMatrixRows reports a mismatch between the GPU count of the header
+// and the number of matrix rows — both missing rows and unexpected
+// trailing GPU rows. Trailing non-GPU device rows (NIC0, mlx5_0, ...)
+// and legend text are tolerated, matching real nvidia-smi output.
+var ErrMatrixRows = errors.New("topology: matrix row count does not match GPU header count")
+
+// matrixLayout is the validated content of one connectivity matrix: the
+// per-pair tokens plus the socket partition. It can be stamped into a
+// builder any number of times (ParseMatrix stamps it once; MatrixCluster
+// stamps it per machine under a network root).
+type matrixLayout struct {
+	n          int
+	tokens     [][]string
+	socketOf   []int
+	numSockets int
+	hasNVLink  bool // any NV1/NV2 token — decides the routing penalty
+}
+
+// parseMatrixLayout validates an nvidia-smi-style connectivity matrix.
+// The first line must be a header of GPU names; each subsequent line is
+// "GPUi TOKEN TOKEN ..." with exactly one token per GPU, optionally
+// followed by a CPU-affinity column. Exactly one row per header GPU is
+// required (ErrMatrixRows otherwise).
+func parseMatrixLayout(text string) (*matrixLayout, error) {
 	lines := nonEmptyLines(text)
 	if len(lines) < 2 {
 		return nil, fmt.Errorf("topology: matrix needs a header and at least one row")
@@ -43,10 +66,23 @@ func ParseMatrix(text string) (*Topology, error) {
 		return nil, fmt.Errorf("topology: no GPU columns in header %q", lines[0])
 	}
 	if len(lines)-1 < n {
-		return nil, fmt.Errorf("topology: matrix has %d rows for %d GPUs", len(lines)-1, n)
+		return nil, fmt.Errorf("%w: %d rows for %d GPUs", ErrMatrixRows, len(lines)-1, n)
+	}
+	for _, line := range lines[n+1:] {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "Legend") {
+			break // real nvidia-smi output ends with a legend block
+		}
+		// Real dumps list NIC/HCA rows after the GPUs; only a trailing
+		// *GPU* row means the header and body disagree.
+		if strings.HasPrefix(trimmed, "GPU") {
+			return nil, fmt.Errorf("%w: unexpected trailing row %q after %d GPU rows", ErrMatrixRows, line, n)
+		}
 	}
 
 	tokens := make([][]string, n)
+	affinity := make([]string, n)
+	haveAffinity := len(header) > n
 	for i := 0; i < n; i++ {
 		fields := strings.Fields(lines[i+1])
 		if len(fields) < n+1 {
@@ -56,9 +92,15 @@ func ParseMatrix(text string) (*Topology, error) {
 			return nil, fmt.Errorf("topology: row %d is %q, want %q", i, fields[0], gpuNames[i])
 		}
 		tokens[i] = fields[1 : n+1]
+		if len(fields) > n+1 {
+			affinity[i] = fields[n+1]
+		} else {
+			haveAffinity = false
+		}
 	}
 
 	// Validate tokens and symmetry.
+	hasNV := false
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			tok := tokens[i][j]
@@ -69,7 +111,9 @@ func ParseMatrix(text string) (*Topology, error) {
 				continue
 			}
 			switch tok {
-			case "NV1", "NV2", "PIX", "PHB", "SYS":
+			case "NV1", "NV2":
+				hasNV = true
+			case "PIX", "PHB", "SYS":
 			default:
 				return nil, fmt.Errorf("topology: unknown connectivity token %q at (%d,%d)", tok, i, j)
 			}
@@ -79,7 +123,28 @@ func ParseMatrix(text string) (*Topology, error) {
 		}
 	}
 
-	// Union-find over "same socket" relations (anything but SYS).
+	lay := &matrixLayout{n: n, tokens: tokens, hasNVLink: hasNV}
+	if haveAffinity {
+		// CPU-affinity column: GPUs with identical affinity share a
+		// socket. This survives formats where NVLink spans sockets (the
+		// DGX-1 cube mesh joins every GPU pair transitively, so
+		// connectivity alone would collapse the machine to one socket).
+		lay.socketOf = make([]int, n)
+		seen := map[string]int{}
+		for i, a := range affinity {
+			s, ok := seen[a]
+			if !ok {
+				s = len(seen)
+				seen[a] = s
+			}
+			lay.socketOf[i] = s
+		}
+		lay.numSockets = len(seen)
+		return lay, nil
+	}
+
+	// No affinity column: union-find over "same socket" relations
+	// (anything but SYS).
 	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = i
@@ -100,86 +165,109 @@ func ParseMatrix(text string) (*Topology, error) {
 			}
 		}
 	}
-	socketOf := make([]int, n)
-	next := 0
+	lay.socketOf = make([]int, n)
 	rootSocket := map[int]int{}
 	for i := 0; i < n; i++ {
 		r := find(i)
 		if _, ok := rootSocket[r]; !ok {
-			rootSocket[r] = next
-			next++
+			rootSocket[r] = len(rootSocket)
 		}
-		socketOf[i] = rootSocket[r]
+		lay.socketOf[i] = rootSocket[r]
 	}
-	numSockets := next
+	lay.numSockets = len(rootSocket)
+	return lay, nil
+}
 
-	w := DefaultWeights()
-	b := NewBuilder("discovered")
-	b.SetRoutingPenalty(3.5)
-	mID := b.AddNode(LevelMachine, "M0", 0, -1, -1)
-	socketID := make([]int, numSockets)
-	for s := 0; s < numSockets; s++ {
-		socketID[s] = b.AddNode(LevelSocket, fmt.Sprintf("M0/S%d", s), 0, s, -1)
+// routingPenalty infers the staging penalty of the discovered machine
+// class: NVLink systems behave like the Minsky/DGX-1 builders (3.5), while
+// all-PCIe systems already staged transfers over PCIe and match PCIeBox
+// (2.5, §3.2). Without this, the discovered and built versions of the same
+// machine would score allocations differently.
+func (lay *matrixLayout) routingPenalty() float64 {
+	if lay.hasNVLink {
+		return 3.5
+	}
+	return 2.5
+}
+
+// stamp appends one machine with this layout to the builder (machine index
+// m, linked to netID when >= 0). GPUs behind a shared PIX switch hang off
+// one switch vertex; GPUs with NV2 peers take an NVLink2 host link
+// (Minsky style); GPUs with only NV1 peers sit behind a private PCIe
+// switch (DGX-1 style — the switch is invisible in the matrix because
+// NVLink tokens shadow PCIe relations, but its hop cost is real); the rest
+// attach straight to their socket over PCIe.
+func (lay *matrixLayout) stamp(b *Builder, m int, w LevelWeights, netID int) {
+	n := lay.n
+	mID := b.AddNode(LevelMachine, fmt.Sprintf("M%d", m), m, -1, -1)
+	if netID >= 0 {
+		b.AddLink(netID, mID, LinkNetwork, BandwidthNetwork, w.Machine)
+	}
+	socketID := make([]int, lay.numSockets)
+	for s := 0; s < lay.numSockets; s++ {
+		socketID[s] = b.AddNode(LevelSocket, fmt.Sprintf("M%d/S%d", m, s), m, s, -1)
 		b.AddLink(mID, socketID[s], LinkXBus, BandwidthXBus, w.Socket)
 	}
 
 	// PIX pairs share a switch; build one switch per PIX-connected group.
-	switchOf := make([]int, n) // switch node ID per GPU, 0 = none yet
+	switchOf := make([]int, n) // switch node ID per GPU, -1 = none yet
 	for i := range switchOf {
 		switchOf[i] = -1
 	}
 	gpuID := make([]int, n)
 	for i := 0; i < n; i++ {
-		gpuID[i] = b.AddNode(LevelGPU, fmt.Sprintf("M0/GPU%d", i), 0, socketOf[i], i)
+		gpuID[i] = b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, i), m, lay.socketOf[i], i)
 	}
 	swCount := 0
-	needsSwitch := func(i int) bool {
+	hasToken := func(i int, want string) bool {
 		for j := 0; j < n; j++ {
-			if j != i && tokens[i][j] == "PIX" {
+			if j != i && lay.tokens[i][j] == want {
 				return true
 			}
 		}
 		return false
 	}
+	addSwitch := func(socket int) int {
+		sw := b.AddNode(LevelSwitch, fmt.Sprintf("M%d/SW%d", m, swCount), m, socket, -1)
+		swCount++
+		b.AddLink(socketID[socket], sw, LinkPCIe, BandwidthPCIe, w.Switch)
+		return sw
+	}
 	for i := 0; i < n; i++ {
-		if switchOf[i] != -1 || !needsSwitch(i) {
+		if switchOf[i] != -1 || !hasToken(i, "PIX") {
 			continue
 		}
-		sw := b.AddNode(LevelSwitch, fmt.Sprintf("M0/SW%d", swCount), 0, socketOf[i], -1)
-		swCount++
-		b.AddLink(socketID[socketOf[i]], sw, LinkPCIe, BandwidthPCIe, w.Switch)
+		sw := addSwitch(lay.socketOf[i])
 		switchOf[i] = sw
 		b.AddLink(gpuID[i], sw, LinkPCIe, BandwidthPCIe, w.GPULink)
 		for j := i + 1; j < n; j++ {
-			if tokens[i][j] == "PIX" && switchOf[j] == -1 {
+			if lay.tokens[i][j] == "PIX" && switchOf[j] == -1 {
 				switchOf[j] = sw
 				b.AddLink(gpuID[j], sw, LinkPCIe, BandwidthPCIe, w.GPULink)
 			}
 		}
 	}
-	// GPUs without a switch attach straight to their socket. NVLink-to-host
-	// machines (Minsky) use NVLink2 for the host link when the GPU has any
-	// NV2 peer; otherwise PCIe.
 	for i := 0; i < n; i++ {
 		if switchOf[i] != -1 {
 			continue
 		}
-		hostNVLink := false
-		for j := 0; j < n; j++ {
-			if j != i && tokens[i][j] == "NV2" {
-				hostNVLink = true
-			}
-		}
-		if hostNVLink {
-			b.AddLink(gpuID[i], socketID[socketOf[i]], LinkNVLink2, BandwidthNVLink2, w.GPULink)
-		} else {
-			b.AddLink(gpuID[i], socketID[socketOf[i]], LinkPCIe, BandwidthPCIe, w.GPULink)
+		switch {
+		case hasToken(i, "NV2"):
+			// NVLink-to-host (Minsky): the host link is NVLink2.
+			b.AddLink(gpuID[i], socketID[lay.socketOf[i]], LinkNVLink2, BandwidthNVLink2, w.GPULink)
+		case hasToken(i, "NV1"):
+			// Single-lane NVLink peers but a PCIe host path (DGX-1): the
+			// GPU sits behind a PCIe switch the matrix cannot show.
+			sw := addSwitch(lay.socketOf[i])
+			b.AddLink(gpuID[i], sw, LinkPCIe, BandwidthPCIe, w.GPULink)
+		default:
+			b.AddLink(gpuID[i], socketID[lay.socketOf[i]], LinkPCIe, BandwidthPCIe, w.GPULink)
 		}
 	}
 	// Direct NVLink edges.
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			switch tokens[i][j] {
+			switch lay.tokens[i][j] {
 			case "NV2":
 				b.AddLink(gpuID[i], gpuID[j], LinkNVLink2, BandwidthNVLink2, w.GPUPeer)
 			case "NV1":
@@ -187,12 +275,58 @@ func ParseMatrix(text string) (*Topology, error) {
 			}
 		}
 	}
+}
+
+// ParseMatrix builds a single-machine topology from an nvidia-smi-style
+// connectivity matrix (see parseMatrixLayout for the accepted format).
+func ParseMatrix(text string) (*Topology, error) {
+	return ParseMatrixWeights(text, DefaultWeights())
+}
+
+// ParseMatrixWeights is ParseMatrix with custom level weights.
+func ParseMatrixWeights(text string, w LevelWeights) (*Topology, error) {
+	lay, err := parseMatrixLayout(text)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder("discovered")
+	b.SetRoutingPenalty(lay.routingPenalty())
+	lay.stamp(b, 0, w.orDefault(), -1)
+	return b.Build(), nil
+}
+
+// MatrixCluster builds a homogeneous cluster of n machines joined by a
+// network vertex, each stamped from the same discovered connectivity
+// matrix — real nvidia-smi dumps become sweepable cluster substrates.
+func MatrixCluster(text string, n int) (*Topology, error) {
+	return MatrixClusterWeights(text, n, DefaultWeights())
+}
+
+// MatrixClusterWeights is MatrixCluster with custom level weights.
+func MatrixClusterWeights(text string, n int, w LevelWeights) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: matrix cluster needs at least one machine, got %d", n)
+	}
+	lay, err := parseMatrixLayout(text)
+	if err != nil {
+		return nil, err
+	}
+	w = w.orDefault()
+	b := NewBuilder(fmt.Sprintf("Cluster-%dxdiscovered", n))
+	b.SetRoutingPenalty(lay.routingPenalty())
+	netID := b.AddNode(LevelNetwork, "Net", -1, -1, -1)
+	for m := 0; m < n; m++ {
+		lay.stamp(b, m, w, netID)
+	}
 	return b.Build(), nil
 }
 
 // RenderMatrix emits the nvidia-smi-style connectivity matrix of a
 // single-machine topology — the inverse of ParseMatrix, used by the topoviz
-// tool and by round-trip tests.
+// tool and by round-trip tests. The CPU-affinity column encodes socket
+// membership (eight synthetic CPU ids per socket), which is what lets
+// ParseMatrix recover the socket partition even when NVLink edges span
+// sockets (DGX-1's cube mesh).
 func (t *Topology) RenderMatrix() string {
 	n := t.NumGPUs()
 	var sb strings.Builder
@@ -200,13 +334,14 @@ func (t *Topology) RenderMatrix() string {
 	for i := 0; i < n; i++ {
 		fmt.Fprintf(&sb, "%-6s", fmt.Sprintf("GPU%d", i))
 	}
-	sb.WriteString("\n")
+	sb.WriteString("CPUAffinity\n")
 	for i := 0; i < n; i++ {
 		fmt.Fprintf(&sb, "%-5s", fmt.Sprintf("GPU%d", i))
 		for j := 0; j < n; j++ {
 			fmt.Fprintf(&sb, "%-6s", t.connectivityToken(i, j))
 		}
-		sb.WriteString("\n")
+		s := t.GPU(i).Socket
+		fmt.Fprintf(&sb, "%d-%d\n", 8*s, 8*s+7)
 	}
 	return sb.String()
 }

@@ -1,6 +1,8 @@
 package topology
 
 import (
+	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -93,6 +95,162 @@ GPU1 PHB   X
 	}
 	if topo.P2P(0, 1) {
 		t.Fatal("PHB pair is routed through the host bridge, not P2P")
+	}
+}
+
+// TestMatrixRoundTripEquivalence is the full discovery-equivalence check:
+// rendering a built machine and parsing the result back must reproduce
+// the same GPU-to-GPU distances, P2P relations, effective bandwidths and
+// routing penalty — otherwise discovered and built versions of the same
+// machine would score allocations differently. DGX-1 is the hard case:
+// its cube-mesh NVLink joins every GPU transitively (socket structure
+// only survives via the CPU-affinity column) and its PCIe switches are
+// shadowed by NV1 tokens (ParseMatrix must re-synthesize the switch hop).
+func TestMatrixRoundTripEquivalence(t *testing.T) {
+	for _, built := range []*Topology{Power8Minsky(), DGX1(), PCIeBox()} {
+		parsed, err := ParseMatrix(built.RenderMatrix())
+		if err != nil {
+			t.Fatalf("%s: round trip parse: %v\nmatrix:\n%s", built.Name, err, built.RenderMatrix())
+		}
+		if parsed.NumGPUs() != built.NumGPUs() {
+			t.Fatalf("%s: GPU count %d -> %d", built.Name, built.NumGPUs(), parsed.NumGPUs())
+		}
+		if parsed.RoutingPenalty != built.RoutingPenalty {
+			t.Fatalf("%s: routing penalty %v -> %v", built.Name, built.RoutingPenalty, parsed.RoutingPenalty)
+		}
+		n := built.NumGPUs()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if b, p := built.Distance(i, j), parsed.Distance(i, j); b != p {
+					t.Fatalf("%s: Distance(%d,%d) %v -> %v", built.Name, i, j, b, p)
+				}
+				if b, p := built.P2P(i, j), parsed.P2P(i, j); b != p {
+					t.Fatalf("%s: P2P(%d,%d) %v -> %v", built.Name, i, j, b, p)
+				}
+				if b, p := built.EffectiveBandwidth(i, j), parsed.EffectiveBandwidth(i, j); math.Abs(b-p) > 1e-9 {
+					t.Fatalf("%s: EffectiveBandwidth(%d,%d) %v -> %v", built.Name, i, j, b, p)
+				}
+				if b, p := built.SameSocket(i, j), parsed.SameSocket(i, j); b != p {
+					t.Fatalf("%s: SameSocket(%d,%d) %v -> %v", built.Name, i, j, b, p)
+				}
+			}
+		}
+	}
+}
+
+// TestParseMatrixRoutingPenalty pins the discovery-penalty fix: an
+// all-PCIe matrix must score like PCIeBox (2.5), not like an NVLink
+// machine — ParseMatrix used to hard-code 3.5 for everything.
+func TestParseMatrixRoutingPenalty(t *testing.T) {
+	pcieMatrix := `
+     GPU0  GPU1  GPU2  GPU3
+GPU0 X     PIX   SYS   SYS
+GPU1 PIX   X     SYS   SYS
+GPU2 SYS   SYS   X     PIX
+GPU3 SYS   SYS   PIX   X
+`
+	topo, err := ParseMatrix(pcieMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := PCIeBox().RoutingPenalty; topo.RoutingPenalty != want {
+		t.Fatalf("all-PCIe discovered penalty = %v, want %v", topo.RoutingPenalty, want)
+	}
+	nvTopo, err := ParseMatrix(minskyMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nvTopo.RoutingPenalty != 3.5 {
+		t.Fatalf("NVLink discovered penalty = %v, want 3.5", nvTopo.RoutingPenalty)
+	}
+}
+
+// TestParseMatrixRowCount pins the trailing-row fix: rows beyond the GPU
+// header count used to be silently ignored; both directions now fail with
+// ErrMatrixRows. A trailing nvidia-smi legend block stays tolerated.
+func TestParseMatrixRowCount(t *testing.T) {
+	tooMany := `
+     GPU0  GPU1
+GPU0 X     NV2
+GPU1 NV2   X
+GPU2 NV2   NV2
+`
+	if _, err := ParseMatrix(tooMany); !errors.Is(err, ErrMatrixRows) {
+		t.Fatalf("trailing row error = %v, want ErrMatrixRows", err)
+	}
+	tooFew := `
+     GPU0  GPU1
+GPU0 X     NV2
+`
+	if _, err := ParseMatrix(tooFew); !errors.Is(err, ErrMatrixRows) {
+		t.Fatalf("missing row error = %v, want ErrMatrixRows", err)
+	}
+	withLegend := `
+     GPU0  GPU1
+GPU0 X     NV2
+GPU1 NV2   X
+Legend:
+  NV2 = dual NVLink
+`
+	if _, err := ParseMatrix(withLegend); err != nil {
+		t.Fatalf("legend block rejected: %v", err)
+	}
+	// Real RDMA-equipped machines list NIC rows after the GPU rows.
+	withNIC := `
+     GPU0  GPU1
+GPU0 X     NV2
+GPU1 NV2   X
+NIC0 SYS   SYS
+Legend:
+  NV2 = dual NVLink
+`
+	if _, err := ParseMatrix(withNIC); err != nil {
+		t.Fatalf("NIC row rejected: %v", err)
+	}
+}
+
+func TestMatrixCluster(t *testing.T) {
+	topo, err := MatrixCluster(minskyMatrix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 12 || topo.NumMachines() != 3 {
+		t.Fatalf("matrix cluster: %d GPUs on %d machines", topo.NumGPUs(), topo.NumMachines())
+	}
+	// Each stamped machine reproduces the single-machine distances.
+	single, err := ParseMatrix(minskyMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 3; m++ {
+		gpus := topo.GPUsOfMachine(m)
+		if len(gpus) != 4 {
+			t.Fatalf("machine %d has %d GPUs", m, len(gpus))
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if got, want := topo.Distance(gpus[i], gpus[j]), single.Distance(i, j); got != want {
+					t.Fatalf("machine %d Distance(%d,%d) = %v, single machine %v", m, i, j, got, want)
+				}
+			}
+		}
+	}
+	// Cross-machine pairs route over the network.
+	if topo.P2P(0, 4) {
+		t.Fatal("cross-machine pair reported P2P")
+	}
+	if topo.Distance(0, 4) <= topo.Distance(0, 2) {
+		t.Fatalf("cross-machine %v <= cross-socket %v", topo.Distance(0, 4), topo.Distance(0, 2))
+	}
+	// The inferred penalty carries over from the matrix.
+	if topo.RoutingPenalty != 3.5 {
+		t.Fatalf("cluster penalty = %v", topo.RoutingPenalty)
+	}
+	if _, err := MatrixCluster(minskyMatrix, 0); err == nil {
+		t.Fatal("zero machines did not error")
+	}
+	if _, err := MatrixCluster("garbage", 2); err == nil {
+		t.Fatal("bad matrix did not error")
 	}
 }
 

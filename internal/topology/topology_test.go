@@ -279,6 +279,131 @@ func enumerate(n, k int, f func([]int)) {
 	rec(0, 0)
 }
 
+func TestHeterogeneousClusterStructure(t *testing.T) {
+	topo, err := HeterogeneousCluster([]MachineSpec{
+		{Kind: KindMinsky, Count: 2},
+		{Kind: KindDGX1, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 2*4+8 {
+		t.Fatalf("GPUs = %d, want 16", topo.NumGPUs())
+	}
+	if topo.NumMachines() != 3 {
+		t.Fatalf("machines = %d, want 3", topo.NumMachines())
+	}
+	if topo.Name != "Cluster-minsky:2+dgx1:1" {
+		t.Fatalf("name = %q", topo.Name)
+	}
+	// Machines appear in spec order: M0,M1 Minsky (4 GPUs), M2 DGX-1 (8).
+	if got := len(topo.GPUsOfMachine(0)); got != 4 {
+		t.Fatalf("machine 0 has %d GPUs, want 4", got)
+	}
+	if got := len(topo.GPUsOfMachine(2)); got != 8 {
+		t.Fatalf("machine 2 has %d GPUs, want 8", got)
+	}
+	// Cross-machine pairs route over the network, never P2P.
+	if topo.P2P(0, 8) || topo.SameMachine(0, 8) {
+		t.Fatal("minsky GPU 0 and dgx1 GPU 8 must be on different machines, not P2P")
+	}
+	if topo.Distance(0, 8) <= topo.Distance(0, 2) {
+		t.Fatalf("cross-machine %v <= cross-socket %v", topo.Distance(0, 8), topo.Distance(0, 2))
+	}
+	// NVLink machines present: the mixed cluster stages routed transfers
+	// through host memory like its NVLink members.
+	if topo.RoutingPenalty != 3.5 {
+		t.Fatalf("routing penalty = %v, want 3.5", topo.RoutingPenalty)
+	}
+	// All-PCIe mixes keep the PCIe penalty.
+	pcie, err := HeterogeneousCluster([]MachineSpec{{Kind: KindPCIeBox, Count: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcie.RoutingPenalty != 2.5 {
+		t.Fatalf("all-PCIe mix penalty = %v, want 2.5", pcie.RoutingPenalty)
+	}
+}
+
+func TestHeterogeneousClusterErrors(t *testing.T) {
+	if _, err := HeterogeneousCluster(nil); err == nil {
+		t.Fatal("empty spec list did not error")
+	}
+	if _, err := HeterogeneousCluster([]MachineSpec{{Kind: KindMinsky, Count: 0}}); err == nil {
+		t.Fatal("zero machine count did not error")
+	}
+	if _, err := HeterogeneousCluster([]MachineSpec{{Kind: MachineKind(99), Count: 1}}); err == nil {
+		t.Fatal("unknown machine kind did not error")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	specs, err := ParseMix("minsky:2+dgx1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []MachineSpec{{Kind: KindMinsky, Count: 2}, {Kind: KindDGX1, Count: 1}}
+	if len(specs) != 2 || specs[0] != want[0] || specs[1] != want[1] {
+		t.Fatalf("ParseMix = %v, want %v", specs, want)
+	}
+	if got := MixString(specs); got != "minsky:2+dgx1:1" {
+		t.Fatalf("MixString = %q", got)
+	}
+	for _, bad := range []string{"", "minsky", "minsky:0", "minsky:x", "tpu:2", "minsky:2+"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) did not error", bad)
+		}
+	}
+}
+
+// TestHeteroAllocationMatchesBruteForce is the regression test for the
+// allocation-symmetry bug: extremeAllocation used to seed only from the
+// first two machines "by symmetry", but on minsky,minsky,minsky,dgx1 the
+// true best 8-GPU allocation is the DGX-1's own eight GPUs — unreachable
+// from a Minsky seed, because every greedy set contains its seed. The
+// cluster is sized past the seed-limiting threshold (20 GPUs > 16, 4
+// machines > 2) so the heuristic path is the one under test.
+func TestHeteroAllocationMatchesBruteForce(t *testing.T) {
+	topo, err := HeterogeneousCluster([]MachineSpec{
+		{Kind: KindMinsky, Count: 3},
+		{Kind: KindDGX1, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := topo.NumGPUs()
+	if n != 20 {
+		t.Fatalf("GPUs = %d, want 20", n)
+	}
+	for _, g := range []int{2, 4, 6, 8} {
+		bestBrute := math.Inf(1)
+		worstBrute := 0.0
+		enumerate(n, g, func(set []int) {
+			d := topo.PairwiseDistance(set)
+			if d < bestBrute {
+				bestBrute = d
+			}
+			if d > worstBrute {
+				worstBrute = d
+			}
+		})
+		if got := topo.BestCommCost(g); math.Abs(got-bestBrute) > 1e-9 {
+			t.Fatalf("best(%d) = %v, brute force %v", g, got, bestBrute)
+		}
+		if got := topo.WorstCommCost(g); math.Abs(got-worstBrute) > 1e-9 {
+			t.Fatalf("worst(%d) = %v, brute force %v", g, got, worstBrute)
+		}
+	}
+	// The optimal 8-GPU allocation lives entirely inside the DGX-1
+	// (positions 12..19) — the witness the old first-two-machines seeding
+	// could never produce.
+	for _, pos := range topo.BestAllocation(8) {
+		if pos < 12 {
+			t.Fatalf("best 8-GPU allocation %v leaks out of the DGX-1", topo.BestAllocation(8))
+		}
+	}
+}
+
 func TestCustomLevelWeightsPreserveOrdering(t *testing.T) {
 	for _, w := range []float64{5, 50, 500} {
 		topo := Power8MinskyWeights(LevelWeights{Socket: w})
