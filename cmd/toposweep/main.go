@@ -13,12 +13,15 @@
 //	toposweep -smoke                          CI shorthand for -grid smoke
 //	toposweep -grid alpha -csv alpha.csv      write a per-point CSV
 //	toposweep -diff old.json new.json         regression-diff two artifacts
+//	toposweep -smoke -bench BENCH_sweep.json  record wall-clock + jobs/sec
+//	toposweep -diff-bench -tol 0.5 old new    perf-diff two bench artifacts
+//	toposweep -smoke -cpuprofile cpu.pprof    profile the sweep (also -memprofile)
 //
 // Topology specs in grid files cover homogeneous builders, heterogeneous
 // machine mixes ("mix": [{"kind": "minsky", "count": 2}, ...]) and
 // discovered machines parsed from nvidia-smi-style connectivity-matrix
 // files ("matrix_file": "path/to/machine.matrix", resolved against the
-// working directory).
+// spec file's directory with a working-directory fallback).
 //
 // The grid spec file format is documented in docs/sweeps.md; runnable
 // examples live in examples/sweeps/.
@@ -30,6 +33,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -48,13 +52,27 @@ func main() {
 		list     = flag.Bool("list", false, "list the available grids and exit; with a grid name argument, dump that grid as a JSON spec template")
 		quiet    = flag.Bool("quiet", false, "suppress per-point progress")
 		diff     = flag.Bool("diff", false, "diff two JSON artifacts: toposweep -diff old.json new.json; exits 2 on regression (flags go before the file arguments)")
-		tol      = flag.Float64("tol", 0, "relative tolerance for -diff (0 = exact)")
-		tolMet   = flag.String("tol-metric", "", "per-metric tolerance overrides for -diff, e.g. makespan_s=0.05,slo_violations=0")
+		tol      = flag.Float64("tol", 0, "relative tolerance for -diff/-diff-bench (0 = exact)")
+		tolMet   = flag.String("tol-metric", "", "per-metric tolerance overrides for -diff/-diff-bench, e.g. makespan_s=0.05 or allocs_per_op=0.1 (comma-separated)")
 		strict   = flag.Bool("strict", false, "with -diff, also exit 2 on improvements — any delta is a behavior change (used by the CI golden-baseline gate)")
+		bench    = flag.String("bench", "", "write a perf-tracking artifact (wall-clock, points/sec, jobs/sec) to this path after the run")
+		benchGo  = flag.String("bench-go", "", "with -bench: merge `go test -bench` output from this file into the artifact (ns/op, B/op, allocs/op)")
+		diffB    = flag.Bool("diff-bench", false, "perf-diff two bench artifacts: toposweep -diff-bench -tol 0.5 old.json new.json; exits 2 on regression beyond tolerance")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this path")
 	)
 	flag.Parse()
 
 	switch {
+	case *diffB:
+		res, err := diffBenchFiles(os.Stdout, flag.Args(), *tol, *tolMet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "toposweep:", err)
+			os.Exit(1)
+		}
+		if res.HasRegressions() {
+			os.Exit(2)
+		}
 	case *diff:
 		res, err := diffFiles(os.Stdout, flag.Args(), *tol, *tolMet)
 		if err != nil {
@@ -76,7 +94,13 @@ func main() {
 				seedSet = true
 			}
 		})
-		if err := run(os.Stdout, *gridName, *workers, *out, *csv, *smoke, *seed, seedSet, *quiet); err != nil {
+		opts := runOpts{
+			out: *out, csv: *csv, bench: *bench, benchGo: *benchGo,
+			cpuProfile: *cpuProf, memProfile: *memProf,
+			smoke: *smoke, seed: *seed, seedSet: seedSet, quiet: *quiet,
+			workers: *workers,
+		}
+		if err := run(os.Stdout, *gridName, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "toposweep:", err)
 			os.Exit(1)
 		}
@@ -180,17 +204,32 @@ func resolveGrid(gridName string, seed uint64, seedSet bool) (sweep.Grid, error)
 	return sweep.Named(gridName, seed)
 }
 
-func run(w io.Writer, gridName string, workers int, out, csv string, smoke bool, seed uint64, seedSet, quiet bool) error {
-	if smoke {
+// runOpts bundles the output-producing flags of a sweep run.
+type runOpts struct {
+	workers                int
+	out, csv               string
+	bench, benchGo         string
+	cpuProfile, memProfile string
+	smoke, seedSet, quiet  bool
+	seed                   uint64
+}
+
+func run(w io.Writer, gridName string, o runOpts) error {
+	if o.benchGo != "" && o.bench == "" {
+		// Fail before the sweep runs — on a scenario-2 grid this mistake
+		// would otherwise surface only after hours of simulation.
+		return fmt.Errorf("-bench-go requires -bench")
+	}
+	if o.smoke {
 		gridName = "smoke"
 	}
-	grid, err := resolveGrid(gridName, seed, seedSet)
+	grid, err := resolveGrid(gridName, o.seed, o.seedSet)
 	if err != nil {
 		return err
 	}
 
-	opt := sweep.Options{Workers: workers}
-	if !quiet {
+	opt := sweep.Options{Workers: o.workers}
+	if !o.quiet {
 		total := len(grid.Points())
 		last := -1
 		opt.Progress = func(done, _ int) {
@@ -205,6 +244,18 @@ func run(w io.Writer, gridName string, workers int, out, csv string, smoke bool,
 		}
 	}
 
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
 	rep, err := sweep.Run(grid, opt)
 	if err != nil {
@@ -212,23 +263,112 @@ func run(w io.Writer, gridName string, workers int, out, csv string, smoke bool,
 	}
 	rep.Elapsed = time.Since(start)
 
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+
 	fmt.Fprintln(w, rep.Render())
 
-	if out != "" {
+	if o.out != "" {
 		js, err := rep.JSON()
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(out, js, 0o644); err != nil {
+		if err := os.WriteFile(o.out, js, 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "wrote %s (%d bytes)\n", out, len(js))
+		fmt.Fprintf(w, "wrote %s (%d bytes)\n", o.out, len(js))
 	}
-	if csv != "" {
-		if err := os.WriteFile(csv, rep.CSV(), 0o644); err != nil {
+	if o.csv != "" {
+		if err := os.WriteFile(o.csv, rep.CSV(), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "wrote %s\n", csv)
+		fmt.Fprintf(w, "wrote %s\n", o.csv)
+	}
+	if o.bench != "" {
+		if err := writeBench(w, rep, o.bench, o.benchGo); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// writeBench distills the run into the perf-tracking artifact, merging
+// parsed `go test -bench` output when provided.
+func writeBench(w io.Writer, rep *sweep.Report, benchPath, benchGoPath string) error {
+	var br sweep.BenchReport
+	br.AddGrid(sweep.NewGridBench(rep))
+	if benchGoPath != "" {
+		text, err := os.ReadFile(benchGoPath)
+		if err != nil {
+			return fmt.Errorf("-bench-go: %w", err)
+		}
+		br.Benchmarks = sweep.ParseGoBenchOutput(string(text))
+		if len(br.Benchmarks) == 0 {
+			return fmt.Errorf("-bench-go: no benchmark lines found in %s", benchGoPath)
+		}
+	}
+	js, err := br.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchPath, js, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d grid(s), %d benchmark(s))\n", benchPath, len(br.Grids), len(br.Benchmarks))
+	return nil
+}
+
+// diffBenchFiles loads two bench artifacts and perf-diffs them under the
+// tolerances; callers decide the exit code from the result.
+func diffBenchFiles(w io.Writer, args []string, tol float64, tolMetric string) (*sweep.DiffResult, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("-diff-bench needs exactly two artifacts: toposweep -diff-bench old.json new.json")
+	}
+	opt := sweep.BenchDiffOptions{RelTol: tol}
+	if tolMetric != "" {
+		known := map[string]bool{}
+		for _, m := range sweep.BenchDiffMetricNames() {
+			known[m] = true
+		}
+		opt.PerMetric = map[string]float64{}
+		for _, pair := range strings.Split(tolMetric, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return nil, fmt.Errorf("-tol-metric entry %q is not metric=value", pair)
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("-tol-metric: unknown bench metric %q (use one of %v)", name, sweep.BenchDiffMetricNames())
+			}
+			t, err := strconv.ParseFloat(val, 64)
+			if err != nil || t < 0 {
+				return nil, fmt.Errorf("-tol-metric: bad tolerance %q for %s", val, name)
+			}
+			opt.PerMetric[name] = t
+		}
+	}
+	reports := make([]*sweep.BenchReport, 2)
+	for i, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		reports[i], err = sweep.LoadBenchReport(data, path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := sweep.DiffBench(reports[0], reports[1], opt)
+	res.OldName, res.NewName = args[0], args[1]
+	_, err := io.WriteString(w, res.Markdown())
+	return res, err
 }

@@ -53,7 +53,7 @@ func TestListGridsUnknownNameErrors(t *testing.T) {
 }
 
 func TestRunUnknownGridErrors(t *testing.T) {
-	if err := run(&bytes.Buffer{}, "no-such-grid", 1, "", "", false, 1, false, true); err == nil {
+	if err := run(&bytes.Buffer{}, "no-such-grid", runOpts{workers: 1, seed: 1, quiet: true}); err == nil {
 		t.Fatal("unknown grid name did not error")
 	}
 }
@@ -81,7 +81,7 @@ func TestRunGridSpecFile(t *testing.T) {
 	path := writeSpec(t, tinySpec)
 	outPath := filepath.Join(filepath.Dir(path), "out.json")
 	var buf bytes.Buffer
-	if err := run(&buf, "@"+path, 2, outPath, "", false, 0, false, true); err != nil {
+	if err := run(&buf, "@"+path, runOpts{workers: 2, out: outPath, quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -126,7 +126,7 @@ func TestRunHeteroGridSpecFile(t *testing.T) {
 }`
 	path := writeSpec(t, spec)
 	outPath := filepath.Join(dir, "out.json")
-	if err := run(&bytes.Buffer{}, "@"+path, 2, outPath, "", false, 0, false, true); err != nil {
+	if err := run(&bytes.Buffer{}, "@"+path, runOpts{workers: 2, out: outPath, quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -153,11 +153,11 @@ func TestRunHeteroGridSpecFile(t *testing.T) {
 // before any simulation runs.
 func TestRunBadHeteroSpecFails(t *testing.T) {
 	missing := writeSpec(t, `{"topologies": [{"matrix_file": "no/such.matrix"}]}`)
-	if err := run(&bytes.Buffer{}, "@"+missing, 1, "", "", false, 0, false, true); err == nil {
+	if err := run(&bytes.Buffer{}, "@"+missing, runOpts{workers: 1, quiet: true}); err == nil {
 		t.Fatal("missing matrix file did not error")
 	}
 	conflict := writeSpec(t, `{"topologies": [{"builder": "minsky", "mix": [{"kind": "dgx1", "count": 1}]}]}`)
-	if err := run(&bytes.Buffer{}, "@"+conflict, 1, "", "", false, 0, false, true); err == nil {
+	if err := run(&bytes.Buffer{}, "@"+conflict, runOpts{workers: 1, quiet: true}); err == nil {
 		t.Fatal("mix+builder conflict did not error")
 	}
 }
@@ -165,7 +165,7 @@ func TestRunBadHeteroSpecFails(t *testing.T) {
 func TestRunGridSpecFileSeedOverride(t *testing.T) {
 	path := writeSpec(t, tinySpec)
 	outPath := filepath.Join(filepath.Dir(path), "out.json")
-	if err := run(&bytes.Buffer{}, "@"+path, 1, outPath, "", false, 99, true, true); err != nil {
+	if err := run(&bytes.Buffer{}, "@"+path, runOpts{workers: 1, out: outPath, seed: 99, seedSet: true, quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -254,5 +254,94 @@ func TestParseTolerances(t *testing.T) {
 	}
 	if _, err := parseTolerances(0, "makespan_s"); err == nil {
 		t.Fatal("missing =value accepted")
+	}
+}
+
+// TestRunBenchArtifactAndDiffBench drives the perf harness end to end:
+// run a grid with -bench/-bench-go and profile flags, then perf-diff the
+// artifact against itself (clean) and against a slower baseline (gated).
+func TestRunBenchArtifactAndDiffBench(t *testing.T) {
+	dir := t.TempDir()
+	goBenchPath := filepath.Join(dir, "gobench.txt")
+	goBench := "BenchmarkFig11Scenario2 \t 1\t 610786475 ns/op\t 108440456 B/op\t 2433719 allocs/op\n"
+	if err := os.WriteFile(goBenchPath, []byte(goBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := writeSpec(t, tinySpec)
+	benchPath := filepath.Join(dir, "BENCH_sweep.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run(&bytes.Buffer{}, "@"+path, runOpts{
+		workers: 2, quiet: true,
+		bench: benchPath, benchGo: goBenchPath,
+		cpuProfile: cpu, memProfile: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{benchPath, cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("%s missing or empty (err=%v)", p, err)
+		}
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := sweep.LoadBenchReport(data, benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Grids) != 1 || br.Grids[0].Grid != "tiny" || br.Grids[0].ElapsedSec <= 0 {
+		t.Fatalf("bench artifact grids: %+v", br.Grids)
+	}
+	if len(br.Benchmarks) != 1 || br.Benchmarks[0].AllocsPerOp != 2433719 {
+		t.Fatalf("bench artifact benchmarks: %+v", br.Benchmarks)
+	}
+
+	// Self-diff under any tolerance is clean.
+	var buf bytes.Buffer
+	res, err := diffBenchFiles(&buf, []string{benchPath, benchPath}, 0.5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasRegressions() {
+		t.Fatalf("bench self-diff regressed:\n%s", buf.String())
+	}
+
+	// A baseline with 10x fewer allocs flags the current run.
+	tight := *br
+	tight.Benchmarks = []sweep.GoBench{{Name: "BenchmarkFig11Scenario2", NsPerOp: 610786475, BytesPerOp: 108440456, AllocsPerOp: 243371}}
+	js, err := tight.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightPath := filepath.Join(dir, "tight.json")
+	if err := os.WriteFile(tightPath, js, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	res, err = diffBenchFiles(&buf, []string{tightPath, benchPath}, 5, "allocs_per_op=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasRegressions() {
+		t.Fatalf("alloc regression passed the per-metric gate:\n%s", buf.String())
+	}
+
+	if _, err := diffBenchFiles(&buf, []string{benchPath}, 0, ""); err == nil {
+		t.Fatal("one-argument -diff-bench did not error")
+	}
+	if _, err := diffBenchFiles(&buf, []string{benchPath, benchPath}, 0, "nope=1"); err == nil {
+		t.Fatal("unknown bench metric accepted")
+	}
+}
+
+// TestRunBenchGoRequiresBench pins the flag dependency.
+func TestRunBenchGoRequiresBench(t *testing.T) {
+	path := writeSpec(t, tinySpec)
+	err := run(&bytes.Buffer{}, "@"+path, runOpts{workers: 1, quiet: true, benchGo: "whatever.txt"})
+	if err == nil || !strings.Contains(err.Error(), "-bench") {
+		t.Fatalf("want -bench-go dependency error, got %v", err)
 	}
 }

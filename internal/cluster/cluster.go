@@ -46,6 +46,13 @@ type State struct {
 	socketCount   int
 	maxFree       int
 	maxFreeDirty  bool
+
+	// epoch is a monotonic version counter bumped by every Allocate and
+	// Release. A placement attempt is a pure function of the state, so a
+	// scheduler can memoize "job X could not be placed at epoch E" and
+	// skip re-evaluating X until the epoch moves — the version-gated
+	// rescheduling that keeps scenario-2 queue depths cheap.
+	epoch uint64
 }
 
 // NewState returns an empty allocation state for the topology.
@@ -85,13 +92,19 @@ func (s *State) Owner(pos int) string { return s.owner[pos] }
 
 // FreeGPUs returns the positions of all unallocated GPUs, ascending.
 func (s *State) FreeGPUs() []int {
-	var out []int
+	return s.AppendFreeGPUs(nil)
+}
+
+// AppendFreeGPUs appends the positions of all unallocated GPUs
+// (ascending) to buf and returns it — the allocation-free variant of
+// FreeGPUs for schedulers with a reusable buffer.
+func (s *State) AppendFreeGPUs(buf []int) []int {
 	for pos, o := range s.owner {
 		if o == "" {
-			out = append(out, pos)
+			buf = append(buf, pos)
 		}
 	}
-	return out
+	return buf
 }
 
 // FreeGPUCount returns the number of unallocated GPUs in O(1).
@@ -99,13 +112,18 @@ func (s *State) FreeGPUCount() int { return s.freeTotal }
 
 // FreeGPUsOnMachine returns the free GPU positions of machine m.
 func (s *State) FreeGPUsOnMachine(m int) []int {
-	var out []int
+	return s.AppendFreeGPUsOnMachine(nil, m)
+}
+
+// AppendFreeGPUsOnMachine appends machine m's free GPU positions
+// (ascending) to buf and returns it.
+func (s *State) AppendFreeGPUsOnMachine(buf []int, m int) []int {
 	for _, pos := range s.topo.GPUsOfMachine(m) {
 		if s.owner[pos] == "" {
-			out = append(out, pos)
+			buf = append(buf, pos)
 		}
 	}
-	return out
+	return buf
 }
 
 // UsedGPUsOnMachine returns the allocated GPU positions of machine m.
@@ -166,6 +184,7 @@ func (s *State) Allocate(jobID string, gpus []int, bandwidth float64, traits per
 	}
 	s.allocs[jobID] = alloc
 	s.maxFreeDirty = true
+	s.epoch++
 	return nil
 }
 
@@ -191,8 +210,15 @@ func (s *State) Release(jobID string) error {
 	}
 	delete(s.allocs, jobID)
 	s.maxFreeDirty = true
+	s.epoch++
 	return nil
 }
+
+// Epoch returns the state's monotonic version: it changes exactly when an
+// Allocate or Release mutates the allocation state. Two placement
+// evaluations at the same epoch see the same state and therefore decide
+// identically.
+func (s *State) Epoch() uint64 { return s.epoch }
 
 // Allocation returns the allocation of jobID, or nil.
 func (s *State) Allocation(jobID string) *Allocation {
@@ -321,6 +347,7 @@ func (s *State) Clone() *State {
 		socketCount:   s.socketCount,
 		maxFree:       s.maxFree,
 		maxFreeDirty:  s.maxFreeDirty,
+		epoch:         s.epoch,
 	}
 	for m, v := range s.freeOnMachine {
 		c.freeOnMachine[m] = v

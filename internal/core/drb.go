@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"gputopo/internal/cluster"
 	"gputopo/internal/fm"
@@ -58,28 +60,43 @@ func (m *Mapper) Place(j *job.Job, st *cluster.State, candidates []int) (*Placem
 		return m.placeAntiCollocated(j, st, candidates)
 	}
 
-	tasks := make([]int, j.GPUs)
-	for i := range tasks {
-		tasks[i] = i
+	// The recursion state is pooled: a scenario-2 simulation runs DRB
+	// hundreds of thousands of times on tiny inputs, so the per-call
+	// scratch (task list, sorted candidate copy, assignment array, the
+	// affinity graph) is recycled instead of reallocated.
+	d := drbPool.Get().(*drbRun)
+	d.mapper, d.job, d.state = m, j, st
+	tasks := d.tasksScratch[:0]
+	for i := 0; i < j.GPUs; i++ {
+		tasks = append(tasks, i)
 	}
-	gpus := append([]int(nil), candidates...)
-	sort.Ints(gpus)
-
-	d := &drbRun{mapper: m, job: j, state: st, assignment: make([]int, j.GPUs)}
-	for i := range d.assignment {
-		d.assignment[i] = -1
+	d.tasksScratch = tasks
+	gpus := append(d.gpusScratch[:0], candidates...)
+	slices.Sort(gpus)
+	d.gpusScratch = gpus
+	d.assignment = d.assignment[:0]
+	for i := 0; i < j.GPUs; i++ {
+		d.assignment = append(d.assignment, -1)
 	}
-	if err := d.recurse(tasks, gpus); err != nil {
+	err := d.recurse(tasks, gpus)
+	release := func() {
+		d.mapper, d.job, d.state = nil, nil, nil
+		drbPool.Put(d)
+	}
+	if err != nil {
+		release()
 		return nil, err
 	}
 
 	alloc := make([]int, 0, j.GPUs)
 	for task, gpu := range d.assignment {
 		if gpu < 0 {
+			release()
 			return nil, fmt.Errorf("core: task %d of job %s left unmapped", task, j.ID)
 		}
 		alloc = append(alloc, gpu)
 	}
+	release()
 	sort.Ints(alloc)
 	return m.Score(j, st, alloc), nil
 }
@@ -153,13 +170,22 @@ func (m *Mapper) Score(j *job.Job, st *cluster.State, gpus []int) *Placement {
 	}
 }
 
-// drbRun carries the recursion state of one DRB invocation.
+// drbRun carries the recursion state of one DRB invocation plus the
+// reusable scratch buffers (pooled via drbPool).
 type drbRun struct {
 	mapper     *Mapper
 	job        *job.Job
 	state      *cluster.State
 	assignment []int // task -> GPU position, -1 while unmapped
+
+	tasksScratch []int        // Place: initial task list
+	gpusScratch  []int        // Place: sorted candidate copy
+	affinity     *graph.Graph // physicalGraphBiPartition: reused affinity graph
+	sideScratch  []int8       // jobGraphBiPartition: task -> side, -1 unassigned
+	orderScratch []int        // jobGraphBiPartition: degree-ordered tasks
 }
+
+var drbPool = sync.Pool{New: func() interface{} { return &drbRun{affinity: graph.New()} }}
 
 // recurse is Algorithm 2. Each call bi-partitions the physical GPU set
 // with Fiduccia–Mattheyses over the affinity graph (physicalGraphBiPartition)
@@ -196,10 +222,11 @@ func (d *drbRun) recurse(tasks, gpus []int) error {
 // way SCOTCH's DRB does on the raw topology graph.
 func (d *drbRun) physicalGraphBiPartition(gpus []int) (p0, p1 []int) {
 	topo := d.state.Topology()
-	g := graph.New()
-	for _, pos := range gpus {
-		g.AddVertex(fmt.Sprintf("gpu%d", pos))
-	}
+	// The affinity graph lives only for this call (FM consumes it before
+	// returning), so one reused instance per drbRun suffices. Labels are
+	// never read by the partitioner.
+	g := d.affinity
+	g.Reset(len(gpus))
 	for i := 0; i < len(gpus); i++ {
 		for k := i + 1; k < len(gpus); k++ {
 			dist := topo.Distance(gpus[i], gpus[k])
@@ -233,12 +260,30 @@ func (d *drbRun) physicalGraphBiPartition(gpus []int) (p0, p1 []int) {
 // critical tasks choose first.
 func (d *drbRun) jobGraphBiPartition(tasks, p0, p1 []int) (a0, a1 []int, err error) {
 	comm := d.job.CommGraph()
-	order := append([]int(nil), tasks...)
-	sort.SliceStable(order, func(i, k int) bool {
-		return comm.Underlying().WeightedDegree(order[i]) > comm.Underlying().WeightedDegree(order[k])
+	order := append(d.orderScratch[:0], tasks...)
+	d.orderScratch = order
+	slices.SortStableFunc(order, func(a, b int) int {
+		da, db := comm.Underlying().WeightedDegree(a), comm.Underlying().WeightedDegree(b)
+		switch {
+		case da > db:
+			return -1
+		case da < db:
+			return 1
+		default:
+			return 0
+		}
 	})
 
-	side := make(map[int]int, len(tasks)) // task -> 0/1
+	// side is call-local (parents are done with it before recursing into
+	// children), so the task-indexed scratch array replaces the former
+	// per-call map. -1 marks unassigned. Iterating it in task order also
+	// fixes the peer summation order in sideUtility, where map ranging
+	// left it to Go's randomized iteration.
+	side := d.sideScratch[:0]
+	for i := 0; i < d.job.GPUs; i++ {
+		side = append(side, -1)
+	}
+	d.sideScratch = side
 	for _, task := range order {
 		u0 := d.sideUtility(task, 0, p0, p1, side)
 		u1 := d.sideUtility(task, 1, p0, p1, side)
@@ -263,7 +308,7 @@ func (d *drbRun) jobGraphBiPartition(tasks, p0, p1 []int) (a0, a1 []int, err err
 			}
 			a1 = append(a1, task)
 		}
-		side[task] = pick
+		side[task] = int8(pick)
 	}
 	return a0, a1, nil
 }
@@ -274,24 +319,29 @@ func (d *drbRun) jobGraphBiPartition(tasks, p0, p1 []int) (a0, a1 []int, err err
 // global distance matrix C), the predicted interference from jobs running
 // near the side's GPUs (getInter), and the fragmentation the side's
 // machines already exhibit (getFragmentation).
-func (d *drbRun) sideUtility(task, y int, p0, p1 []int, side map[int]int) float64 {
+func (d *drbRun) sideUtility(task, y int, p0, p1 []int, side []int8) float64 {
 	topo := d.state.Topology()
 	mine, other := p0, p1
 	if y == 1 {
 		mine, other = p1, p0
 	}
 
-	// getCommCost: expected distance to each already-assigned peer.
+	// getCommCost: expected distance to each already-assigned peer,
+	// summed in ascending task order (deterministic by construction, not
+	// by the luck of exactly representable partial sums).
 	comm := d.job.CommGraph()
 	intra := meanIntraDistance(topo, mine)
 	cross := meanCrossDistance(topo, mine, other)
 	var commCost float64
 	for peer, peerSide := range side {
+		if peerSide < 0 {
+			continue
+		}
 		w := comm.Weight(task, peer)
 		if w == 0 {
 			continue
 		}
-		if peerSide == y {
+		if int(peerSide) == y {
 			commCost += w * intra
 		} else {
 			commCost += w * cross

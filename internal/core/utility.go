@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"gputopo/internal/cluster"
 	"gputopo/internal/job"
@@ -102,28 +103,49 @@ func utilityTerms(j *job.Job, gpus []int, st *cluster.State, profiles *profile.S
 // predictInterference gathers the co-runners sharing sockets or machines
 // with the candidate GPUs and returns the profile-predicted slowdown
 // factor I >= 1 (Eq. 4). Only jobs on the candidate's machines are
-// examined, so the cost is independent of cluster size.
+// examined, so the cost is independent of cluster size. The enumeration
+// walks the owner table directly — machines ascending, job IDs sorted
+// within a machine, cross-machine duplicates skipped — reproducing
+// exactly the (machine, id) order the former MachinesOf/JobsOnMachine
+// implementation summed co-runner terms in, without their per-call map
+// and slice allocations (this sits on the innermost DRB scoring path).
 func predictInterference(j *job.Job, gpus []int, st *cluster.State, profiles *profile.Store) float64 {
 	topo := st.Topology()
-	seen := map[string]bool{}
-	var coRunners []profile.CoRunner
-	for _, m := range st.MachinesOf(gpus) {
-		for _, other := range st.JobsOnMachine(m) {
-			if seen[other] {
-				continue
+	var machineBuf [8]int
+	machines := machineBuf[:0]
+	for _, pos := range gpus {
+		m := topo.GPU(pos).Machine
+		if !slices.Contains(machines, m) {
+			machines = append(machines, m)
+		}
+	}
+	slices.Sort(machines)
+
+	var idBuf [16]string
+	ids := idBuf[:0]
+	for _, m := range machines {
+		start := len(ids)
+		for _, pos := range topo.GPUsOfMachine(m) {
+			if o := st.Owner(pos); o != "" && !slices.Contains(ids, o) {
+				ids = append(ids, o)
 			}
-			seen[other] = true
-			alloc := st.Allocation(other)
-			locality := perfmodel.SameMachine
-			for _, g := range gpus {
-				for _, og := range alloc.GPUs {
-					if topo.SameSocket(g, og) {
-						locality = perfmodel.SameSocket
-					}
+		}
+		slices.Sort(ids[start:])
+	}
+
+	var coBuf [16]profile.CoRunner
+	coRunners := coBuf[:0]
+	for _, other := range ids {
+		alloc := st.Allocation(other)
+		locality := perfmodel.SameMachine
+		for _, g := range gpus {
+			for _, og := range alloc.GPUs {
+				if topo.SameSocket(g, og) {
+					locality = perfmodel.SameSocket
 				}
 			}
-			coRunners = append(coRunners, profile.CoRunner{Traits: alloc.Traits, Locality: locality})
 		}
+		coRunners = append(coRunners, profile.CoRunner{Traits: alloc.Traits, Locality: locality})
 	}
 	return profiles.PredictInterference(j.Traits(), coRunners)
 }

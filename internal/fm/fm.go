@@ -14,6 +14,7 @@ package fm
 
 import (
 	"math"
+	"sync"
 
 	"gputopo/internal/graph"
 )
@@ -95,40 +96,93 @@ func Bipartition(g *graph.Graph, opt Options) Result {
 		maxDiff = 1
 	}
 
-	res.CutWeight = cutWeight(g, res.Side)
+	// Materialize the edge list and per-vertex incidence once: the passes
+	// below recompute cuts and gains many times, and pulling fresh
+	// Edges/Neighbors/EdgeWeight copies out of the graph per call was the
+	// dominant allocation source of the DRB mapper. Summation orders are
+	// preserved exactly (edge list stays (U,V)-sorted, incidence stays in
+	// adjacency insertion order), so results are bit-identical. The
+	// workspace itself is pooled: DRB partitions thousands of tiny graphs
+	// per simulation and the scratch buffers dwarf the actual work.
+	w := wsPool.Get().(*workspace)
+	w.load(g)
+
+	res.CutWeight = w.cutWeight(res.Side)
 	for pass := 0; pass < opt.MaxPasses; pass++ {
-		improved, newCut := fmPass(g, res.Side, locked, maxDiff)
+		improved, newCut := w.fmPass(res.Side, locked, maxDiff)
 		res.Passes = pass + 1
 		if !improved {
 			break
 		}
 		res.CutWeight = newCut
 	}
+	wsPool.Put(w)
 	return res
+}
+
+// workspace carries the per-Bipartition views of the graph plus the pass
+// scratch buffers, all reused across Bipartition calls via wsPool.
+type workspace struct {
+	edges   []graph.Edge
+	inc     [][]inc
+	incFlat []inc
+	// fmPass scratch.
+	moved    []bool
+	gains    []float64
+	sequence []int
+}
+
+var wsPool = sync.Pool{New: func() interface{} { return &workspace{} }}
+
+// load (re)fills the workspace from the graph: the (U,V)-sorted edge list
+// and per-vertex (neighbor, weight) incidence lists in insertion order,
+// backed by one flat buffer.
+func (w *workspace) load(g *graph.Graph) {
+	n := g.NumVertices()
+	w.edges = g.AppendEdges(w.edges[:0])
+	w.incFlat = w.incFlat[:0]
+	if cap(w.inc) < n {
+		w.inc = make([][]inc, n)
+	}
+	w.inc = w.inc[:n]
+	// Two passes so incFlat reaches its final size before slicing: append
+	// may relocate the backing array, which would orphan earlier lists.
+	for v := 0; v < n; v++ {
+		g.ForEachIncident(v, func(to int, wt float64) {
+			w.incFlat = append(w.incFlat, inc{to: to, w: wt})
+		})
+	}
+	off := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		w.inc[v] = w.incFlat[off : off+d : off+d]
+		off += d
+	}
 }
 
 // fmPass performs one FM pass: repeatedly move the highest-gain movable
 // vertex (respecting balance), lock it, and record the running best
 // configuration; finally roll back to that best prefix. Returns whether the
 // cut strictly improved and the resulting cut weight.
-func fmPass(g *graph.Graph, side []int, pinned []bool, maxDiff int) (bool, float64) {
-	n := g.NumVertices()
-	moved := make([]bool, n)
+func (w *workspace) fmPass(side []int, pinned []bool, maxDiff int) (bool, float64) {
+	n := len(w.inc)
+	moved := w.moved[:0]
+	gains := w.gains[:0]
+	for v := 0; v < n; v++ {
+		moved = append(moved, false)
+		gains = append(gains, w.gain(side, v))
+	}
+	w.moved, w.gains = moved, gains
 	count := [2]int{}
 	for v := 0; v < n; v++ {
 		count[side[v]]++
 	}
 
-	gains := make([]float64, n)
-	for v := 0; v < n; v++ {
-		gains[v] = gain(g, side, v)
-	}
-
-	startCut := cutWeight(g, side)
+	startCut := w.cutWeight(side)
 	curCut := startCut
 	bestCut := startCut
 	bestPrefix := 0
-	var sequence []int
+	sequence := w.sequence[:0]
 
 	for step := 0; step < n; step++ {
 		// Select the best movable vertex. Linear scan keeps the
@@ -173,11 +227,11 @@ func fmPass(g *graph.Graph, side []int, pinned []bool, maxDiff int) (bool, float
 		sequence = append(sequence, best)
 
 		// Update neighbor gains incrementally.
-		for _, u := range g.Neighbors(best) {
-			if moved[u] || pinned[u] {
+		for _, e := range w.inc[best] {
+			if moved[e.to] || pinned[e.to] {
 				continue
 			}
-			gains[u] = gain(g, side, u)
+			gains[e.to] = w.gain(side, e.to)
 		}
 
 		diffNow := count[0] - count[1]
@@ -195,15 +249,18 @@ func fmPass(g *graph.Graph, side []int, pinned []bool, maxDiff int) (bool, float
 		v := sequence[i]
 		side[v] = 1 - side[v]
 	}
+	w.sequence = sequence
 
 	return bestCut < startCut-1e-12, bestCut
 }
 
 // gain returns the cut-weight reduction achieved by moving v to the other
-// side: (external incident weight) - (internal incident weight).
-func gain(g *graph.Graph, side []int, v int) float64 {
+// side: (external incident weight) - (internal incident weight). With
+// parallel edges each one contributes its own weight; the topology and
+// job graphs partitioned here never create them.
+func (w *workspace) gain(side []int, v int) float64 {
 	var external, internal float64
-	for _, e := range incident(g, v) {
+	for _, e := range w.inc[v] {
 		if side[e.to] == side[v] {
 			internal += e.w
 		} else {
@@ -218,20 +275,11 @@ type inc struct {
 	w  float64
 }
 
-func incident(g *graph.Graph, v int) []inc {
-	ns := g.Neighbors(v)
-	out := make([]inc, 0, len(ns))
-	for _, u := range ns {
-		w, _ := g.EdgeWeight(v, u)
-		out = append(out, inc{to: u, w: w})
-	}
-	return out
-}
-
-// cutWeight returns the total weight of edges crossing the partition.
-func cutWeight(g *graph.Graph, side []int) float64 {
+// cutWeight returns the total weight of edges crossing the partition,
+// summed in (U,V)-sorted edge order.
+func (w *workspace) cutWeight(side []int) float64 {
 	var cut float64
-	for _, e := range g.Edges() {
+	for _, e := range w.edges {
 		if side[e.U] != side[e.V] {
 			cut += e.Weight
 		}
@@ -240,7 +288,10 @@ func cutWeight(g *graph.Graph, side []int) float64 {
 }
 
 // CutWeight exposes the cut metric for tests and ablation benchmarks.
-func CutWeight(g *graph.Graph, side []int) float64 { return cutWeight(g, side) }
+func CutWeight(g *graph.Graph, side []int) float64 {
+	w := workspace{edges: g.Edges()}
+	return w.cutWeight(side)
+}
 
 // ExhaustiveBipartition finds the optimal balanced bipartition by
 // enumerating all 2^(n-1) assignments. It is used as a ground-truth oracle
@@ -254,6 +305,7 @@ func ExhaustiveBipartition(g *graph.Graph, maxDiff int) Result {
 	if maxDiff < 1 {
 		maxDiff = 1
 	}
+	w := workspace{edges: g.Edges()}
 	bestCut := math.Inf(1)
 	bestMask := uint64(0)
 	for mask := uint64(0); mask < 1<<(n-1); mask++ {
@@ -272,7 +324,7 @@ func ExhaustiveBipartition(g *graph.Graph, maxDiff int) Result {
 		if diff > maxDiff {
 			continue
 		}
-		if c := cutWeight(g, side); c < bestCut {
+		if c := w.cutWeight(side); c < bestCut {
 			bestCut = c
 			bestMask = mask
 		}

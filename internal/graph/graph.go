@@ -8,7 +8,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Edge is an undirected weighted edge between two vertices.
@@ -121,21 +121,62 @@ func (g *Graph) EdgeWeight(u, v int) (float64, bool) {
 
 // Edges returns all undirected edges with U < V, sorted by (U, V).
 func (g *Graph) Edges() []Edge {
-	var out []Edge
+	return g.AppendEdges(make([]Edge, 0, g.edges))
+}
+
+// AppendEdges appends all undirected edges (U < V, sorted by (U, V)) to
+// buf and returns it — the allocation-free variant of Edges for callers
+// with a reusable buffer.
+func (g *Graph) AppendEdges(buf []Edge) []Edge {
+	start := len(buf)
 	for u, hs := range g.adj {
 		for _, h := range hs {
 			if u < h.to {
-				out = append(out, Edge{U: u, V: h.to, Weight: h.w})
+				buf = append(buf, Edge{U: u, V: h.to, Weight: h.w})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
+	out := buf[start:]
+	slices.SortFunc(out, func(a, b Edge) int {
+		if a.U != b.U {
+			return a.U - b.U
 		}
-		return out[i].V < out[j].V
+		return a.V - b.V
 	})
-	return out
+	return buf
+}
+
+// Reset reinitializes the graph to n unlabeled, unconnected vertices,
+// retaining the backing arrays of previous use. It exists for hot loops
+// (the DRB mapper rebuilds a small affinity graph per recursion step)
+// that would otherwise allocate a fresh graph each time.
+func (g *Graph) Reset(n int) {
+	for cap(g.adj) < n {
+		g.adj = append(g.adj[:cap(g.adj)], nil)
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	for cap(g.labels) < n {
+		g.labels = append(g.labels[:cap(g.labels)], "")
+	}
+	g.labels = g.labels[:n]
+	for i := range g.labels {
+		g.labels[i] = ""
+	}
+	g.edges = 0
+}
+
+// ForEachIncident calls fn for every half-edge incident to v, in
+// insertion order, without allocating — the iteration primitive for hot
+// partitioning loops that would otherwise copy Neighbors/EdgeWeight
+// results per call.
+func (g *Graph) ForEachIncident(v int, fn func(to int, w float64)) {
+	g.checkVertex(v)
+	for _, h := range g.adj[v] {
+		fn(h.to, h.w)
+	}
 }
 
 // Degree returns the number of incident edges of v.

@@ -59,7 +59,9 @@ func New(id string, model perfmodel.NN, batchSize, gpus int, minUtility, arrival
 		Iterations: perfmodel.DefaultIterations,
 		SingleNode: true,
 	}
-	j.comm = jobgraph.AllToAll(gpus, j.Class().CommWeight())
+	// The default data-parallel graph is fully determined by (gpus, batch
+	// class), so all jobs of a class share one immutable instance.
+	j.comm = jobgraph.SharedAllToAll(gpus, j.Class().CommWeight())
 	return j
 }
 

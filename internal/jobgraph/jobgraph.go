@@ -13,6 +13,7 @@ package jobgraph
 
 import (
 	"fmt"
+	"sync"
 
 	"gputopo/internal/graph"
 )
@@ -114,6 +115,30 @@ func AllToAll(tasks int, weight float64) *Graph {
 		}
 	}
 	return jg
+}
+
+// allToAllKey identifies a shared all-to-all graph: the batch-class comm
+// weight and the task count fully determine it.
+type allToAllKey struct {
+	tasks  int
+	weight float64
+}
+
+var allToAllCache sync.Map // allToAllKey -> *Graph
+
+// SharedAllToAll returns a process-wide cached all-to-all graph for the
+// (tasks, weight) pair. A scenario-2 workload holds 10k jobs drawn from a
+// handful of (GPU count, batch class) combinations; building each job's
+// identical graph privately was pure allocation overhead. The returned
+// graph is shared — treat it as immutable (job.SetCommGraph replaces, it
+// must never mutate in place).
+func SharedAllToAll(tasks int, weight float64) *Graph {
+	key := allToAllKey{tasks: tasks, weight: weight}
+	if g, ok := allToAllCache.Load(key); ok {
+		return g.(*Graph)
+	}
+	g, _ := allToAllCache.LoadOrStore(key, AllToAll(tasks, weight))
+	return g.(*Graph)
 }
 
 // Ring builds a ring communication graph (each task talks to its two

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"testing"
+
+	"gputopo/internal/topology"
+)
+
+// TestEpochGateSkipsUntilRelease is the unit-level proof of the version
+// gate: a job postponed by tryPlace (here: low utility under
+// TOPO-AWARE-P) is not re-evaluated on subsequent Schedule calls while
+// the cluster epoch stands still, and is re-evaluated — and placed — as
+// soon as a release moves the epoch.
+func TestEpochGateSkipsUntilRelease(t *testing.T) {
+	s := newSched(t, TopoAwareP, topology.Power8Minsky())
+
+	// Occupy a GPU so the cluster is not idle (an idle cluster places
+	// best-effort instead of postponing) and so the picky job's best
+	// placement is poor enough to score below its demanding SLO.
+	blocker := mkJob("blocker", 1, 1, 0.0, 0)
+	if err := s.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if ds := s.Schedule(); len(ds) != 1 || ds[0].Postponed {
+		t.Fatalf("blocker did not place: %+v", ds)
+	}
+
+	// A tiny-batch 2-GPU job with an unreachable SLO: capacity exists
+	// (the gate must not be a capacity artifact), but utility < 0.99.
+	picky := mkJob("picky", 1, 2, 0.99, 1)
+	if err := s.Submit(picky); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Schedule()
+	if len(d) != 1 || !d[0].Postponed || d[0].Reason != "low-utility" {
+		t.Fatalf("want low-utility postponement, got %+v", d[0])
+	}
+	base := s.Stats()
+	if base.Decisions == 0 {
+		t.Fatal("postponement must have cost a decision")
+	}
+
+	// Epoch unchanged: every further Schedule call must replay the memo
+	// without spending a decision.
+	for i := 0; i < 5; i++ {
+		d := s.Schedule()
+		if len(d) != 1 || !d[0].Postponed || d[0].Reason != "low-utility" {
+			t.Fatalf("round %d: want replayed postponement, got %+v", i, d[0])
+		}
+	}
+	st := s.Stats()
+	if st.Decisions != base.Decisions {
+		t.Fatalf("gated rounds spent decisions: %d -> %d", base.Decisions, st.Decisions)
+	}
+	if st.GateSkips != base.GateSkips+5 {
+		t.Fatalf("GateSkips = %d, want %d", st.GateSkips, base.GateSkips+5)
+	}
+	if st.Postponements != base.Postponements+5 {
+		t.Fatalf("Postponements = %d, want %d (replays must count)", st.Postponements, base.Postponements+5)
+	}
+
+	// A release bumps the epoch; the next Schedule must re-evaluate. With
+	// the machine to itself the cluster is idle, so TOPO-AWARE-P places
+	// best-effort.
+	if err := s.Release("blocker"); err != nil {
+		t.Fatal(err)
+	}
+	d = s.Schedule()
+	if len(d) != 1 || d[0].Postponed {
+		t.Fatalf("after release: want placement, got %+v", d[0])
+	}
+	after := s.Stats()
+	if after.Decisions != st.Decisions+1 {
+		t.Fatalf("release did not trigger re-evaluation: decisions %d -> %d", st.Decisions, after.Decisions)
+	}
+	if len(s.lastFailed) != 0 {
+		t.Fatalf("memo not cleared after placement: %v", s.lastFailed)
+	}
+}
+
+// TestEpochGateDisabled asserts SetEpochGate(false) restores the
+// re-evaluate-every-round behavior with identical decisions.
+func TestEpochGateDisabled(t *testing.T) {
+	s := newSched(t, TopoAwareP, topology.Power8Minsky())
+	s.SetEpochGate(false)
+	if err := s.Submit(mkJob("blocker", 1, 1, 0.0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule()
+	if err := s.Submit(mkJob("picky", 1, 2, 0.99, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule()
+	base := s.Stats()
+	for i := 0; i < 3; i++ {
+		d := s.Schedule()
+		if len(d) != 1 || !d[0].Postponed || d[0].Reason != "low-utility" {
+			t.Fatalf("round %d: got %+v", i, d[0])
+		}
+	}
+	st := s.Stats()
+	if st.GateSkips != 0 {
+		t.Fatalf("disabled gate recorded %d skips", st.GateSkips)
+	}
+	if st.Decisions != base.Decisions+3 {
+		t.Fatalf("disabled gate must re-decide each round: %d -> %d", base.Decisions, st.Decisions)
+	}
+}
+
+// TestEpochGateAllocationInvalidatesMemo covers the intra-walk epoch
+// move: when another job's placement changes the state mid-walk, a
+// memoized postponement from an earlier epoch must not be replayed.
+func TestEpochGateAllocationInvalidatesMemo(t *testing.T) {
+	s := newSched(t, TopoAwareP, topology.Power8Minsky())
+	if err := s.Submit(mkJob("blocker", 1, 1, 0.0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule()
+	if err := s.Submit(mkJob("picky", 1, 2, 0.99, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule() // memoizes picky at the current epoch
+	base := s.Stats()
+
+	// A new 1-GPU job arrives and places in the same walk — the walk
+	// visits picky first (older arrival, epoch unchanged → replay), then
+	// places the newcomer (epoch moves). The walk after that must
+	// re-evaluate picky.
+	if err := s.Submit(mkJob("newcomer", 1, 1, 0.0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Schedule()
+	if len(d) != 2 {
+		t.Fatalf("want 2 decisions, got %d", len(d))
+	}
+	if !d[0].Postponed || d[1].Postponed {
+		t.Fatalf("want [postponed picky, placed newcomer], got %+v %+v", d[0], d[1])
+	}
+	st := s.Stats()
+	if st.GateSkips != base.GateSkips+1 {
+		t.Fatalf("GateSkips = %d, want %d", st.GateSkips, base.GateSkips+1)
+	}
+	d = s.Schedule()
+	if len(d) != 1 {
+		t.Fatalf("want 1 decision, got %d", len(d))
+	}
+	if s.Stats().Decisions != st.Decisions+1 {
+		t.Fatal("epoch move did not invalidate the memo")
+	}
+}

@@ -2,7 +2,7 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"gputopo/internal/core"
 	"gputopo/internal/job"
@@ -15,14 +15,17 @@ func (s *Scheduler) placeFCFS(j *job.Job) (*core.Placement, error) {
 	if j.SingleNode {
 		topo := s.state.Topology()
 		for m := 0; m < topo.NumMachines(); m++ {
-			free := s.state.FreeGPUsOnMachine(m)
-			if len(free) >= j.GPUs {
-				return s.mapper.Score(j, s.state, free[:j.GPUs]), nil
+			if s.state.FreeCountOnMachine(m) < j.GPUs {
+				continue
 			}
+			free := s.state.AppendFreeGPUsOnMachine(s.freeScratch[:0], m)
+			s.freeScratch = free
+			return s.mapper.Score(j, s.state, free[:j.GPUs]), nil
 		}
 		return nil, fmt.Errorf("sched: no machine with %d free GPUs", j.GPUs)
 	}
-	free := s.state.FreeGPUs()
+	free := s.state.AppendFreeGPUs(s.freeScratch[:0])
+	s.freeScratch = free
 	if len(free) < j.GPUs {
 		return nil, fmt.Errorf("sched: %d free GPUs for request of %d", len(free), j.GPUs)
 	}
@@ -39,19 +42,23 @@ func (s *Scheduler) placeBestFit(j *job.Job) (*core.Placement, error) {
 		machine int
 		free    int
 	}
-	var hosts []hostFit
+	var hostBuf [64]hostFit
+	hosts := hostBuf[:0]
 	for m := 0; m < topo.NumMachines(); m++ {
-		free := len(s.state.FreeGPUsOnMachine(m))
+		// O(1) per machine via the state's incremental free counters —
+		// materializing every machine's free-GPU list just to count it
+		// dominated the greedy baselines' decision time at 1k machines.
+		free := s.state.FreeCountOnMachine(m)
 		if free > 0 {
 			hosts = append(hosts, hostFit{machine: m, free: free})
 		}
 	}
 	// Tightest fit first; ties by machine index for determinism.
-	sort.Slice(hosts, func(a, b int) bool {
-		if hosts[a].free != hosts[b].free {
-			return hosts[a].free < hosts[b].free
+	slices.SortFunc(hosts, func(a, b hostFit) int {
+		if a.free != b.free {
+			return a.free - b.free
 		}
-		return hosts[a].machine < hosts[b].machine
+		return a.machine - b.machine
 	})
 
 	if j.SingleNode {
@@ -64,7 +71,7 @@ func (s *Scheduler) placeBestFit(j *job.Job) (*core.Placement, error) {
 		return nil, fmt.Errorf("sched: no machine fits %d GPUs", j.GPUs)
 	}
 
-	var gpus []int
+	gpus := s.freeScratch[:0]
 	for _, h := range hosts {
 		need := j.GPUs - len(gpus)
 		if need == 0 {
@@ -76,6 +83,7 @@ func (s *Scheduler) placeBestFit(j *job.Job) (*core.Placement, error) {
 		}
 		gpus = append(gpus, s.bestFitGPUs(h.machine, take)...)
 	}
+	s.freeScratch = gpus
 	if len(gpus) < j.GPUs {
 		return nil, fmt.Errorf("sched: %d free GPUs for request of %d", len(gpus), j.GPUs)
 	}
@@ -89,32 +97,34 @@ func (s *Scheduler) bestFitGPUs(machine, n int) []int {
 	type socketFit struct {
 		socket int
 		used   int
-		free   []int
 	}
-	var sockets []socketFit
+	var socketBuf [8]socketFit
+	sockets := socketBuf[:0]
 	for _, sk := range topo.Sockets(machine) {
-		var free []int
-		used := 0
+		used, free := 0, 0
 		for _, pos := range topo.GPUsOfSocket(machine, sk) {
 			if s.state.Owner(pos) == "" {
-				free = append(free, pos)
+				free++
 			} else {
 				used++
 			}
 		}
-		if len(free) > 0 {
-			sockets = append(sockets, socketFit{socket: sk, used: used, free: free})
+		if free > 0 {
+			sockets = append(sockets, socketFit{socket: sk, used: used})
 		}
 	}
-	sort.Slice(sockets, func(a, b int) bool {
-		if sockets[a].used != sockets[b].used {
-			return sockets[a].used > sockets[b].used
+	slices.SortFunc(sockets, func(a, b socketFit) int {
+		if a.used != b.used {
+			return b.used - a.used
 		}
-		return sockets[a].socket < sockets[b].socket
+		return a.socket - b.socket
 	})
-	var out []int
+	out := make([]int, 0, n)
 	for _, sf := range sockets {
-		for _, pos := range sf.free {
+		for _, pos := range topo.GPUsOfSocket(machine, sf.socket) {
+			if s.state.Owner(pos) != "" {
+				continue
+			}
 			if len(out) == n {
 				return out
 			}
@@ -135,10 +145,11 @@ func (s *Scheduler) placeTopoAware(j *job.Job) (*core.Placement, error) {
 	}
 
 	if !j.SingleNode {
-		var candidates []int
+		candidates := s.freeScratch[:0]
 		for _, m := range hosts {
-			candidates = append(candidates, s.state.FreeGPUsOnMachine(m)...)
+			candidates = s.state.AppendFreeGPUsOnMachine(candidates, m)
 		}
+		s.freeScratch = candidates
 		if len(candidates) < j.GPUs {
 			return nil, fmt.Errorf("sched: %d candidate GPUs for request of %d", len(candidates), j.GPUs)
 		}
@@ -147,7 +158,9 @@ func (s *Scheduler) placeTopoAware(j *job.Job) (*core.Placement, error) {
 
 	var best *core.Placement
 	for _, m := range hosts {
-		p, err := s.mapper.Place(j, s.state, s.state.FreeGPUsOnMachine(m))
+		free := s.state.AppendFreeGPUsOnMachine(s.freeScratch[:0], m)
+		s.freeScratch = free
+		p, err := s.mapper.Place(j, s.state, free)
 		if err != nil {
 			continue
 		}

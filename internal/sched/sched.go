@@ -103,10 +103,15 @@ type Decision struct {
 // Stats accumulates scheduler bookkeeping, including the decision-time
 // measurements reported in §5.5.3.
 type Stats struct {
-	Decisions      int
-	Placements     int
-	Postponements  int
-	SLOViolations  int
+	Decisions     int
+	Placements    int
+	Postponements int
+	SLOViolations int
+	// GateSkips counts queued jobs whose placement evaluation was skipped
+	// because the cluster epoch had not moved since their last failed
+	// attempt (version-gated rescheduling). Each skip replays the memoized
+	// postponement decision instead of re-running the placement policy.
+	GateSkips      int
 	DecisionTime   time.Duration // total time spent deciding
 	MaxDecision    time.Duration
 	queuedAtSubmit int
@@ -120,6 +125,16 @@ func (s Stats) MeanDecisionTime() time.Duration {
 	return s.DecisionTime / time.Duration(s.Decisions)
 }
 
+// failedAttempt memoizes the outcome of a failed placement attempt: the
+// cluster epoch it was evaluated at and the postponement reason it
+// produced. Until an Allocate or Release moves the epoch, re-evaluating
+// the job is guaranteed to reproduce exactly this decision, so the
+// scheduler replays it instead of re-running the placement policy.
+type failedAttempt struct {
+	epoch  uint64
+	reason string
+}
+
 // Scheduler owns the waiting queue and the cluster allocation state.
 type Scheduler struct {
 	policy Policy
@@ -129,14 +144,38 @@ type Scheduler struct {
 	// starvation (§4.4).
 	queue []*job.Job
 	stats Stats
+	// lastFailed holds the version-gate memo per queued job ID. Entries
+	// are dropped when the job places (it leaves the queue). gateOff
+	// disables the gate — only the on/off equivalence tests use it.
+	lastFailed map[string]failedAttempt
+	gateOff    bool
+	// decBuf and decPtrs are the reusable decision buffers: at scenario-2
+	// queue depths every event produces O(queue) postponement decisions,
+	// and allocating them fresh per Schedule call dominated the
+	// scheduler's allocation profile. The returned slice is valid until
+	// the next Schedule call.
+	decBuf  []Decision
+	decPtrs []*Decision
+	// freeScratch and hostScratch are reused by the placement policies
+	// for candidate GPU and host lists; their contents are dead once a
+	// placement attempt returns.
+	freeScratch []int
+	hostScratch []int
 }
 
 // New returns a scheduler with the given policy over the state. The mapper
 // is required for the topology-aware policies and used by the greedy ones
 // only to score their decisions for the metrics.
 func New(policy Policy, state *cluster.State, mapper *core.Mapper) *Scheduler {
-	return &Scheduler{policy: policy, state: state, mapper: mapper}
+	return &Scheduler{policy: policy, state: state, mapper: mapper, lastFailed: map[string]failedAttempt{}}
 }
+
+// SetEpochGate toggles the version-gated rescheduling (on by default).
+// Gating never changes decisions — a placement attempt is a deterministic
+// function of the cluster state, and the gate only skips attempts whose
+// state provably has not changed — so the switch exists for the
+// equivalence tests that prove exactly that, and as an escape hatch.
+func (s *Scheduler) SetEpochGate(enabled bool) { s.gateOff = !enabled }
 
 // Policy returns the scheduler's placement policy.
 func (s *Scheduler) Policy() Policy { return s.policy }
@@ -179,13 +218,28 @@ func (s *Scheduler) Release(jobID string) error { return s.state.Release(jobID) 
 // policies (FCFS, BF, TOPO-AWARE) stop at the first job blocked on
 // capacity, preserving FIFO fairness; TOPO-AWARE-P skips postponed jobs
 // and continues (out-of-order execution, §4.4).
+//
+// Version gate: a failed attempt is memoized with the cluster epoch it
+// saw. While the epoch stands still the attempt would reproduce the exact
+// same postponement, so the gate replays the memoized decision instead of
+// re-running the placement policy — collapsing the O(queue × events)
+// doomed re-evaluations of deep scenario-2 queues into map lookups.
+// Decisions (and therefore every downstream metric) are bit-identical
+// with the gate on or off; sched_test.go and the sweep equivalence tests
+// prove it.
+//
+// The returned slice and the decisions it points to are reused by the
+// next Schedule call — consume them before scheduling again (the
+// simulation engines do); the queue itself is compacted in place.
 func (s *Scheduler) Schedule() []*Decision {
-	var decisions []*Decision
-	var remaining []*job.Job
+	s.decBuf = s.decBuf[:0]
+	// Surviving jobs are compacted into the queue's own backing array:
+	// keep < idx always holds, so the write never clobbers an unread job.
+	keep := 0
 	blocked := false
 	for idx, j := range s.queue {
 		if blocked {
-			remaining = append(remaining, s.queue[idx:]...)
+			keep += copy(s.queue[keep:], s.queue[idx:])
 			break
 		}
 		// availableResources(P) gate: skip the placement evaluation
@@ -198,8 +252,23 @@ func (s *Scheduler) Schedule() []*Decision {
 		}
 		if !enough {
 			s.stats.Postponements++
-			decisions = append(decisions, &Decision{Job: j, Postponed: true, Reason: "no-capacity"})
-			remaining = append(remaining, j)
+			s.decBuf = append(s.decBuf, Decision{Job: j, Postponed: true, Reason: "no-capacity"})
+			s.queue[keep] = j
+			keep++
+			if s.policy != TopoAwareP {
+				blocked = true
+			}
+			continue
+		}
+
+		if memo, ok := s.lastFailed[j.ID]; !s.gateOff && ok && memo.epoch == s.state.Epoch() {
+			// Version gate hit: nothing changed since this job last failed
+			// to place, so replay the memoized postponement verbatim.
+			s.stats.GateSkips++
+			s.stats.Postponements++
+			s.decBuf = append(s.decBuf, Decision{Job: j, Postponed: true, Reason: memo.reason})
+			s.queue[keep] = j
+			keep++
 			if s.policy != TopoAwareP {
 				blocked = true
 			}
@@ -214,27 +283,43 @@ func (s *Scheduler) Schedule() []*Decision {
 		if elapsed > s.stats.MaxDecision {
 			s.stats.MaxDecision = elapsed
 		}
-		decisions = append(decisions, d)
+		s.decBuf = append(s.decBuf, d)
 		if d.Postponed {
+			s.lastFailed[j.ID] = failedAttempt{epoch: s.state.Epoch(), reason: d.Reason}
 			s.stats.Postponements++
-			remaining = append(remaining, j)
+			s.queue[keep] = j
+			keep++
 			if s.policy != TopoAwareP {
 				blocked = true
 			}
 			continue
 		}
+		delete(s.lastFailed, j.ID)
 		s.stats.Placements++
 		if d.SLOViolated {
 			s.stats.SLOViolations++
 		}
 	}
-	s.queue = remaining
-	return decisions
+	// Clear the dropped tail so placed jobs do not linger in the backing
+	// array and keep their allocations reachable.
+	for i := keep; i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:keep]
+	// Build the pointer view only after the value buffer stopped growing:
+	// append may relocate decBuf, so taking addresses mid-walk would hand
+	// out dangling pointers.
+	s.decPtrs = s.decPtrs[:0]
+	for i := range s.decBuf {
+		s.decPtrs = append(s.decPtrs, &s.decBuf[i])
+	}
+	return s.decPtrs
 }
 
 // tryPlace attempts to place one job according to the policy, committing
-// the allocation on success.
-func (s *Scheduler) tryPlace(j *job.Job) *Decision {
+// the allocation on success. It returns by value so Schedule can append
+// into its reusable decision buffer.
+func (s *Scheduler) tryPlace(j *job.Job) Decision {
 	var placement *core.Placement
 	var err error
 	switch s.policy {
@@ -246,20 +331,20 @@ func (s *Scheduler) tryPlace(j *job.Job) *Decision {
 		placement, err = s.placeTopoAware(j)
 	}
 	if err != nil {
-		return &Decision{Job: j, Postponed: true, Reason: "no-capacity"}
+		return Decision{Job: j, Postponed: true, Reason: "no-capacity"}
 	}
 
 	if s.policy == TopoAwareP && placement.Utility < j.MinUtility && !s.clusterIdle() {
 		// Postpone: a better placement may open when jobs finish. On an
 		// idle cluster no future placement can beat this one, so place
 		// best-effort to avoid deadlock.
-		return &Decision{Job: j, Postponed: true, Reason: "low-utility"}
+		return Decision{Job: j, Postponed: true, Reason: "low-utility"}
 	}
 
 	if err := s.state.Allocate(j.ID, placement.GPUs, placement.BusDemand, j.Traits()); err != nil {
-		return &Decision{Job: j, Postponed: true, Reason: "no-capacity"}
+		return Decision{Job: j, Postponed: true, Reason: "no-capacity"}
 	}
-	return &Decision{
+	return Decision{
 		Job:         j,
 		Placement:   placement,
 		SLOViolated: placement.Utility < j.MinUtility,
@@ -275,7 +360,7 @@ func (s *Scheduler) clusterIdle() bool { return len(s.state.Jobs()) == 0 }
 func (s *Scheduler) filterHosts(j *job.Job) []int {
 	topo := s.state.Topology()
 	demand := estimateDemand(j, s.state)
-	var hosts []int
+	hosts := s.hostScratch[:0]
 	for m := 0; m < topo.NumMachines(); m++ {
 		if s.state.FreeCountOnMachine(m) < minGPUsPerHost(j) {
 			continue
@@ -285,6 +370,7 @@ func (s *Scheduler) filterHosts(j *job.Job) []int {
 		}
 		hosts = append(hosts, m)
 	}
+	s.hostScratch = hosts
 	return hosts
 }
 

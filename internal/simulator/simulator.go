@@ -16,7 +16,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 
 	"gputopo/internal/cluster"
 	"gputopo/internal/core"
@@ -50,6 +51,11 @@ type Config struct {
 	// SampleInterval is the spacing of the bandwidth/utility time series
 	// (seconds); 0 disables sampling.
 	SampleInterval float64
+	// DisableEpochGate turns off the scheduler's version-gated
+	// rescheduling. Decisions are bit-identical either way (the
+	// equivalence tests prove it); the switch exists for those tests and
+	// as an escape hatch.
+	DisableEpochGate bool
 }
 
 // JobResult records the outcome of one job.
@@ -235,6 +241,9 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 
 	st := cluster.NewState(cfg.Topology)
 	scheduler := sched.New(cfg.Policy, st, mapper)
+	if cfg.DisableEpochGate {
+		scheduler.SetEpochGate(false)
+	}
 	rng := stats.NewRNG(cfg.Seed)
 
 	sim := &engine{
@@ -269,14 +278,17 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 		return nil, err
 	}
 
-	sort.Slice(sim.results, func(i, j int) bool {
-		return sim.results[i].Job.ID < sim.results[j].Job.ID
+	slices.SortFunc(sim.results, func(a, b JobResult) int {
+		return strings.Compare(a.Job.ID, b.Job.ID)
 	})
-	sort.Slice(sim.timeline, func(i, j int) bool {
-		if sim.timeline[i].Start != sim.timeline[j].Start {
-			return sim.timeline[i].Start < sim.timeline[j].Start
+	slices.SortFunc(sim.timeline, func(a, b Interval) int {
+		if a.Start != b.Start {
+			if a.Start < b.Start {
+				return -1
+			}
+			return 1
 		}
-		return sim.timeline[i].JobID < sim.timeline[j].JobID
+		return strings.Compare(a.JobID, b.JobID)
 	})
 	return &Result{
 		Policy:     cfg.Policy,
@@ -304,6 +316,17 @@ type engine struct {
 	makespan  float64
 	finished  int
 	rng       *stats.RNG
+
+	// Reusable scratch buffers for the per-event paths. Every event used
+	// to allocate short-lived map[int]bool / map[string]bool sets and id
+	// slices in runScheduler, refreshMachines and interferenceOn; at 10k
+	// jobs that is millions of allocations doing no work. Each buffer is
+	// owned by exactly one (non-reentrant) method.
+	affectedScratch []int    // runScheduler/finish: machines to refresh
+	refreshSeen     []string // refreshMachines: ids already re-armed
+	refreshIDs      []string // refreshMachines: per-machine id batch
+	interfIDs       []string // interferenceOn: co-runner ids
+	sampleIDs       []string // takeSample: running ids
 }
 
 func (e *engine) nextSeq() int {
@@ -389,19 +412,25 @@ func (e *engine) advanceJob(r *runningJob, t float64) {
 // touched.
 func (e *engine) runScheduler() {
 	decisions := e.scheduler.Schedule()
-	affected := map[int]bool{}
+	affected := e.affectedScratch[:0]
 	for _, d := range decisions {
 		if d.Postponed {
 			e.postpones[d.Job.ID]++
 			continue
 		}
-		for _, m := range e.start(d) {
-			affected[m] = true
-		}
+		affected = append(affected, e.start(d)...)
 	}
+	e.affectedScratch = affected
 	if len(affected) > 0 {
 		e.refreshMachines(affected)
 	}
+}
+
+// sortedDedup sorts xs ascending and removes adjacent duplicates in
+// place, returning the shortened slice.
+func sortedDedup(xs []int) []int {
+	slices.Sort(xs)
+	return slices.Compact(xs)
 }
 
 func (e *engine) start(d *sched.Decision) []int {
@@ -441,27 +470,24 @@ func (e *engine) start(d *sched.Decision) []int {
 }
 
 // refreshMachines advances, re-rates and re-arms every job running on the
-// given machines. Machines and jobs are visited in sorted order: iteration
-// order decides event sequence numbers (tie-breaking of simultaneous
-// finishes) and the addition order of interference terms, so ranging over
-// the maps directly would let Go's randomized map order leak into results
-// and break the bit-identical reproducibility the sweep engine asserts.
-func (e *engine) refreshMachines(machines map[int]bool) {
-	ms := make([]int, 0, len(machines))
-	for m := range machines {
-		ms = append(ms, m)
-	}
-	sort.Ints(ms)
-	seen := map[string]bool{}
+// given machines (passed as an unsorted, possibly duplicated scratch
+// slice). Machines and jobs are visited in sorted order: iteration order
+// decides event sequence numbers (tie-breaking of simultaneous finishes)
+// and the addition order of interference terms, so ranging over the maps
+// directly would let Go's randomized map order leak into results and
+// break the bit-identical reproducibility the sweep engine asserts.
+func (e *engine) refreshMachines(machines []int) {
+	ms := sortedDedup(machines)
+	seen := e.refreshSeen[:0]
 	for _, m := range ms {
-		ids := make([]string, 0, len(e.byMachine[m]))
+		ids := e.refreshIDs[:0]
 		for id := range e.byMachine[m] {
-			if !seen[id] {
-				seen[id] = true
+			if !slices.Contains(seen, id) {
+				seen = append(seen, id)
 				ids = append(ids, id)
 			}
 		}
-		sort.Strings(ids)
+		slices.Sort(ids)
 		for _, id := range ids {
 			r := e.byMachine[m][id]
 			e.advanceJob(r, e.now)
@@ -476,7 +502,9 @@ func (e *engine) refreshMachines(machines map[int]bool) {
 				gen:  r.gen,
 			})
 		}
+		e.refreshIDs = ids
 	}
+	e.refreshSeen = seen
 }
 
 func (e *engine) finish(r *runningJob) error {
@@ -521,10 +549,8 @@ func (e *engine) finish(r *runningJob) error {
 		Finish: e.now,
 	})
 	// Co-runners on the freed machines speed up.
-	affected := map[int]bool{}
-	for _, m := range r.machines {
-		affected[m] = true
-	}
+	affected := append(e.affectedScratch[:0], r.machines...)
+	e.affectedScratch = affected
 	e.refreshMachines(affected)
 	return nil
 }
@@ -549,17 +575,19 @@ func (e *engine) interferenceOn(victim *runningJob) float64 {
 	// Collect co-runners in sorted ID order: float addition is not
 	// associative, so summing in map order would make the slowdown — and
 	// with it every downstream metric — depend on map iteration order.
-	seen := map[string]bool{victim.job.ID: true}
-	var ids []string
+	// Sort-then-compact replaces the former per-call seen-map: same set,
+	// same order, no allocation (the scratch buffer is reused).
+	ids := e.interfIDs[:0]
 	for _, m := range victim.machines {
 		for id := range e.byMachine[m] {
-			if !seen[id] {
-				seen[id] = true
+			if id != victim.job.ID {
 				ids = append(ids, id)
 			}
 		}
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
+	e.interfIDs = ids
 	var sum float64
 	for _, id := range ids {
 		other := e.running[id]
@@ -578,11 +606,12 @@ func (e *engine) interferenceOn(victim *runningJob) float64 {
 
 func (e *engine) takeSample() {
 	s := Sample{Time: e.now, Running: len(e.running)}
-	ids := make([]string, 0, len(e.running))
+	ids := e.sampleIDs[:0]
 	for id := range e.running {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
+	e.sampleIDs = ids
 	var utilSum float64
 	for _, id := range ids {
 		r := e.running[id]

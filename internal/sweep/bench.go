@@ -1,0 +1,307 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchSchema versions the BENCH_sweep.json artifact layout.
+const BenchSchema = "gputopo-bench/1"
+
+// GridBench records the execution cost of one sweep run: wall clock and
+// the throughput rates derived from it. Unlike the result artifacts these
+// numbers are machine-dependent — the differ compares them under generous
+// relative thresholds, while allocation counts (from Go benchmarks) gate
+// tightly because they are deterministic across machines.
+type GridBench struct {
+	Grid          string  `json:"grid"`
+	Points        int     `json:"points"`
+	JobsSimulated int     `json:"jobs_simulated"`
+	Workers       int     `json:"workers"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	PointsPerSec  float64 `json:"points_per_sec"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+}
+
+// GoBench is one parsed `go test -bench` result line.
+type GoBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// BenchReport is the perf-tracking artifact (BENCH_sweep.json): sweep
+// wall-clock/throughput entries plus micro-benchmark figures, diffable
+// across commits with DiffBench.
+type BenchReport struct {
+	Schema     string      `json:"schema"`
+	Grids      []GridBench `json:"grids,omitempty"`
+	Benchmarks []GoBench   `json:"benchmarks,omitempty"`
+}
+
+// NewGridBench distills a completed report (with Elapsed/Workers set by
+// the caller, as toposweep does) into its bench entry.
+func NewGridBench(rep *Report) GridBench {
+	jobs := 0
+	for _, p := range rep.Points {
+		jobs += p.JobsFinished
+	}
+	gb := GridBench{
+		Grid:          rep.Grid.Name,
+		Points:        len(rep.Points),
+		JobsSimulated: jobs,
+		Workers:       rep.Workers,
+		ElapsedSec:    rep.Elapsed.Seconds(),
+	}
+	if gb.ElapsedSec > 0 {
+		gb.PointsPerSec = float64(gb.Points) / gb.ElapsedSec
+		gb.JobsPerSec = float64(gb.JobsSimulated) / gb.ElapsedSec
+	}
+	return gb
+}
+
+// AddGrid inserts or replaces the entry for the grid name.
+func (b *BenchReport) AddGrid(gb GridBench) {
+	for i := range b.Grids {
+		if b.Grids[i].Grid == gb.Grid {
+			b.Grids[i] = gb
+			return
+		}
+	}
+	b.Grids = append(b.Grids, gb)
+}
+
+// JSON serializes the bench report deterministically (grids and
+// benchmarks sorted by name).
+func (b *BenchReport) JSON() ([]byte, error) {
+	b.Schema = BenchSchema
+	sort.Slice(b.Grids, func(i, j int) bool { return b.Grids[i].Grid < b.Grids[j].Grid })
+	sort.Slice(b.Benchmarks, func(i, j int) bool { return b.Benchmarks[i].Name < b.Benchmarks[j].Name })
+	js, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(js, '\n'), nil
+}
+
+// LoadBenchReport parses a BENCH_sweep.json artifact.
+func LoadBenchReport(data []byte, name string) (*BenchReport, error) {
+	var b BenchReport
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("sweep: parsing bench report %s: %w", name, err)
+	}
+	if b.Schema != BenchSchema {
+		return nil, fmt.Errorf("sweep: bench report %s has schema %q, want %q", name, b.Schema, BenchSchema)
+	}
+	return &b, nil
+}
+
+// ParseGoBenchOutput extracts benchmark result lines from `go test
+// -bench` text output (the `-benchmem` columns are optional). Lines that
+// are not benchmark results are ignored; the per-benchmark custom metrics
+// (b.ReportMetric) are skipped — they are experiment values, not costs.
+func ParseGoBenchOutput(text string) []GoBench {
+	var out []GoBench
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -N GOMAXPROCS suffix so names are stable across
+		// runner core counts.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		gb := GoBench{Name: name}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				gb.NsPerOp = v
+				ok = true
+			case "B/op":
+				gb.BytesPerOp = v
+			case "allocs/op":
+				gb.AllocsPerOp = v
+			}
+		}
+		if ok {
+			out = append(out, gb)
+		}
+	}
+	return out
+}
+
+// BenchDiffOptions tunes the perf differ. Perf metrics are noisy and
+// machine-dependent, so unlike the result differ the zero value is not
+// exact comparison: tolerances express the relative change below which a
+// delta is not called a regression or an improvement — the
+// relative-improvement threshold mode the PR 2 differ left open.
+type BenchDiffOptions struct {
+	// RelTol is the default relative threshold (e.g. 0.25 = 25%).
+	RelTol float64
+	// PerMetric overrides RelTol by metric name (keys from
+	// BenchDiffMetricNames).
+	PerMetric map[string]float64
+}
+
+func (o BenchDiffOptions) tol(metric string) float64 {
+	if t, ok := o.PerMetric[metric]; ok {
+		return t
+	}
+	return o.RelTol
+}
+
+// benchMetrics declares the compared perf metrics and their direction.
+var benchGridMetrics = []struct {
+	name   string
+	higher bool // higher is better
+	get    func(GridBench) float64
+}{
+	{"elapsed_sec", false, func(g GridBench) float64 { return g.ElapsedSec }},
+	{"points_per_sec", true, func(g GridBench) float64 { return g.PointsPerSec }},
+	{"jobs_per_sec", true, func(g GridBench) float64 { return g.JobsPerSec }},
+}
+
+var benchGoMetrics = []struct {
+	name string
+	get  func(GoBench) float64
+}{
+	{"ns_per_op", func(g GoBench) float64 { return g.NsPerOp }},
+	{"bytes_per_op", func(g GoBench) float64 { return g.BytesPerOp }},
+	{"allocs_per_op", func(g GoBench) float64 { return g.AllocsPerOp }},
+}
+
+// BenchDiffMetricNames lists the metric names the perf differ compares.
+func BenchDiffMetricNames() []string {
+	var names []string
+	for _, m := range benchGridMetrics {
+		names = append(names, m.name)
+	}
+	for _, m := range benchGoMetrics {
+		names = append(names, m.name)
+	}
+	return names
+}
+
+// DiffBench joins two bench reports by grid and benchmark name and
+// classifies every metric delta. All Go benchmark metrics are
+// lower-is-better; grid throughput rates are higher-is-better. Entries
+// missing from the new report count as regressions (lost coverage);
+// added entries are informational. The result reuses the sweep differ's
+// DiffResult, so rendering and exit-code policy stay uniform.
+func DiffBench(oldRep, newRep *BenchReport, opt BenchDiffOptions) *DiffResult {
+	d := &DiffResult{OldName: "bench-baseline", NewName: "bench-current"}
+
+	newGrids := map[string]GridBench{}
+	for _, g := range newRep.Grids {
+		newGrids[g.Grid] = g
+	}
+	seenGrids := map[string]bool{}
+	for _, og := range oldRep.Grids {
+		key := "grid:" + og.Grid
+		seenGrids[og.Grid] = true
+		ng, ok := newGrids[og.Grid]
+		if !ok {
+			d.MissingCells = append(d.MissingCells, key)
+			d.Regressions++
+			continue
+		}
+		for _, m := range benchGridMetrics {
+			oldV, newV := m.get(og), m.get(ng)
+			if m.higher {
+				// Compare reciprocals (cost per unit of work): that turns
+				// the rate into a lower-is-better metric whose relative
+				// growth is unbounded as the rate collapses — negating the
+				// values instead would cap any drop at -100% and let a
+				// total throughput collapse slip under tolerances >= 1.
+				rel, status := compareMetric(invert(oldV), invert(newV), opt.tol(m.name))
+				// Report the natural relative change of the rate itself.
+				if !math.IsNaN(rel) && oldV != 0 {
+					rel = (newV - oldV) / math.Abs(oldV)
+				}
+				d.add(key, m.name, oldV, newV, rel, status)
+				continue
+			}
+			rel, status := compareMetric(oldV, newV, opt.tol(m.name))
+			d.add(key, m.name, oldV, newV, rel, status)
+		}
+	}
+	for _, g := range newRep.Grids {
+		if !seenGrids[g.Grid] {
+			d.AddedCells = append(d.AddedCells, "grid:"+g.Grid)
+		}
+	}
+
+	newBench := map[string]GoBench{}
+	for _, b := range newRep.Benchmarks {
+		newBench[b.Name] = b
+	}
+	seenBench := map[string]bool{}
+	for _, ob := range oldRep.Benchmarks {
+		key := "go:" + ob.Name
+		seenBench[ob.Name] = true
+		nb, ok := newBench[ob.Name]
+		if !ok {
+			d.MissingCells = append(d.MissingCells, key)
+			d.Regressions++
+			continue
+		}
+		for _, m := range benchGoMetrics {
+			oldV, newV := m.get(ob), m.get(nb)
+			if oldV == 0 && newV == 0 {
+				continue // metric not recorded on either side
+			}
+			rel, status := compareMetric(oldV, newV, opt.tol(m.name))
+			d.add(key, m.name, oldV, newV, rel, status)
+		}
+	}
+	for _, b := range newRep.Benchmarks {
+		if !seenBench[b.Name] {
+			d.AddedCells = append(d.AddedCells, "go:"+b.Name)
+		}
+	}
+	sort.Strings(d.AddedCells)
+	return d
+}
+
+// invert maps a rate to its per-unit cost; a zero rate becomes an
+// infinite cost so collapses register as unbounded regressions.
+func invert(v float64) float64 {
+	if v == 0 {
+		return math.Inf(1)
+	}
+	return 1 / v
+}
+
+// add appends one classified delta and updates the counters.
+func (d *DiffResult) add(cell, metric string, oldV, newV, rel float64, status DeltaStatus) {
+	d.Deltas = append(d.Deltas, MetricDelta{
+		Cell:   cell,
+		Metric: metric,
+		Old:    oldV,
+		New:    newV,
+		Rel:    rel,
+		Status: status,
+	})
+	switch status {
+	case DeltaRegression:
+		d.Regressions++
+	case DeltaImprovement:
+		d.Improvements++
+	default:
+		d.Unchanged++
+	}
+}

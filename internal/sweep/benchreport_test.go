@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleGoBenchOutput = `goos: linux
+goarch: amd64
+pkg: gputopo
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig11Scenario2            	       1	610786475 ns/op	         0 topoP-SLO-violations	108440456 B/op	 2433719 allocs/op
+BenchmarkOverheadDecisionTopoAware-8 	       1	   2781217 ns/op	  420224 B/op	   20074 allocs/op
+BenchmarkSimulatorThroughput       	       2	   1154490 ns/op
+PASS
+ok  	gputopo	4.675s
+`
+
+func TestParseGoBenchOutput(t *testing.T) {
+	got := ParseGoBenchOutput(sampleGoBenchOutput)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	fig11 := got[0]
+	if fig11.Name != "BenchmarkFig11Scenario2" || fig11.NsPerOp != 610786475 ||
+		fig11.BytesPerOp != 108440456 || fig11.AllocsPerOp != 2433719 {
+		t.Fatalf("Fig11 parsed as %+v", fig11)
+	}
+	// The -8 GOMAXPROCS suffix is stripped so names compare across runners.
+	if got[1].Name != "BenchmarkOverheadDecisionTopoAware" {
+		t.Fatalf("suffix not stripped: %q", got[1].Name)
+	}
+	// Without -benchmem only ns/op is present.
+	if got[2].Name != "BenchmarkSimulatorThroughput" || got[2].NsPerOp != 1154490 || got[2].AllocsPerOp != 0 {
+		t.Fatalf("benchmem-less line parsed as %+v", got[2])
+	}
+	if out := ParseGoBenchOutput("no benchmarks here\n"); len(out) != 0 {
+		t.Fatalf("junk input parsed as %+v", out)
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep, err := Run(Grid{
+		Name:           "bench-rt",
+		Machines:       []int{1},
+		Jobs:           []int{5},
+		BaseSeed:       7,
+		RatePerMachine: 2,
+	}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Elapsed = 250 * time.Millisecond
+	rep.Workers = 2
+
+	var br BenchReport
+	br.AddGrid(NewGridBench(rep))
+	br.Benchmarks = ParseGoBenchOutput(sampleGoBenchOutput)
+	js, err := br.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBenchReport(js, "mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Grids) != 1 || back.Grids[0].Grid != "bench-rt" {
+		t.Fatalf("round trip lost grids: %+v", back.Grids)
+	}
+	gb := back.Grids[0]
+	if gb.Points != len(rep.Points) || gb.ElapsedSec != 0.25 {
+		t.Fatalf("grid bench %+v", gb)
+	}
+	if gb.JobsPerSec != float64(gb.JobsSimulated)/0.25 {
+		t.Fatalf("jobs/sec = %g, want %g", gb.JobsPerSec, float64(gb.JobsSimulated)/0.25)
+	}
+	if len(back.Benchmarks) != 3 {
+		t.Fatalf("round trip lost benchmarks: %+v", back.Benchmarks)
+	}
+	if _, err := LoadBenchReport([]byte(`{"schema":"other/9"}`), "mem"); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestDiffBenchThresholds(t *testing.T) {
+	old := &BenchReport{
+		Grids: []GridBench{{Grid: "smoke", Points: 32, JobsSimulated: 1000, ElapsedSec: 10, PointsPerSec: 3.2, JobsPerSec: 100}},
+		Benchmarks: []GoBench{
+			{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 500, AllocsPerOp: 10},
+		},
+	}
+	within := &BenchReport{
+		Grids: []GridBench{{Grid: "smoke", Points: 32, JobsSimulated: 1000, ElapsedSec: 11, PointsPerSec: 2.9, JobsPerSec: 91}},
+		Benchmarks: []GoBench{
+			{Name: "BenchmarkA", NsPerOp: 1100, BytesPerOp: 510, AllocsPerOp: 10},
+		},
+	}
+	res := DiffBench(old, within, BenchDiffOptions{RelTol: 0.25})
+	if res.HasRegressions() {
+		t.Fatalf("noise within 25%% flagged as regression:\n%s", res.Markdown())
+	}
+
+	// A 2x slowdown must trip the gate even under the generous tolerance.
+	slower := &BenchReport{
+		Grids: []GridBench{{Grid: "smoke", Points: 32, JobsSimulated: 1000, ElapsedSec: 20, PointsPerSec: 1.6, JobsPerSec: 50}},
+		Benchmarks: []GoBench{
+			{Name: "BenchmarkA", NsPerOp: 2000, BytesPerOp: 500, AllocsPerOp: 10},
+		},
+	}
+	res = DiffBench(old, slower, BenchDiffOptions{RelTol: 0.25})
+	if !res.HasRegressions() {
+		t.Fatalf("2x slowdown passed the gate:\n%s", res.Markdown())
+	}
+	// Higher-is-better metrics regress when they drop.
+	foundRate := false
+	for _, d := range res.Deltas {
+		if d.Metric == "jobs_per_sec" && d.Status == DeltaRegression {
+			foundRate = true
+			if d.Rel >= 0 {
+				t.Fatalf("jobs_per_sec drop reported with rel %+.2f", d.Rel)
+			}
+		}
+	}
+	if !foundRate {
+		t.Fatalf("jobs_per_sec drop not flagged:\n%s", res.Markdown())
+	}
+
+	// A throughput collapse must trip the gate even under tolerances >= 1:
+	// the relative drop of a rate is bounded by 100%, so the differ
+	// compares per-unit costs (reciprocals), which grow without bound.
+	collapsed := &BenchReport{
+		Grids:      []GridBench{{Grid: "smoke", Points: 32, JobsSimulated: 1000, ElapsedSec: 10, PointsPerSec: 0.1, JobsPerSec: 3}},
+		Benchmarks: old.Benchmarks,
+	}
+	res = DiffBench(old, collapsed, BenchDiffOptions{RelTol: 5})
+	if !res.HasRegressions() {
+		t.Fatalf("throughput collapse passed a tol>=1 gate:\n%s", res.Markdown())
+	}
+
+	// Per-metric override: allocs/op gates exactly while wall-clock is loose.
+	moreAllocs := &BenchReport{
+		Grids: old.Grids,
+		Benchmarks: []GoBench{
+			{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 500, AllocsPerOp: 12},
+		},
+	}
+	res = DiffBench(old, moreAllocs, BenchDiffOptions{RelTol: 5, PerMetric: map[string]float64{"allocs_per_op": 0.05}})
+	if !res.HasRegressions() {
+		t.Fatalf("allocs/op growth passed the tight per-metric gate:\n%s", res.Markdown())
+	}
+
+	// Improvements are classified as such beyond the threshold, not
+	// regressions — the differ is direction-aware.
+	faster := &BenchReport{
+		Grids: []GridBench{{Grid: "smoke", Points: 32, JobsSimulated: 1000, ElapsedSec: 5, PointsPerSec: 6.4, JobsPerSec: 200}},
+		Benchmarks: []GoBench{
+			{Name: "BenchmarkA", NsPerOp: 400, BytesPerOp: 200, AllocsPerOp: 4},
+		},
+	}
+	res = DiffBench(old, faster, BenchDiffOptions{RelTol: 0.25})
+	if res.HasRegressions() || res.Improvements == 0 {
+		t.Fatalf("speedup misclassified (%d regressions, %d improvements):\n%s",
+			res.Regressions, res.Improvements, res.Markdown())
+	}
+
+	// Lost coverage is a regression; new entries are informational.
+	missing := &BenchReport{Grids: old.Grids}
+	res = DiffBench(old, missing, BenchDiffOptions{RelTol: 0.25})
+	if !res.HasRegressions() || len(res.MissingCells) != 1 {
+		t.Fatalf("missing benchmark not flagged: %+v", res)
+	}
+	added := &BenchReport{
+		Grids: old.Grids,
+		Benchmarks: append([]GoBench{{Name: "BenchmarkB", NsPerOp: 5}},
+			old.Benchmarks...),
+	}
+	res = DiffBench(old, added, BenchDiffOptions{RelTol: 0.25})
+	if res.HasRegressions() || len(res.AddedCells) != 1 {
+		t.Fatalf("added benchmark misreported: %+v", res)
+	}
+	if !strings.Contains(res.Markdown(), "go:BenchmarkB") {
+		t.Fatalf("markdown missing added entry:\n%s", res.Markdown())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -19,8 +20,13 @@ import (
 // any-worker-count determinism guarantee.
 var matrixFileCache sync.Map // path -> string
 
-// readMatrixFile returns the (cached) content of a matrix file.
+// readMatrixFile returns the (cached) content of a matrix file. The cache
+// key is the absolute path, so relative paths cannot alias across working
+// directories.
 func readMatrixFile(path string) (string, error) {
+	if abs, err := filepath.Abs(path); err == nil {
+		path = abs
+	}
 	if data, ok := matrixFileCache.Load(path); ok {
 		return data.(string), nil
 	}
@@ -54,9 +60,12 @@ type TopologySpec struct {
 	// Mix declares a heterogeneous cluster as ordered builder:count
 	// pairs. Mutually exclusive with Builder, MatrixFile and Machines.
 	Mix []MixEntry `json:"mix,omitempty"`
-	// MatrixFile is the path of a connectivity-matrix file, resolved
-	// against the working directory. Mutually exclusive with Builder and
-	// Mix.
+	// MatrixFile is the path of a connectivity-matrix file. In a grid
+	// loaded from a spec file, a relative path resolves against the spec
+	// file's directory first (so spec files are relocatable) and falls
+	// back to the working directory; elsewhere (named grids, hand-built
+	// specs) it resolves against the working directory. Mutually
+	// exclusive with Builder and Mix.
 	MatrixFile string `json:"matrix_file,omitempty"`
 	// Machines pins the machine count of this topology. 0 defers to the
 	// grid's Machines axis; a grid may set one or the other, not both.
@@ -64,6 +73,27 @@ type TopologySpec struct {
 	// Weights overrides the qualitative level weights (zero fields keep
 	// the Figure 7 defaults).
 	Weights *topology.LevelWeights `json:"weights,omitempty"`
+
+	// specDir is the directory of the spec file this spec was loaded
+	// from, set by LoadGridSpec. It only affects MatrixFile resolution —
+	// Key() keeps the path exactly as written, so artifacts stay
+	// byte-identical wherever the spec file lives.
+	specDir string
+}
+
+// matrixPath resolves MatrixFile: absolute paths and specs without a
+// spec-file origin pass through (working-directory semantics); otherwise
+// the spec file's directory wins when the file exists there, with the
+// working directory as the legacy fallback.
+func (ts TopologySpec) matrixPath() string {
+	if ts.specDir == "" || filepath.IsAbs(ts.MatrixFile) {
+		return ts.MatrixFile
+	}
+	p := filepath.Join(ts.specDir, ts.MatrixFile)
+	if _, err := os.Stat(p); err == nil {
+		return p
+	}
+	return ts.MatrixFile
 }
 
 // MixEntry is one run of identical machines in a heterogeneous topology
@@ -191,7 +221,7 @@ func (ts TopologySpec) Validate() error {
 		if ts.Builder != "" {
 			return fmt.Errorf("topology spec %s: matrix_file and builder are mutually exclusive", ts.Key())
 		}
-		data, err := readMatrixFile(ts.MatrixFile)
+		data, err := readMatrixFile(ts.matrixPath())
 		if err != nil {
 			return fmt.Errorf("topology spec %s: reading matrix file: %w", ts.Key(), err)
 		}
@@ -241,7 +271,7 @@ func (ts TopologySpec) Build(machines int, standalone bool) (*topology.Topology,
 		}
 		return topology.HeterogeneousClusterWeights(specs, w)
 	case ts.MatrixFile != "":
-		data, err := readMatrixFile(ts.MatrixFile)
+		data, err := readMatrixFile(ts.matrixPath())
 		if err != nil {
 			return nil, fmt.Errorf("sweep: topology %s: %w", ts.Key(), err)
 		}
@@ -344,6 +374,20 @@ func (g Grid) Validate() error {
 // out-of-range axis values are all rejected with errors that name the
 // offending field.
 func ParseGridSpec(data []byte) (Grid, error) {
+	g, err := decodeGridSpec(data)
+	if err != nil {
+		return Grid{}, err
+	}
+	if err := g.Validate(); err != nil {
+		return Grid{}, err
+	}
+	return g, nil
+}
+
+// decodeGridSpec is the shared strict JSON decode behind ParseGridSpec
+// and LoadGridSpec (which must anchor matrix_file resolution between
+// decoding and validating, so it cannot reuse ParseGridSpec wholesale).
+func decodeGridSpec(data []byte) (Grid, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var g Grid
@@ -353,21 +397,29 @@ func ParseGridSpec(data []byte) (Grid, error) {
 	if dec.More() {
 		return Grid{}, fmt.Errorf("sweep: invalid grid spec: trailing data after the JSON object")
 	}
-	if err := g.Validate(); err != nil {
-		return Grid{}, err
-	}
 	return g, nil
 }
 
 // LoadGridSpec reads and parses a grid spec file. When the grid has no
-// name, the file path stands in so reports stay identifiable.
+// name, the file path stands in so reports stay identifiable. Relative
+// matrix_file paths in the spec resolve against the spec file's directory
+// (falling back to the working directory), so spec files are relocatable.
 func LoadGridSpec(path string) (Grid, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Grid{}, fmt.Errorf("sweep: reading grid spec: %w", err)
 	}
-	g, err := ParseGridSpec(data)
+	g, err := decodeGridSpec(data)
 	if err != nil {
+		return Grid{}, fmt.Errorf("%s: %w", path, err)
+	}
+	// Anchor matrix_file resolution before validation so the existence
+	// check and the eventual Build agree on the path.
+	dir := filepath.Dir(path)
+	for i := range g.Topologies {
+		g.Topologies[i].specDir = dir
+	}
+	if err := g.Validate(); err != nil {
 		return Grid{}, fmt.Errorf("%s: %w", path, err)
 	}
 	if g.Name == "" {

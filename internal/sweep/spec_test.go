@@ -319,3 +319,99 @@ func TestTopologyAxisSweep(t *testing.T) {
 		t.Fatalf("CSV missing topology keys:\n%s", csv)
 	}
 }
+
+// TestMatrixFileResolvesAgainstSpecDir proves spec files are relocatable:
+// a matrix_file path relative to the spec file's directory resolves even
+// when the working directory is somewhere else entirely.
+func TestMatrixFileResolvesAgainstSpecDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "machine.matrix"),
+		[]byte(topology.DGX1().RenderMatrix()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(specPath, []byte(`{
+		"name": "relocatable",
+		"policies": ["FCFS"],
+		"topologies": [{"matrix_file": "machine.matrix", "machines": 2}],
+		"jobs": [5],
+		"base_seed": 7
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The working directory (the package dir) has no machine.matrix, so
+	// only spec-dir resolution can make this load.
+	g, err := LoadGridSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := g.Topologies[0].Build(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 16 || topo.NumMachines() != 2 {
+		t.Fatalf("built %d GPUs on %d machines", topo.NumGPUs(), topo.NumMachines())
+	}
+	// The artifact key records the path exactly as written — resolution
+	// must not leak temp-dir prefixes into cell keys.
+	if got, want := g.Topologies[0].Key(), "matrix[machine.matrix]:2"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+}
+
+// TestMatrixFileSpecDirFallsBackToCWD keeps the legacy behavior: when the
+// path does not exist next to the spec file, it resolves against the
+// working directory (how examples/sweeps/hetero.json addresses its
+// matrix from the repo root).
+func TestMatrixFileSpecDirFallsBackToCWD(t *testing.T) {
+	cwd := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(cwd, "shared"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cwd, "shared", "machine.matrix"),
+		[]byte(topology.DGX1().RenderMatrix()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specDir := t.TempDir() // no matrix here
+	specPath := filepath.Join(specDir, "grid.json")
+	if err := os.WriteFile(specPath, []byte(`{
+		"name": "cwd-fallback",
+		"policies": ["FCFS"],
+		"topologies": [{"matrix_file": "shared/machine.matrix", "machines": 1}],
+		"jobs": [5],
+		"base_seed": 7
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(cwd)
+	g, err := LoadGridSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := g.Topologies[0].Build(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 8 {
+		t.Fatalf("built %d GPUs, want 8", topo.NumGPUs())
+	}
+}
+
+// TestMatrixFileBareSpecUsesCWD covers specs with no file origin (named
+// grids, hand-built TopologySpec values): resolution stays working-
+// directory based.
+func TestMatrixFileBareSpecUsesCWD(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "m.matrix"),
+		[]byte(topology.DGX1().RenderMatrix()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+	spec := TopologySpec{MatrixFile: "m.matrix"}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Build(1, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,13 +22,9 @@ import (
 	"sync/atomic"
 
 	"gputopo/internal/caffesim"
-	"gputopo/internal/core"
-	"gputopo/internal/job"
 	"gputopo/internal/sched"
 	"gputopo/internal/simulator"
 	"gputopo/internal/stats"
-	"gputopo/internal/topology"
-	"gputopo/internal/workload"
 )
 
 // Engine selects the execution engine for a point.
@@ -347,7 +343,11 @@ func Run(g Grid, opt Options) (*Report, error) {
 	points := g.Points()
 	runner := opt.Runner
 	if runner == nil {
-		runner = defaultRunner
+		// The default runner shares one substrate cache across all of this
+		// Run's points: a grid's points overwhelmingly reuse a handful of
+		// distinct topologies, and both the topology and its profile store
+		// are immutable once built (see newSubstrateCache).
+		runner = newSubstrateCache().runner
 	}
 	results := make([]PointResult, len(points))
 	var mu sync.Mutex
@@ -379,82 +379,4 @@ func Run(g Grid, opt Options) (*Report, error) {
 		Cells:   summarizeCells(points, results),
 		Workers: workers,
 	}, nil
-}
-
-// defaultRunner materializes the point's topology (from its TopologySpec)
-// and workload and runs the selected engine. Each invocation builds
-// private state (topology, jobs, profiles), so concurrent points share
-// nothing.
-func defaultRunner(p Point) (*RunOutput, error) {
-	var topo *topology.Topology
-	var jobs []*job.Job
-	switch p.Source {
-	case SourceTable1:
-		// Table 1 replays run on one standalone machine unless the spec
-		// pins a larger cluster.
-		t, err := p.Topology.Build(p.Topology.Machines, true)
-		if err != nil {
-			return nil, err
-		}
-		topo = t
-		jobs = workload.Table1()
-	case SourceGenerated:
-		t, err := p.Topology.Build(p.Machines, false)
-		if err != nil {
-			return nil, err
-		}
-		topo = t
-		gen := workload.GenConfig{Jobs: p.Jobs, Seed: p.Seed}
-		if p.grid.RatePerMachine > 0 {
-			gen.ArrivalRate = p.grid.RatePerMachine * float64(p.Machines)
-		}
-		jobs, err = workload.Generate(gen, topo)
-		if err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("sweep: unknown source %v", p.Source)
-	}
-	if p.Threshold >= 0 {
-		for _, j := range jobs {
-			if j.GPUs > 1 {
-				j.MinUtility = p.Threshold
-			}
-		}
-	}
-	var weights core.Weights
-	if p.AlphaCC >= 0 {
-		rest := (1 - p.AlphaCC) / 2
-		weights = core.Weights{CommCost: p.AlphaCC, Interference: rest, Fragmentation: rest}
-	}
-
-	switch p.Engine {
-	case EngineSim:
-		res, err := simulator.Run(simulator.Config{
-			Topology:       topo,
-			Policy:         p.Policy,
-			Weights:        weights,
-			Seed:           p.Seed,
-			SampleInterval: p.grid.SampleInterval,
-			JitterStddev:   p.grid.JitterStddev,
-		}, jobs)
-		if err != nil {
-			return nil, err
-		}
-		return &RunOutput{Sim: res}, nil
-	case EngineProto:
-		res, err := caffesim.Run(caffesim.Config{
-			Topology:     topo,
-			Policy:       p.Policy,
-			Weights:      weights,
-			Seed:         p.Seed,
-			JitterStddev: p.grid.JitterStddev,
-		}, jobs)
-		if err != nil {
-			return nil, err
-		}
-		return &RunOutput{Sim: &res.Result, Proto: res}, nil
-	default:
-		return nil, fmt.Errorf("sweep: unknown engine %v", p.Engine)
-	}
 }

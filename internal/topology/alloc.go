@@ -33,12 +33,17 @@ func (t *Topology) WorstAllocation(g int) []int {
 }
 
 // BestCommCost returns the pairwise-distance sum of the best allocation of
-// g GPUs (0 for g < 2).
+// g GPUs (0 for g < 2). The value is memoized with the allocation, so hot
+// callers (utilityTerms scores one per placement candidate) pay a map
+// lookup, not an O(g²) distance sum.
 func (t *Topology) BestCommCost(g int) float64 {
 	if g < 2 {
 		return 0
 	}
-	return t.PairwiseDistance(t.BestAllocation(g))
+	if n := len(t.gpus); g > n {
+		g = n
+	}
+	return t.extremeEntryFor(g, false).cost
 }
 
 // WorstCommCost returns the pairwise-distance sum of the worst allocation
@@ -47,7 +52,10 @@ func (t *Topology) WorstCommCost(g int) float64 {
 	if g < 2 {
 		return 0
 	}
-	return t.PairwiseDistance(t.WorstAllocation(g))
+	if n := len(t.gpus); g > n {
+		g = n
+	}
+	return t.extremeEntryFor(g, true).cost
 }
 
 // extremeAllocation greedily grows a GPU set from a set of seeds, keeping
@@ -58,70 +66,82 @@ func (t *Topology) WorstCommCost(g int) float64 {
 // shape (see seedCandidates) — by symmetry among same-shape machines
 // every extreme allocation is reachable from them.
 func (t *Topology) extremeAllocation(g int, maximize bool) []int {
-	n := len(t.gpus)
 	if g <= 0 {
 		return nil
 	}
-	if g > n {
+	if n := len(t.gpus); g > n {
 		g = n
 	}
+	return t.extremeEntryFor(g, maximize).set
+}
+
+// extremeEntryFor returns the fully initialized memo entry for size g
+// (g already clamped to [1, NumGPUs]). The topology mutex only guards the
+// map; the expensive greedy search runs inside the entry's sync.Once, so
+// concurrent readers sharing the topology block on the entry being built
+// rather than serializing unrelated sizes — and never race on the maps.
+func (t *Topology) extremeEntryFor(g int, maximize bool) *extremeEntry {
 	t.mu.Lock()
 	cache := t.extremeMin
 	if maximize {
 		cache = t.extremeMax
 	}
-	if got, ok := cache[g]; ok {
-		t.mu.Unlock()
-		return got
+	e, ok := cache[g]
+	if !ok {
+		e = &extremeEntry{}
+		cache[g] = e
 	}
 	t.mu.Unlock()
+	e.once.Do(func() {
+		e.set = t.searchExtreme(g, maximize)
+		e.cost = t.PairwiseDistance(e.set)
+	})
+	return e
+}
 
-	var result []int
+// searchExtreme performs the greedy extremal search for size g.
+func (t *Topology) searchExtreme(g int, maximize bool) []int {
+	n := len(t.gpus)
 	if g == n {
-		result = make([]int, n)
+		result := make([]int, n)
 		for i := range result {
 			result[i] = i
 		}
-	} else {
-		bestScore := 0.0
-		var bestSet []int
-		used := make([]bool, n)
-		for _, seed := range t.seedCandidates() {
-			set := append(make([]int, 0, g), seed)
-			for i := range used {
-				used[i] = false
-			}
-			used[seed] = true
-			for len(set) < g {
-				cand, candScore := -1, 0.0
-				for v := 0; v < n; v++ {
-					if used[v] {
-						continue
-					}
-					var d float64
-					for _, u := range set {
-						d += t.Distance(u, v)
-					}
-					if cand == -1 || (maximize && d > candScore) || (!maximize && d < candScore) {
-						cand, candScore = v, d
-					}
-				}
-				set = append(set, cand)
-				used[cand] = true
-			}
-			score := t.PairwiseDistance(set)
-			if bestSet == nil || (maximize && score > bestScore) || (!maximize && score < bestScore) {
-				bestScore, bestSet = score, set
-			}
-		}
-		sort.Ints(bestSet)
-		result = bestSet
+		return result
 	}
-
-	t.mu.Lock()
-	cache[g] = result
-	t.mu.Unlock()
-	return result
+	bestScore := 0.0
+	var bestSet []int
+	used := make([]bool, n)
+	for _, seed := range t.seedCandidates() {
+		set := append(make([]int, 0, g), seed)
+		for i := range used {
+			used[i] = false
+		}
+		used[seed] = true
+		for len(set) < g {
+			cand, candScore := -1, 0.0
+			for v := 0; v < n; v++ {
+				if used[v] {
+					continue
+				}
+				var d float64
+				for _, u := range set {
+					d += t.Distance(u, v)
+				}
+				if cand == -1 || (maximize && d > candScore) || (!maximize && d < candScore) {
+					cand, candScore = v, d
+				}
+			}
+			set = append(set, cand)
+			used[cand] = true
+		}
+		score := t.PairwiseDistance(set)
+		if bestSet == nil || (maximize && score > bestScore) || (!maximize && score < bestScore) {
+			bestScore, bestSet = score, set
+		}
+	}
+	sort.Ints(bestSet)
+	return bestSet
 }
 
 // seedCandidates returns the GPU positions extremeAllocation grows greedy

@@ -165,9 +165,29 @@ type Topology struct {
 	adj     [][]adjEdge
 	adjOnce sync.Once
 
+	// Extreme pair distances, precomputed at Build time so the placement
+	// hot path (core.sideUtility calls MinPairDistance per recursion step)
+	// reads two floats instead of re-scanning every GPU of the cluster.
+	minPairDist float64
+	maxPairDist float64
+
+	// Extreme-allocation memoization. The maps are guarded by mu; each
+	// size's result is computed exactly once inside its entry's sync.Once,
+	// so concurrent readers sharing one topology (the sweep engine's
+	// substrate cache) neither race nor duplicate the expensive greedy
+	// search. Cached slices are returned as-is and must not be mutated.
 	mu         sync.Mutex
-	extremeMin map[int][]int // cached BestAllocation by g
-	extremeMax map[int][]int // cached WorstAllocation by g
+	extremeMin map[int]*extremeEntry // cached BestAllocation by g
+	extremeMax map[int]*extremeEntry // cached WorstAllocation by g
+}
+
+// extremeEntry memoizes one extreme allocation and its pairwise-distance
+// sum. The once gate makes initialization safe and single-shot under
+// concurrent readers without holding the topology mutex during the search.
+type extremeEntry struct {
+	once sync.Once
+	set  []int
+	cost float64
 }
 
 // Builder incrementally constructs a Topology.
@@ -383,8 +403,19 @@ func (t *Topology) SameSocket(a, b int) bool {
 }
 
 // MinPairDistance returns the smallest non-zero GPU-to-GPU distance in the
-// topology — the best case used to normalize communication cost.
-func (t *Topology) MinPairDistance() float64 {
+// topology — the best case used to normalize communication cost. The value
+// is precomputed at Build time: this accessor sits on the placement hot
+// path (once per DRB recursion step) and profiles showed the former
+// rescan-the-cluster implementation dominating scenario-2 runs.
+func (t *Topology) MinPairDistance() float64 { return t.minPairDist }
+
+// MaxPairDistance returns the largest GPU-to-GPU distance — the worst case
+// t_w used by the objective function normalization (Eq. 1). Precomputed at
+// Build time.
+func (t *Topology) MaxPairDistance() float64 { return t.maxPairDist }
+
+// computeMinPairDistance scans for the smallest non-zero pair distance.
+func (t *Topology) computeMinPairDistance() float64 {
 	best := graph.Inf
 	// Intra-machine candidates.
 	for mi := range t.intraDist {
@@ -405,9 +436,8 @@ func (t *Topology) MinPairDistance() float64 {
 	return best
 }
 
-// MaxPairDistance returns the largest GPU-to-GPU distance — the worst case
-// t_w used by the objective function normalization (Eq. 1).
-func (t *Topology) MaxPairDistance() float64 {
+// computeMaxPairDistance scans for the largest finite pair distance.
+func (t *Topology) computeMaxPairDistance() float64 {
 	worst := 0.0
 	for mi := range t.intraDist {
 		m := t.intraDist[mi]
@@ -486,8 +516,8 @@ type socketKey struct{ Machine, Socket int }
 // source: physical GPUs do not forward traffic, so a GPU can terminate a
 // path but never relay one.
 func (t *Topology) computeMatrices() {
-	t.extremeMin = map[int][]int{}
-	t.extremeMax = map[int][]int{}
+	t.extremeMin = map[int]*extremeEntry{}
+	t.extremeMax = map[int]*extremeEntry{}
 
 	t.machineGPUs = map[int][]int{}
 	t.socketGPUs = map[socketKey][]int{}
@@ -589,6 +619,9 @@ func (t *Topology) computeMatrices() {
 			}
 		}
 	}
+
+	t.minPairDist = t.computeMinPairDistance()
+	t.maxPairDist = t.computeMaxPairDistance()
 }
 
 // restrictedDijkstra runs Dijkstra from src over the topology where GPU
