@@ -1,0 +1,65 @@
+// Command toposerve is the real-time serving front-end over the
+// driver-agnostic scheduling core (internal/schedcore): the same §4.4
+// placement loop the simulator replays against virtual time, driven by
+// live HTTP traffic against the wall clock. One single-writer event loop
+// owns the core; handlers never touch it concurrently.
+//
+//	toposerve -topology minsky:4 -policy topo-p -addr :8080
+//	toposerve -topology mix[minsky:2+dgx1:1]
+//	toposerve -topology matrix[machine.matrix]:8
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"model":"AlexNet","batch_size":4,"gpus":2,"min_utility":0.5}'
+//	curl -s localhost:8080/v1/state
+//	curl -s localhost:8080/v1/decisions
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-1
+//
+// The -topology syntax is the sweep cell-key syntax (named builders,
+// "mix[...]" heterogeneous clusters including degraded "minsky-1g"
+// kinds, and "matrix[file]" discovered machines), so a substrate from
+// any sweep artifact can be served verbatim. See docs/serving.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"gputopo/internal/schedcore"
+	"gputopo/internal/sweep"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		topoArg  = flag.String("topology", "minsky:1", "topology spec: builder[:machines], mix[kind:n+...], matrix[file][:machines]")
+		policy   = flag.String("policy", "topo-p", "placement policy: fcfs, bf, topo, topo-p")
+		quietOff = flag.Bool("quiet", false, "suppress the startup banner")
+	)
+	flag.Parse()
+	if err := run(*addr, *topoArg, *policy, *quietOff); err != nil {
+		fmt.Fprintln(os.Stderr, "toposerve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, topoArg, policyName string, quiet bool) error {
+	spec, err := sweep.ParseTopologyArg(topoArg)
+	if err != nil {
+		return err
+	}
+	pol, err := schedcore.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	srv, err := NewServer(spec, pol, schedcore.WallClock())
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if !quiet {
+		fmt.Printf("toposerve: %s under %s on %s\n", spec.Key(), pol, addr)
+	}
+	return http.ListenAndServe(addr, srv.Handler())
+}

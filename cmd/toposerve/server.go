@@ -1,0 +1,461 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gputopo/internal/cluster"
+	"gputopo/internal/core"
+	"gputopo/internal/job"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/profile"
+	"gputopo/internal/schedcore"
+	"gputopo/internal/sweep"
+)
+
+// decisionLogCap bounds the in-memory decision ring: old entries are
+// dropped once the ring is full, newest-first reads stay O(limit).
+const decisionLogCap = 4096
+
+// Server drives one scheduling core against one physical topology. All
+// core access happens on a single writer goroutine (loop); HTTP handlers
+// submit closures to it and wait — the core itself is never touched
+// concurrently, which is the invariant its purity contract requires.
+type Server struct {
+	core    *schedcore.Core
+	topoKey string
+	started time.Time
+
+	cmds chan func()
+	quit chan struct{}
+
+	// Owned by the writer goroutine (touched only inside do closures).
+	jobs map[string]*job.Job // every accepted, not-yet-released job
+	// decisions is a circular buffer: once it reaches decisionLogCap,
+	// decHead marks the oldest record and appends overwrite in place —
+	// O(1) per decision, no memmove on the writer loop.
+	decisions []decisionRecord
+	decHead   int
+	decSeq    int
+}
+
+// decisionRecord is one logged scheduling decision.
+type decisionRecord struct {
+	Seq           int     `json:"seq"`
+	Time          float64 `json:"time_s"`
+	JobID         string  `json:"job_id"`
+	Placed        bool    `json:"placed"`
+	GPUs          []int   `json:"gpus,omitempty"`
+	Utility       float64 `json:"utility,omitempty"`
+	Reason        string  `json:"reason,omitempty"`
+	SLOViolated   bool    `json:"slo_violated,omitempty"`
+	Postponements int     `json:"postponements,omitempty"`
+}
+
+// NewServer builds the substrate for the topology spec (the same
+// profile-store construction the sweep engine uses, so a served cluster
+// and a simulated one are bit-compatible) and starts the writer loop.
+func NewServer(spec sweep.TopologySpec, policy schedcore.Policy, clock schedcore.Clock) (*Server, error) {
+	topo, err := spec.Build(spec.EffectiveMachines(1), false)
+	if err != nil {
+		return nil, err
+	}
+	maxGPUs := topo.NumGPUs()
+	if maxGPUs > 8 {
+		maxGPUs = 8
+	}
+	profiles := profile.Generate(topo, maxGPUs)
+	mapper, err := core.NewMapper(profiles, core.DefaultWeights())
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		core:    schedcore.New(policy, cluster.NewState(topo), mapper, schedcore.WithClock(clock)),
+		topoKey: spec.Key(),
+		started: time.Now(),
+		cmds:    make(chan func()),
+		quit:    make(chan struct{}),
+		jobs:    map[string]*job.Job{},
+	}
+	go s.loop()
+	return s, nil
+}
+
+// loop is the single writer: it owns the core and every mutable server
+// field until Close.
+func (s *Server) loop() {
+	for {
+		select {
+		case fn := <-s.cmds:
+			fn()
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// do runs fn on the writer goroutine and waits for it.
+func (s *Server) do(fn func()) {
+	done := make(chan struct{})
+	s.cmds <- func() {
+		fn()
+		close(done)
+	}
+	<-done
+}
+
+// Close stops the writer loop.
+func (s *Server) Close() { close(s.quit) }
+
+// record appends the round's decisions to the ring and returns the
+// record for jobID (zero record if the round did not decide it).
+func (s *Server) record(ds []*schedcore.Decision, jobID string) (decisionRecord, []string) {
+	var mine decisionRecord
+	var placed []string
+	for _, d := range ds {
+		s.decSeq++
+		r := decisionRecord{
+			Seq:    s.decSeq,
+			Time:   d.Time,
+			JobID:  d.Job.ID,
+			Placed: !d.Postponed,
+			Reason: d.Reason,
+		}
+		if !d.Postponed {
+			r.GPUs = append([]int(nil), d.Placement.GPUs...)
+			r.Utility = d.Placement.Utility
+			r.SLOViolated = d.SLOViolated
+			r.Postponements = d.Postponements
+			placed = append(placed, d.Job.ID)
+		}
+		if len(s.decisions) == decisionLogCap {
+			s.decisions[s.decHead] = r
+			s.decHead = (s.decHead + 1) % decisionLogCap
+		} else {
+			s.decisions = append(s.decisions, r)
+		}
+		if d.Job.ID == jobID {
+			mine = r
+		}
+	}
+	return mine, placed
+}
+
+// jobRequest is the POST /v1/jobs payload. Field names mirror the
+// prototype's JSON manifests (§5.1).
+type jobRequest struct {
+	ID            string  `json:"id"`
+	Model         string  `json:"model"`
+	BatchSize     int     `json:"batch_size"`
+	GPUs          int     `json:"gpus"`
+	MinUtility    float64 `json:"min_utility"`
+	Iterations    int     `json:"iterations"`
+	SingleNode    *bool   `json:"single_node,omitempty"`
+	AntiCollocate bool    `json:"anti_collocate,omitempty"`
+	ModelParallel bool    `json:"model_parallel,omitempty"`
+}
+
+// jobResponse answers POST /v1/jobs with the submitted job's decision.
+type jobResponse struct {
+	ID            string  `json:"id"`
+	Status        string  `json:"status"` // "placed" or "queued"
+	GPUs          []int   `json:"gpus,omitempty"`
+	Utility       float64 `json:"utility,omitempty"`
+	Reason        string  `json:"reason,omitempty"`
+	SLOViolated   bool    `json:"slo_violated,omitempty"`
+	Time          float64 `json:"time_s"`
+	QueuePosition int     `json:"queue_position,omitempty"` // 1-based when queued
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleSubmit is POST /v1/jobs: build the job, stamp its arrival from
+// the core's clock, submit, run one scheduling round and answer with
+// this job's decision.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid job JSON: %v", err)
+		return
+	}
+	model := perfmodel.AlexNet
+	if req.Model != "" {
+		var err error
+		if model, err = perfmodel.ParseNN(req.Model); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if req.BatchSize == 0 {
+		req.BatchSize = 1
+	}
+
+	var resp jobResponse
+	var status int
+	s.do(func() {
+		id := req.ID
+		if id == "" {
+			id = fmt.Sprintf("job-%d", len(s.jobs)+1)
+			for s.jobs[id] != nil {
+				id = "x" + id
+			}
+		}
+		if s.jobs[id] != nil {
+			status = http.StatusConflict
+			resp = jobResponse{ID: id}
+			return
+		}
+		j := job.New(id, model, req.BatchSize, req.GPUs, req.MinUtility, s.core.Now())
+		if req.Iterations > 0 {
+			j.Iterations = req.Iterations
+		}
+		if req.SingleNode != nil {
+			j.SingleNode = *req.SingleNode
+		}
+		j.AntiCollocate = req.AntiCollocate
+		if req.ModelParallel {
+			j.Parallelism = perfmodel.ModelParallel
+		}
+		if err := s.core.Submit(j); err != nil {
+			status = http.StatusBadRequest
+			resp = jobResponse{ID: id, Reason: err.Error()}
+			return
+		}
+		s.jobs[id] = j
+		mine, _ := s.record(s.core.Schedule(), id)
+		resp = jobResponse{ID: id, Time: s.core.Now()}
+		if mine.Placed {
+			resp.Status = "placed"
+			resp.GPUs = mine.GPUs
+			resp.Utility = mine.Utility
+			resp.SLOViolated = mine.SLOViolated
+		} else {
+			resp.Status = "queued"
+			resp.Reason = mine.Reason
+			if resp.Reason == "" {
+				resp.Reason = "no-capacity"
+			}
+			for i, qj := range s.core.Queued() {
+				if qj.ID == id {
+					resp.QueuePosition = i + 1
+					break
+				}
+			}
+		}
+		status = http.StatusOK
+	})
+	switch status {
+	case http.StatusConflict:
+		httpError(w, status, "job %s already exists", resp.ID)
+	case http.StatusBadRequest:
+		httpError(w, status, "%s", resp.Reason)
+	default:
+		writeJSON(w, resp)
+	}
+}
+
+// releaseResponse answers DELETE /v1/jobs/{id}.
+type releaseResponse struct {
+	ID string `json:"id"`
+	// Status is "released" (the job was running; its GPUs are free) or
+	// "withdrawn" (it was still queued).
+	Status string `json:"status"`
+	// Unblocked lists jobs the release let the scheduler place — the
+	// wake-up index resolves exactly these instead of walking the queue.
+	Unblocked []string `json:"unblocked,omitempty"`
+}
+
+// handleRelease is DELETE /v1/jobs/{id}: release a running job (then run
+// a scheduling round so waiting jobs can take the freed GPUs) or
+// withdraw a queued one.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var resp releaseResponse
+	var status int
+	s.do(func() {
+		if s.jobs[id] == nil {
+			status = http.StatusNotFound
+			return
+		}
+		if s.core.State().Allocation(id) != nil {
+			if err := s.core.Release(id); err != nil {
+				status = http.StatusInternalServerError
+				resp = releaseResponse{ID: id, Status: err.Error()}
+				return
+			}
+			delete(s.jobs, id)
+			_, placed := s.record(s.core.Schedule(), "")
+			resp = releaseResponse{ID: id, Status: "released", Unblocked: placed}
+			status = http.StatusOK
+			return
+		}
+		if s.core.Withdraw(id) {
+			delete(s.jobs, id)
+			resp = releaseResponse{ID: id, Status: "withdrawn"}
+			status = http.StatusOK
+			return
+		}
+		status = http.StatusNotFound
+	})
+	switch status {
+	case http.StatusNotFound:
+		httpError(w, status, "no queued or running job %q", id)
+	case http.StatusInternalServerError:
+		httpError(w, status, "%s", resp.Status)
+	default:
+		writeJSON(w, resp)
+	}
+}
+
+// handleDecisions is GET /v1/decisions[?limit=N]: the most recent
+// decisions, oldest first.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	limit := decisionLogCap
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "limit %q must be an integer >= 1", q)
+			return
+		}
+		limit = n
+	}
+	var out []decisionRecord
+	s.do(func() {
+		// Flatten the ring oldest-first, then keep the newest `limit`.
+		n := len(s.decisions)
+		ordered := make([]decisionRecord, 0, n)
+		for i := 0; i < n; i++ {
+			ordered = append(ordered, s.decisions[(s.decHead+i)%n])
+		}
+		if len(ordered) > limit {
+			ordered = ordered[len(ordered)-limit:]
+		}
+		out = ordered
+	})
+	writeJSON(w, map[string]any{"decisions": out})
+}
+
+// stateResponse is GET /v1/state: a full snapshot of the cluster and the
+// scheduler.
+type stateResponse struct {
+	Topology   string           `json:"topology"`
+	Policy     string           `json:"policy"`
+	Machines   int              `json:"machines"`
+	GPUs       int              `json:"gpus"`
+	FreeGPUs   int              `json:"free_gpus"`
+	UptimeSec  float64          `json:"uptime_s"`
+	ClockSec   float64          `json:"clock_s"`
+	Running    []runningEntry   `json:"running"`
+	Queue      []queuedEntry    `json:"queue"`
+	Stats      statsResponse    `json:"stats"`
+	Bandwidth  []bandwidthEntry `json:"bus_bandwidth,omitempty"`
+	Decisions  int              `json:"decisions_logged"`
+	Fragments  float64          `json:"fragmentation"`
+	Discipline string           `json:"queue_discipline"`
+}
+
+type runningEntry struct {
+	ID   string `json:"id"`
+	GPUs []int  `json:"gpus"`
+}
+
+type queuedEntry struct {
+	ID         string  `json:"id"`
+	GPUs       int     `json:"gpus"`
+	MinUtility float64 `json:"min_utility"`
+	Arrival    float64 `json:"arrival_s"`
+}
+
+type bandwidthEntry struct {
+	Machine int     `json:"machine"`
+	FreeGBs float64 `json:"free_gbs"`
+}
+
+type statsResponse struct {
+	Decisions       int     `json:"decisions"`
+	Placements      int     `json:"placements"`
+	Postponements   int     `json:"postponements"`
+	SLOViolations   int     `json:"slo_violations"`
+	GateSkips       int     `json:"gate_skips"`
+	WakeSkips       int     `json:"wake_skips"`
+	MeanDecisionUs  float64 `json:"mean_decision_us"`
+	MaxDecisionUs   float64 `json:"max_decision_us"`
+	TotalDecisionMs float64 `json:"total_decision_ms"`
+}
+
+// handleState is GET /v1/state.
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	var resp stateResponse
+	s.do(func() {
+		st := s.core.State()
+		topo := st.Topology()
+		stats := s.core.Stats()
+		resp = stateResponse{
+			Topology:   s.topoKey,
+			Policy:     s.core.Policy().String(),
+			Machines:   topo.NumMachines(),
+			GPUs:       topo.NumGPUs(),
+			FreeGPUs:   st.FreeGPUCount(),
+			UptimeSec:  time.Since(s.started).Seconds(),
+			ClockSec:   s.core.Now(),
+			Running:    []runningEntry{},
+			Queue:      []queuedEntry{},
+			Fragments:  st.Fragmentation(),
+			Decisions:  len(s.decisions),
+			Discipline: "fifo-arrival",
+			Stats: statsResponse{
+				Decisions:       stats.Decisions,
+				Placements:      stats.Placements,
+				Postponements:   stats.Postponements,
+				SLOViolations:   stats.SLOViolations,
+				GateSkips:       stats.GateSkips,
+				WakeSkips:       stats.WakeSkips,
+				MeanDecisionUs:  float64(stats.MeanDecisionTime()) / float64(time.Microsecond),
+				MaxDecisionUs:   float64(stats.MaxDecision) / float64(time.Microsecond),
+				TotalDecisionMs: float64(stats.DecisionTime) / float64(time.Millisecond),
+			},
+		}
+		for _, id := range st.Jobs() {
+			resp.Running = append(resp.Running, runningEntry{ID: id, GPUs: st.Allocation(id).GPUs})
+		}
+		for _, qj := range s.core.Queued() {
+			resp.Queue = append(resp.Queue, queuedEntry{
+				ID: qj.ID, GPUs: qj.GPUs, MinUtility: qj.MinUtility, Arrival: qj.Arrival,
+			})
+		}
+		for m := 0; m < topo.NumMachines(); m++ {
+			resp.Bandwidth = append(resp.Bandwidth, bandwidthEntry{Machine: m, FreeGBs: st.FreeBusBandwidth(m)})
+		}
+	})
+	writeJSON(w, resp)
+}
+
+// Handler wires the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRelease)
+	mux.HandleFunc("GET /v1/decisions", s.handleDecisions)
+	mux.HandleFunc("GET /v1/state", s.handleState)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

@@ -1,0 +1,399 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"testing"
+
+	"gputopo/internal/cluster"
+	"gputopo/internal/core"
+	"gputopo/internal/job"
+	"gputopo/internal/profile"
+	"gputopo/internal/schedcore"
+	"gputopo/internal/sweep"
+	"gputopo/internal/workload"
+)
+
+// startServer builds a Server on the spec and wraps it in httptest.
+func startServer(t *testing.T, topoArg string, policy schedcore.Policy) (*httptest.Server, *Server) {
+	t.Helper()
+	spec, err := sweep.ParseTopologyArg(topoArg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(spec, policy, schedcore.WallClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts, srv
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	js, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestEndToEndScenario1BurstMatchesSimulator is the acceptance test of
+// the serving tentpole: a scenario-1-style burst submitted over HTTP in
+// arrival order must receive exactly the placements a simulator-driven
+// core produces for the same arrival order on the same substrate — the
+// serving front-end and the simulator are two drivers of one core, so
+// their decisions may differ only in clock readings, never in GPUs.
+func TestEndToEndScenario1BurstMatchesSimulator(t *testing.T) {
+	const topoArg = "minsky:2"
+	spec, err := sweep.ParseTopologyArg(topoArg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := spec.Build(spec.EffectiveMachines(1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Generate(workload.GenConfig{Jobs: 30, Seed: 42, ArrivalRate: 10}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the simulator's construction of the core (ManualClock,
+	// same profile store), driven submit-by-submit in arrival order with
+	// no completions — exactly what the HTTP burst is.
+	maxGPUs := topo.NumGPUs()
+	if maxGPUs > 8 {
+		maxGPUs = 8
+	}
+	mapper, err := core.NewMapper(profile.Generate(topo, maxGPUs), core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := schedcore.NewManualClock(0)
+	ref := schedcore.New(schedcore.TopoAwareP, cluster.NewState(topo), mapper, schedcore.WithClock(clk))
+	wantGPUs := map[string][]int{}
+	for _, j := range jobs {
+		clk.Set(j.Arrival)
+		if err := ref.Submit(cloneJob(j)); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ref.Schedule() {
+			if !d.Postponed {
+				wantGPUs[d.Job.ID] = append([]int(nil), d.Placement.GPUs...)
+			}
+		}
+	}
+
+	ts, _ := startServer(t, topoArg, schedcore.TopoAwareP)
+	gotGPUs := map[string][]int{}
+	queued := 0
+	for _, j := range jobs {
+		resp, body := post(t, ts.URL+"/v1/jobs", jobRequest{
+			ID:         j.ID,
+			Model:      j.Model.String(),
+			BatchSize:  j.BatchSize,
+			GPUs:       j.GPUs,
+			MinUtility: j.MinUtility,
+			Iterations: j.Iterations,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d %s", j.ID, resp.StatusCode, body)
+		}
+		var jr jobResponse
+		if err := json.Unmarshal(body, &jr); err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status == "placed" {
+			gotGPUs[j.ID] = jr.GPUs
+		} else {
+			queued++
+		}
+	}
+	// Later rounds may also place previously queued jobs (the epoch moves
+	// on every placement); those decisions live in the log, not in the
+	// submitting POST's response.
+	r, err := http.Get(ts.URL + "/v1/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dl struct {
+		Decisions []decisionRecord `json:"decisions"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&dl); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	for _, d := range dl.Decisions {
+		if d.Placed {
+			if _, ok := gotGPUs[d.JobID]; !ok {
+				gotGPUs[d.JobID] = d.GPUs
+				queued--
+			}
+		}
+	}
+
+	if len(gotGPUs) != len(wantGPUs) {
+		t.Fatalf("server placed %d jobs, reference placed %d", len(gotGPUs), len(wantGPUs))
+	}
+	for id, want := range wantGPUs {
+		got, ok := gotGPUs[id]
+		if !ok {
+			t.Fatalf("job %s placed by reference but queued by server", id)
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("job %s: server GPUs %v, reference GPUs %v", id, got, want)
+		}
+	}
+	if queued == 0 {
+		t.Fatal("burst never saturated the cluster; the equivalence proves nothing about queuing")
+	}
+}
+
+// cloneJob copies a generated job so the reference core and any other
+// consumer never share mutable state.
+func cloneJob(j *job.Job) *job.Job {
+	c := job.New(j.ID, j.Model, j.BatchSize, j.GPUs, j.MinUtility, j.Arrival)
+	c.Iterations = j.Iterations
+	c.SingleNode = j.SingleNode
+	c.AntiCollocate = j.AntiCollocate
+	c.Parallelism = j.Parallelism
+	return c
+}
+
+// TestServerLifecycle walks the full API surface: health, submit,
+// duplicate, state, release with wake-up, withdraw, decisions log and
+// the error paths.
+func TestServerLifecycle(t *testing.T) {
+	ts, _ := startServer(t, "minsky:1", schedcore.TopoAwareP)
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", r, err)
+	}
+	r.Body.Close()
+
+	// Fill the machine (4 GPUs) with two 2-GPU jobs.
+	for i := 1; i <= 2; i++ {
+		resp, body := post(t, ts.URL+"/v1/jobs", jobRequest{ID: fmt.Sprintf("run%d", i), GPUs: 2, BatchSize: 4})
+		var jr jobResponse
+		if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &jr) != nil || jr.Status != "placed" {
+			t.Fatalf("run%d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	// A third 2-GPU job queues.
+	resp, body := post(t, ts.URL+"/v1/jobs", jobRequest{ID: "waiter", GPUs: 2, BatchSize: 4})
+	var jr jobResponse
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &jr) != nil {
+		t.Fatalf("waiter: %d %s", resp.StatusCode, body)
+	}
+	if jr.Status != "queued" || jr.QueuePosition != 1 {
+		t.Fatalf("waiter response: %+v", jr)
+	}
+
+	// Duplicate IDs conflict.
+	if resp, _ := post(t, ts.URL+"/v1/jobs", jobRequest{ID: "waiter", GPUs: 1}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate: %d", resp.StatusCode)
+	}
+	// Unknown model and malformed JSON are 400s.
+	if resp, _ := post(t, ts.URL+"/v1/jobs", jobRequest{ID: "bad", GPUs: 1, Model: "ResNet"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown model: %d", resp.StatusCode)
+	}
+	if resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte("{"))); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %v %v", resp, err)
+	}
+	// Invalid job fields (0 GPUs) are rejected by validation.
+	if resp, _ := post(t, ts.URL+"/v1/jobs", jobRequest{ID: "zero", GPUs: 0}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero GPUs: %d", resp.StatusCode)
+	}
+
+	// State reflects 2 running + 1 queued.
+	r, err = http.Get(ts.URL + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st stateResponse
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(st.Running) != 2 || len(st.Queue) != 1 || st.FreeGPUs != 0 {
+		t.Fatalf("state: %+v", st)
+	}
+	if st.Topology != "minsky:1" || st.Policy != "TOPO-AWARE-P" {
+		t.Fatalf("state header: %+v", st)
+	}
+
+	// Releasing a running job frees its GPUs and unblocks the waiter —
+	// via the wake-up index, not a queue walk.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/run1", nil)
+	r, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr releaseResponse
+	if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if rr.Status != "released" || !slices.Contains(rr.Unblocked, "waiter") {
+		t.Fatalf("release: %+v", rr)
+	}
+
+	// Withdraw a queued job.
+	resp, body = post(t, ts.URL+"/v1/jobs", jobRequest{ID: "cancelme", GPUs: 4, BatchSize: 4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancelme: %d %s", resp.StatusCode, body)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/cancelme", nil)
+	r, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if rr.Status != "withdrawn" {
+		t.Fatalf("withdraw: %+v", rr)
+	}
+	// Unknown deletes 404.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/nosuch", nil)
+	r, _ = http.DefaultClient.Do(req)
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete nosuch: %d", r.StatusCode)
+	}
+	r.Body.Close()
+
+	// The decision log saw every decision, in order, with timestamps.
+	r, err = http.Get(ts.URL + "/v1/decisions?limit=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dl struct {
+		Decisions []decisionRecord `json:"decisions"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&dl); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(dl.Decisions) == 0 {
+		t.Fatal("empty decision log")
+	}
+	for i := 1; i < len(dl.Decisions); i++ {
+		if dl.Decisions[i].Seq <= dl.Decisions[i-1].Seq {
+			t.Fatal("decision log out of order")
+		}
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/decisions?limit=zero"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit: %d", resp.StatusCode)
+	}
+}
+
+// TestServerConcurrentSubmissions hammers the single-writer loop from
+// many goroutines — under -race (CI runs it) this is the proof that the
+// event-loop serialization protects the core. Conservation must hold:
+// every job is either running or queued, and no GPU is double-owned.
+func TestServerConcurrentSubmissions(t *testing.T) {
+	ts, srv := startServer(t, "mix[minsky:2+dgx1:1]", schedcore.TopoAwareP)
+	const n = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, ts.URL+"/v1/jobs", jobRequest{
+				ID: fmt.Sprintf("c%02d", i), GPUs: 1 + i%2, BatchSize: 1 + i%8,
+			})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("c%02d: %d %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var running, queued, free, gpus int
+	srv.do(func() {
+		st := srv.core.State()
+		running = len(st.Jobs())
+		queued = srv.core.QueueLen()
+		free = st.FreeGPUCount()
+		gpus = st.Topology().NumGPUs()
+	})
+	if running+queued != n {
+		t.Fatalf("running %d + queued %d != submitted %d", running, queued, n)
+	}
+	var owned int
+	srv.do(func() {
+		st := srv.core.State()
+		for _, id := range st.Jobs() {
+			owned += len(st.Allocation(id).GPUs)
+		}
+	})
+	if owned+free != gpus {
+		t.Fatalf("owned %d + free %d != %d GPUs", owned, free, gpus)
+	}
+}
+
+// TestDecisionRingWraps pushes the decision log past its capacity and
+// checks the circular buffer drops oldest-first and flattens in order.
+func TestDecisionRingWraps(t *testing.T) {
+	ts, srv := startServer(t, "minsky:1", schedcore.TopoAwareP)
+	srv.do(func() {
+		j := cloneJob(job.New("ring", 0, 1, 1, 0, 0))
+		for i := 0; i < decisionLogCap+10; i++ {
+			srv.decSeq++
+			r := decisionRecord{Seq: srv.decSeq, JobID: j.ID}
+			if len(srv.decisions) == decisionLogCap {
+				srv.decisions[srv.decHead] = r
+				srv.decHead = (srv.decHead + 1) % decisionLogCap
+			} else {
+				srv.decisions = append(srv.decisions, r)
+			}
+		}
+	})
+	r, err := http.Get(ts.URL + "/v1/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dl struct {
+		Decisions []decisionRecord `json:"decisions"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&dl); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(dl.Decisions) != decisionLogCap {
+		t.Fatalf("ring holds %d, want %d", len(dl.Decisions), decisionLogCap)
+	}
+	if dl.Decisions[0].Seq != 11 {
+		t.Fatalf("oldest surviving seq = %d, want 11 (first 10 dropped)", dl.Decisions[0].Seq)
+	}
+	for i := 1; i < len(dl.Decisions); i++ {
+		if dl.Decisions[i].Seq != dl.Decisions[i-1].Seq+1 {
+			t.Fatalf("ring not flattened in order at %d: %d after %d", i, dl.Decisions[i].Seq, dl.Decisions[i-1].Seq)
+		}
+	}
+}

@@ -53,7 +53,10 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress per-point progress")
 		diff     = flag.Bool("diff", false, "diff two JSON artifacts: toposweep -diff old.json new.json; exits 2 on regression (flags go before the file arguments)")
 		tol      = flag.Float64("tol", 0, "relative tolerance for -diff/-diff-bench (0 = exact)")
-		tolMet   = flag.String("tol-metric", "", "per-metric tolerance overrides for -diff/-diff-bench, e.g. makespan_s=0.05 or allocs_per_op=0.1 (comma-separated)")
+		tolStd   = flag.Float64("tol-stddev", 0, "with -diff: relative tolerance for the .stddev distribution metrics (0 = use -tol)")
+		tolP95   = flag.Float64("tol-p95", 0, "with -diff: relative tolerance for the .p95 distribution metrics (0 = use -tol)")
+		tolMet   = flag.String("tol-metric", "", "per-metric tolerance overrides for -diff/-diff-bench, e.g. makespan_s=0.05, makespan_s.p95=0.2 or allocs_per_op=0.1 (comma-separated)")
+		wallOff  = flag.Bool("wallclock-off", false, "with -diff-bench: skip wall-clock metrics (elapsed_sec, points/jobs per sec, ns_per_op) and gate allocation counts only — for noisy CI runners; also enabled by TOPOSWEEP_WALLCLOCK_OFF=1")
 		strict   = flag.Bool("strict", false, "with -diff, also exit 2 on improvements — any delta is a behavior change (used by the CI golden-baseline gate)")
 		bench    = flag.String("bench", "", "write a perf-tracking artifact (wall-clock, points/sec, jobs/sec) to this path after the run")
 		benchGo  = flag.String("bench-go", "", "with -bench: merge `go test -bench` output from this file into the artifact (ns/op, B/op, allocs/op)")
@@ -65,7 +68,8 @@ func main() {
 
 	switch {
 	case *diffB:
-		res, err := diffBenchFiles(os.Stdout, flag.Args(), *tol, *tolMet)
+		off := *wallOff || os.Getenv("TOPOSWEEP_WALLCLOCK_OFF") == "1"
+		res, err := diffBenchFiles(os.Stdout, flag.Args(), *tol, *tolMet, off)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "toposweep:", err)
 			os.Exit(1)
@@ -74,7 +78,7 @@ func main() {
 			os.Exit(2)
 		}
 	case *diff:
-		res, err := diffFiles(os.Stdout, flag.Args(), *tol, *tolMet)
+		res, err := diffFiles(os.Stdout, flag.Args(), diffTols{tol: *tol, stddev: *tolStd, p95: *tolP95, perMetric: *tolMet})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "toposweep:", err)
 			os.Exit(1)
@@ -132,10 +136,16 @@ func listGrids(w io.Writer, args []string) error {
 	return nil
 }
 
-// parseTolerances builds diff options from the -tol/-tol-metric flags.
-func parseTolerances(tol float64, tolMetric string) (sweep.DiffOptions, error) {
-	opt := sweep.DiffOptions{RelTol: tol}
-	if tolMetric == "" {
+// diffTols bundles the result-differ tolerance flags.
+type diffTols struct {
+	tol, stddev, p95 float64
+	perMetric        string
+}
+
+// parseTolerances builds diff options from the tolerance flags.
+func parseTolerances(tols diffTols) (sweep.DiffOptions, error) {
+	opt := sweep.DiffOptions{RelTol: tols.tol, StddevRelTol: tols.stddev, P95RelTol: tols.p95}
+	if tols.perMetric == "" {
 		return opt, nil
 	}
 	known := map[string]bool{}
@@ -143,7 +153,7 @@ func parseTolerances(tol float64, tolMetric string) (sweep.DiffOptions, error) {
 		known[m] = true
 	}
 	opt.PerMetric = map[string]float64{}
-	for _, pair := range strings.Split(tolMetric, ",") {
+	for _, pair := range strings.Split(tols.perMetric, ",") {
 		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
 		if !ok {
 			return opt, fmt.Errorf("-tol-metric entry %q is not metric=value", pair)
@@ -163,11 +173,11 @@ func parseTolerances(tol float64, tolMetric string) (sweep.DiffOptions, error) {
 // diffFiles loads two JSON artifacts, diffs them under the tolerances and
 // writes the markdown delta report. The caller decides the exit code from
 // the returned result.
-func diffFiles(w io.Writer, args []string, tol float64, tolMetric string) (*sweep.DiffResult, error) {
+func diffFiles(w io.Writer, args []string, tols diffTols) (*sweep.DiffResult, error) {
 	if len(args) != 2 {
 		return nil, fmt.Errorf("-diff needs exactly two artifacts: toposweep -diff old.json new.json")
 	}
-	opt, err := parseTolerances(tol, tolMetric)
+	opt, err := parseTolerances(tols)
 	if err != nil {
 		return nil, err
 	}
@@ -330,11 +340,11 @@ func writeBench(w io.Writer, rep *sweep.Report, benchPath, benchGoPath string) e
 
 // diffBenchFiles loads two bench artifacts and perf-diffs them under the
 // tolerances; callers decide the exit code from the result.
-func diffBenchFiles(w io.Writer, args []string, tol float64, tolMetric string) (*sweep.DiffResult, error) {
+func diffBenchFiles(w io.Writer, args []string, tol float64, tolMetric string, wallClockOff bool) (*sweep.DiffResult, error) {
 	if len(args) != 2 {
 		return nil, fmt.Errorf("-diff-bench needs exactly two artifacts: toposweep -diff-bench old.json new.json")
 	}
-	opt := sweep.BenchDiffOptions{RelTol: tol}
+	opt := sweep.BenchDiffOptions{RelTol: tol, WallClockOff: wallClockOff}
 	if tolMetric != "" {
 		known := map[string]bool{}
 		for _, m := range sweep.BenchDiffMetricNames() {

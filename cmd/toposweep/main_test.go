@@ -203,7 +203,7 @@ func TestDiffFilesSelfAndPerturbed(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	res, err := diffFiles(&buf, []string{oldPath, oldPath}, 0, "")
+	res, err := diffFiles(&buf, []string{oldPath, oldPath}, diffTols{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestDiffFilesSelfAndPerturbed(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf.Reset()
-	res, err = diffFiles(&buf, []string{oldPath, newPath}, 0.01, "")
+	res, err = diffFiles(&buf, []string{oldPath, newPath}, diffTols{tol: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,23 +236,23 @@ func TestDiffFilesSelfAndPerturbed(t *testing.T) {
 		t.Fatalf("markdown delta table missing:\n%s", out)
 	}
 
-	if _, err := diffFiles(&buf, []string{oldPath}, 0, ""); err == nil {
+	if _, err := diffFiles(&buf, []string{oldPath}, diffTols{}); err == nil {
 		t.Fatal("one-argument diff did not error")
 	}
 }
 
 func TestParseTolerances(t *testing.T) {
-	opt, err := parseTolerances(0.02, "makespan_s=0.1,slo_violations=0")
+	opt, err := parseTolerances(diffTols{tol: 0.02, perMetric: "makespan_s=0.1,slo_violations=0"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opt.RelTol != 0.02 || opt.PerMetric["makespan_s"] != 0.1 {
 		t.Fatalf("tolerances parsed as %+v", opt)
 	}
-	if _, err := parseTolerances(0, "bogus_metric=1"); err == nil {
+	if _, err := parseTolerances(diffTols{perMetric: "bogus_metric=1"}); err == nil {
 		t.Fatal("unknown metric accepted")
 	}
-	if _, err := parseTolerances(0, "makespan_s"); err == nil {
+	if _, err := parseTolerances(diffTols{perMetric: "makespan_s"}); err == nil {
 		t.Fatal("missing =value accepted")
 	}
 }
@@ -301,7 +301,7 @@ func TestRunBenchArtifactAndDiffBench(t *testing.T) {
 
 	// Self-diff under any tolerance is clean.
 	var buf bytes.Buffer
-	res, err := diffBenchFiles(&buf, []string{benchPath, benchPath}, 0.5, "")
+	res, err := diffBenchFiles(&buf, []string{benchPath, benchPath}, 0.5, "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +321,7 @@ func TestRunBenchArtifactAndDiffBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	buf.Reset()
-	res, err = diffBenchFiles(&buf, []string{tightPath, benchPath}, 5, "allocs_per_op=0.1")
+	res, err = diffBenchFiles(&buf, []string{tightPath, benchPath}, 5, "allocs_per_op=0.1", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,10 +329,10 @@ func TestRunBenchArtifactAndDiffBench(t *testing.T) {
 		t.Fatalf("alloc regression passed the per-metric gate:\n%s", buf.String())
 	}
 
-	if _, err := diffBenchFiles(&buf, []string{benchPath}, 0, ""); err == nil {
+	if _, err := diffBenchFiles(&buf, []string{benchPath}, 0, "", false); err == nil {
 		t.Fatal("one-argument -diff-bench did not error")
 	}
-	if _, err := diffBenchFiles(&buf, []string{benchPath, benchPath}, 0, "nope=1"); err == nil {
+	if _, err := diffBenchFiles(&buf, []string{benchPath, benchPath}, 0, "nope=1", false); err == nil {
 		t.Fatal("unknown bench metric accepted")
 	}
 }

@@ -96,6 +96,7 @@ type runningJob struct {
 	utility   float64
 	p2p       bool
 	violated  bool
+	waited    int // scheduling rounds spent queued before placement
 	baseIter  float64
 	iterBytes float64 // bytes moved over the interconnect per iteration
 }
@@ -135,7 +136,6 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 		cfg:       cfg,
 		scheduler: scheduler,
 		running:   map[string]*runningJob{},
-		postpones: map[string]int{},
 		windows:   map[string]map[int]float64{},
 		rng:       rng,
 	}
@@ -204,7 +204,6 @@ type protoEngine struct {
 	seq       int
 	now       float64
 	running   map[string]*runningJob
-	postpones map[string]int
 	results   []simulator.JobResult
 	timeline  []simulator.Interval
 	windows   map[string]map[int]float64 // job -> window index -> bytes
@@ -259,7 +258,6 @@ func (e *protoEngine) loop(total int) error {
 func (e *protoEngine) runScheduler() {
 	for _, d := range e.scheduler.Schedule() {
 		if d.Postponed {
-			e.postpones[d.Job.ID]++
 			continue
 		}
 		j := d.Job
@@ -273,6 +271,7 @@ func (e *protoEngine) runScheduler() {
 			utility:   d.Placement.Utility,
 			p2p:       d.Placement.P2P,
 			violated:  d.SLOViolated,
+			waited:    d.Postponements,
 			baseIter:  base,
 			iterBytes: perfmodel.RingVolume(j.Model, len(d.Placement.GPUs)) + float64(j.BatchSize)*spec.InputBytesPerSample,
 		}
@@ -371,7 +370,7 @@ func (e *protoEngine) finish(r *runningJob) error {
 		SlowdownQoS:     math.Max(0, run/ideal-1),
 		SlowdownQoSWait: math.Max(0, (e.now-r.job.Arrival)/ideal-1),
 		SLOViolated:     r.violated,
-		Postponements:   e.postpones[r.job.ID],
+		Postponements:   r.waited,
 	})
 	e.timeline = append(e.timeline, simulator.Interval{
 		JobID:  r.job.ID,

@@ -1,395 +1,49 @@
-// Package sched implements the scheduler loop of §4.4 (Algorithm 1) and
-// the four placement policies evaluated in §5: the two greedy baselines
-// FCFS (first come first served over a FIFO queue) and Best-Fit (bin
-// packing onto the most-used domains), and the paper's TOPO-AWARE and
-// TOPO-AWARE-P policies driven by the DRB mapper. TOPO-AWARE places a job
-// as soon as resources are available; TOPO-AWARE-P postpones jobs whose
-// best placement scores below their SLO-derived minimum utility and allows
-// out-of-order execution of the jobs behind them.
+// Package sched is the thin compatibility adapter over the
+// driver-agnostic scheduling core (internal/schedcore): the §4.4
+// scheduler loop and the four §5 placement policies now live there,
+// behind a Core API with a pluggable Clock and QueueDiscipline, so that
+// both the discrete-event simulator and the real-time serving front-end
+// (cmd/toposerve) drive the exact same code. This package re-exports the
+// core's types under their historical names for the simulation engines,
+// experiments and CLIs that grew up against them.
 package sched
 
 import (
-	"encoding/json"
-	"fmt"
-	"sort"
-	"time"
-
 	"gputopo/internal/cluster"
 	"gputopo/internal/core"
-	"gputopo/internal/job"
-	"gputopo/internal/perfmodel"
+	"gputopo/internal/schedcore"
 )
 
 // Policy selects the placement strategy.
-type Policy int
+type Policy = schedcore.Policy
 
 // The four policies of the evaluation (§5.2).
 const (
-	FCFS Policy = iota
-	BestFit
-	TopoAware
-	TopoAwareP
+	FCFS       = schedcore.FCFS
+	BestFit    = schedcore.BestFit
+	TopoAware  = schedcore.TopoAware
+	TopoAwareP = schedcore.TopoAwareP
 )
 
-// String returns the policy name as used in the paper's figures.
-func (p Policy) String() string {
-	switch p {
-	case FCFS:
-		return "FCFS"
-	case BestFit:
-		return "BF"
-	case TopoAware:
-		return "TOPO-AWARE"
-	case TopoAwareP:
-		return "TOPO-AWARE-P"
-	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
-	}
-}
+// Decision records the outcome of one placement attempt.
+type Decision = schedcore.Decision
+
+// Stats accumulates scheduler bookkeeping.
+type Stats = schedcore.Stats
+
+// Scheduler is the historical name of the scheduling core.
+type Scheduler = schedcore.Core
 
 // AllPolicies lists every policy, in the paper's presentation order.
-func AllPolicies() []Policy { return []Policy{BestFit, FCFS, TopoAware, TopoAwareP} }
-
-// MarshalJSON encodes the policy as its figure name, keeping sweep
-// artifacts readable and stable across any renumbering of the constants.
-func (p Policy) MarshalJSON() ([]byte, error) {
-	return json.Marshal(p.String())
-}
-
-// UnmarshalJSON decodes a policy from its figure name.
-func (p *Policy) UnmarshalJSON(data []byte) error {
-	var name string
-	if err := json.Unmarshal(data, &name); err != nil {
-		return err
-	}
-	parsed, err := ParsePolicy(name)
-	if err != nil {
-		return err
-	}
-	*p = parsed
-	return nil
-}
+func AllPolicies() []Policy { return schedcore.AllPolicies() }
 
 // ParsePolicy maps a policy name to its constant.
-func ParsePolicy(name string) (Policy, error) {
-	switch name {
-	case "FCFS", "fcfs":
-		return FCFS, nil
-	case "BF", "bf", "bestfit", "best-fit":
-		return BestFit, nil
-	case "TOPO-AWARE", "topo-aware", "topo":
-		return TopoAware, nil
-	case "TOPO-AWARE-P", "topo-aware-p", "topo-p":
-		return TopoAwareP, nil
-	}
-	return 0, fmt.Errorf("sched: unknown policy %q", name)
-}
+func ParsePolicy(name string) (Policy, error) { return schedcore.ParsePolicy(name) }
 
-// Decision records the outcome of one placement attempt.
-type Decision struct {
-	Job       *job.Job
-	Placement *core.Placement // nil when postponed
-	// Postponed is true when the job stayed in the queue this round.
-	Postponed bool
-	// Reason explains a postponement ("no-capacity", "low-utility").
-	Reason string
-	// SLOViolated is true when the job was placed with a utility below
-	// its declared minimum (greedy policies and TOPO-AWARE do this;
-	// TOPO-AWARE-P by construction does not, except on an idle cluster
-	// where no better placement can ever exist).
-	SLOViolated bool
-}
-
-// Stats accumulates scheduler bookkeeping, including the decision-time
-// measurements reported in §5.5.3.
-type Stats struct {
-	Decisions     int
-	Placements    int
-	Postponements int
-	SLOViolations int
-	// GateSkips counts queued jobs whose placement evaluation was skipped
-	// because the cluster epoch had not moved since their last failed
-	// attempt (version-gated rescheduling). Each skip replays the memoized
-	// postponement decision instead of re-running the placement policy.
-	GateSkips      int
-	DecisionTime   time.Duration // total time spent deciding
-	MaxDecision    time.Duration
-	queuedAtSubmit int
-}
-
-// MeanDecisionTime returns the average time per placement decision.
-func (s Stats) MeanDecisionTime() time.Duration {
-	if s.Decisions == 0 {
-		return 0
-	}
-	return s.DecisionTime / time.Duration(s.Decisions)
-}
-
-// failedAttempt memoizes the outcome of a failed placement attempt: the
-// cluster epoch it was evaluated at and the postponement reason it
-// produced. Until an Allocate or Release moves the epoch, re-evaluating
-// the job is guaranteed to reproduce exactly this decision, so the
-// scheduler replays it instead of re-running the placement policy.
-type failedAttempt struct {
-	epoch  uint64
-	reason string
-}
-
-// Scheduler owns the waiting queue and the cluster allocation state.
-type Scheduler struct {
-	policy Policy
-	state  *cluster.State
-	mapper *core.Mapper
-	// queue is kept sorted by arrival time (oldest first) to avoid
-	// starvation (§4.4).
-	queue []*job.Job
-	stats Stats
-	// lastFailed holds the version-gate memo per queued job ID. Entries
-	// are dropped when the job places (it leaves the queue). gateOff
-	// disables the gate — only the on/off equivalence tests use it.
-	lastFailed map[string]failedAttempt
-	gateOff    bool
-	// decBuf and decPtrs are the reusable decision buffers: at scenario-2
-	// queue depths every event produces O(queue) postponement decisions,
-	// and allocating them fresh per Schedule call dominated the
-	// scheduler's allocation profile. The returned slice is valid until
-	// the next Schedule call.
-	decBuf  []Decision
-	decPtrs []*Decision
-	// freeScratch and hostScratch are reused by the placement policies
-	// for candidate GPU and host lists; their contents are dead once a
-	// placement attempt returns.
-	freeScratch []int
-	hostScratch []int
-}
-
-// New returns a scheduler with the given policy over the state. The mapper
-// is required for the topology-aware policies and used by the greedy ones
-// only to score their decisions for the metrics.
+// New returns a scheduler with the given policy over the state, a manual
+// clock at 0 and the default arrival-FIFO queue discipline — the legacy
+// construction every simulation engine uses. Drivers that need a
+// different clock or discipline call schedcore.New directly.
 func New(policy Policy, state *cluster.State, mapper *core.Mapper) *Scheduler {
-	return &Scheduler{policy: policy, state: state, mapper: mapper, lastFailed: map[string]failedAttempt{}}
-}
-
-// SetEpochGate toggles the version-gated rescheduling (on by default).
-// Gating never changes decisions — a placement attempt is a deterministic
-// function of the cluster state, and the gate only skips attempts whose
-// state provably has not changed — so the switch exists for the
-// equivalence tests that prove exactly that, and as an escape hatch.
-func (s *Scheduler) SetEpochGate(enabled bool) { s.gateOff = !enabled }
-
-// Policy returns the scheduler's placement policy.
-func (s *Scheduler) Policy() Policy { return s.policy }
-
-// State returns the cluster allocation state the scheduler mutates.
-func (s *Scheduler) State() *cluster.State { return s.state }
-
-// Stats returns a copy of the accumulated statistics.
-func (s *Scheduler) Stats() Stats { return s.stats }
-
-// Submit enqueues a job, keeping the queue sorted by arrival time. Jobs
-// arriving in time order (the common case, driven by the event loop)
-// append in O(1).
-func (s *Scheduler) Submit(j *job.Job) error {
-	if err := j.Validate(); err != nil {
-		return err
-	}
-	needSort := len(s.queue) > 0 && j.Arrival < s.queue[len(s.queue)-1].Arrival
-	s.queue = append(s.queue, j)
-	if needSort {
-		sort.SliceStable(s.queue, func(i, k int) bool {
-			return s.queue[i].Arrival < s.queue[k].Arrival
-		})
-	}
-	return nil
-}
-
-// QueueLen returns the number of waiting jobs.
-func (s *Scheduler) QueueLen() int { return len(s.queue) }
-
-// Queued returns the waiting jobs in queue order.
-func (s *Scheduler) Queued() []*job.Job { return append([]*job.Job(nil), s.queue...) }
-
-// Release frees the allocation of a finished job.
-func (s *Scheduler) Release(jobID string) error { return s.state.Release(jobID) }
-
-// Schedule runs one iteration of Algorithm 1: it walks the waiting queue
-// in arrival order, attempting to place each job, and returns the
-// decisions made. Jobs that cannot be placed stay queued. The in-order
-// policies (FCFS, BF, TOPO-AWARE) stop at the first job blocked on
-// capacity, preserving FIFO fairness; TOPO-AWARE-P skips postponed jobs
-// and continues (out-of-order execution, §4.4).
-//
-// Version gate: a failed attempt is memoized with the cluster epoch it
-// saw. While the epoch stands still the attempt would reproduce the exact
-// same postponement, so the gate replays the memoized decision instead of
-// re-running the placement policy — collapsing the O(queue × events)
-// doomed re-evaluations of deep scenario-2 queues into map lookups.
-// Decisions (and therefore every downstream metric) are bit-identical
-// with the gate on or off; sched_test.go and the sweep equivalence tests
-// prove it.
-//
-// The returned slice and the decisions it points to are reused by the
-// next Schedule call — consume them before scheduling again (the
-// simulation engines do); the queue itself is compacted in place.
-func (s *Scheduler) Schedule() []*Decision {
-	s.decBuf = s.decBuf[:0]
-	// Surviving jobs are compacted into the queue's own backing array:
-	// keep < idx always holds, so the write never clobbers an unread job.
-	keep := 0
-	blocked := false
-	for idx, j := range s.queue {
-		if blocked {
-			keep += copy(s.queue[keep:], s.queue[idx:])
-			break
-		}
-		// availableResources(P) gate: skip the placement evaluation
-		// entirely when no machine (or, for multi-node jobs, the whole
-		// cluster) can hold the request. O(1) thanks to the cluster
-		// state's incremental free counters.
-		enough := s.state.MaxFreeGPUs() >= j.GPUs
-		if !j.SingleNode {
-			enough = s.state.FreeGPUCount() >= j.GPUs
-		}
-		if !enough {
-			s.stats.Postponements++
-			s.decBuf = append(s.decBuf, Decision{Job: j, Postponed: true, Reason: "no-capacity"})
-			s.queue[keep] = j
-			keep++
-			if s.policy != TopoAwareP {
-				blocked = true
-			}
-			continue
-		}
-
-		if memo, ok := s.lastFailed[j.ID]; !s.gateOff && ok && memo.epoch == s.state.Epoch() {
-			// Version gate hit: nothing changed since this job last failed
-			// to place, so replay the memoized postponement verbatim.
-			s.stats.GateSkips++
-			s.stats.Postponements++
-			s.decBuf = append(s.decBuf, Decision{Job: j, Postponed: true, Reason: memo.reason})
-			s.queue[keep] = j
-			keep++
-			if s.policy != TopoAwareP {
-				blocked = true
-			}
-			continue
-		}
-
-		start := time.Now()
-		d := s.tryPlace(j)
-		elapsed := time.Since(start)
-		s.stats.Decisions++
-		s.stats.DecisionTime += elapsed
-		if elapsed > s.stats.MaxDecision {
-			s.stats.MaxDecision = elapsed
-		}
-		s.decBuf = append(s.decBuf, d)
-		if d.Postponed {
-			s.lastFailed[j.ID] = failedAttempt{epoch: s.state.Epoch(), reason: d.Reason}
-			s.stats.Postponements++
-			s.queue[keep] = j
-			keep++
-			if s.policy != TopoAwareP {
-				blocked = true
-			}
-			continue
-		}
-		delete(s.lastFailed, j.ID)
-		s.stats.Placements++
-		if d.SLOViolated {
-			s.stats.SLOViolations++
-		}
-	}
-	// Clear the dropped tail so placed jobs do not linger in the backing
-	// array and keep their allocations reachable.
-	for i := keep; i < len(s.queue); i++ {
-		s.queue[i] = nil
-	}
-	s.queue = s.queue[:keep]
-	// Build the pointer view only after the value buffer stopped growing:
-	// append may relocate decBuf, so taking addresses mid-walk would hand
-	// out dangling pointers.
-	s.decPtrs = s.decPtrs[:0]
-	for i := range s.decBuf {
-		s.decPtrs = append(s.decPtrs, &s.decBuf[i])
-	}
-	return s.decPtrs
-}
-
-// tryPlace attempts to place one job according to the policy, committing
-// the allocation on success. It returns by value so Schedule can append
-// into its reusable decision buffer.
-func (s *Scheduler) tryPlace(j *job.Job) Decision {
-	var placement *core.Placement
-	var err error
-	switch s.policy {
-	case FCFS:
-		placement, err = s.placeFCFS(j)
-	case BestFit:
-		placement, err = s.placeBestFit(j)
-	case TopoAware, TopoAwareP:
-		placement, err = s.placeTopoAware(j)
-	}
-	if err != nil {
-		return Decision{Job: j, Postponed: true, Reason: "no-capacity"}
-	}
-
-	if s.policy == TopoAwareP && placement.Utility < j.MinUtility && !s.clusterIdle() {
-		// Postpone: a better placement may open when jobs finish. On an
-		// idle cluster no future placement can beat this one, so place
-		// best-effort to avoid deadlock.
-		return Decision{Job: j, Postponed: true, Reason: "low-utility"}
-	}
-
-	if err := s.state.Allocate(j.ID, placement.GPUs, placement.BusDemand, j.Traits()); err != nil {
-		return Decision{Job: j, Postponed: true, Reason: "no-capacity"}
-	}
-	return Decision{
-		Job:         j,
-		Placement:   placement,
-		SLOViolated: placement.Utility < j.MinUtility,
-	}
-}
-
-// clusterIdle reports whether no job is currently running.
-func (s *Scheduler) clusterIdle() bool { return len(s.state.Jobs()) == 0 }
-
-// filterHosts implements filterHostsByConstraints (Algorithm 1): machines
-// with enough free GPUs and enough uncommitted shared-bus bandwidth for
-// the job. Returned machine indices are ascending.
-func (s *Scheduler) filterHosts(j *job.Job) []int {
-	topo := s.state.Topology()
-	demand := estimateDemand(j, s.state)
-	hosts := s.hostScratch[:0]
-	for m := 0; m < topo.NumMachines(); m++ {
-		if s.state.FreeCountOnMachine(m) < minGPUsPerHost(j) {
-			continue
-		}
-		if s.state.FreeBusBandwidth(m) < demand {
-			continue
-		}
-		hosts = append(hosts, m)
-	}
-	s.hostScratch = hosts
-	return hosts
-}
-
-// minGPUsPerHost is the minimum free GPUs a host must offer to be a
-// candidate: all of them for single-node jobs, one otherwise.
-func minGPUsPerHost(j *job.Job) int {
-	if j.SingleNode {
-		return j.GPUs
-	}
-	return 1
-}
-
-// estimateDemand conservatively estimates the job's shared-bus demand
-// using its best-case allocation on the empty topology.
-func estimateDemand(j *job.Job, st *cluster.State) float64 {
-	topo := st.Topology()
-	g := j.GPUs
-	if n := topo.NumGPUs(); g > n {
-		g = n
-	}
-	return perfmodel.BusDemand(j.Model, j.BatchSize, topo, topo.BestAllocation(g))
+	return schedcore.New(policy, state, mapper)
 }

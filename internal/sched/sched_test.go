@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"encoding/json"
 	"testing"
 
 	"gputopo/internal/cluster"
@@ -11,312 +12,47 @@ import (
 	"gputopo/internal/topology"
 )
 
-func newSched(t *testing.T, policy Policy, topo *topology.Topology) *Scheduler {
-	t.Helper()
-	st := cluster.NewState(topo)
+// TestAdapterConstructsWorkingScheduler pins the compatibility surface:
+// the historical sched.New + Policy constants drive the schedcore
+// implementation end to end.
+func TestAdapterConstructsWorkingScheduler(t *testing.T) {
+	topo := topology.Power8Minsky()
 	m, err := core.NewMapper(profile.Generate(topo, topo.NumGPUs()), core.DefaultWeights())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(policy, st, m)
-}
-
-func mkJob(id string, batch, gpus int, minU, arrival float64) *job.Job {
-	return job.New(id, perfmodel.AlexNet, batch, gpus, minU, arrival)
-}
-
-func TestPolicyStringAndParse(t *testing.T) {
-	for _, p := range AllPolicies() {
-		got, err := ParsePolicy(p.String())
-		if err != nil || got != p {
-			t.Fatalf("round trip %v: %v, %v", p, got, err)
-		}
-	}
-	if _, err := ParsePolicy("random"); err == nil {
-		t.Fatal("unknown policy accepted")
-	}
-	if Policy(9).String() == "" {
-		t.Fatal("unknown policy must render")
-	}
-	if len(AllPolicies()) != 4 {
-		t.Fatal("expected four policies")
-	}
-}
-
-func TestSubmitValidation(t *testing.T) {
-	s := newSched(t, FCFS, topology.Power8Minsky())
-	if err := s.Submit(mkJob("", 1, 1, 0.3, 0)); err == nil {
-		t.Fatal("invalid job accepted")
-	}
-	if err := s.Submit(mkJob("a", 1, 1, 0.3, 5)); err != nil {
-		t.Fatal(err)
-	}
-	if s.QueueLen() != 1 {
-		t.Fatalf("queue = %d", s.QueueLen())
-	}
-}
-
-func TestQueueSortedByArrival(t *testing.T) {
-	s := newSched(t, FCFS, topology.Power8Minsky())
-	_ = s.Submit(mkJob("late", 1, 1, 0.3, 10))
-	_ = s.Submit(mkJob("early", 1, 1, 0.3, 1))
-	q := s.Queued()
-	if q[0].ID != "early" || q[1].ID != "late" {
-		t.Fatalf("queue order: %v, %v", q[0].ID, q[1].ID)
-	}
-}
-
-func TestFCFSPlacesFirstFreeGPUs(t *testing.T) {
-	s := newSched(t, FCFS, topology.Power8Minsky())
-	_ = s.Submit(mkJob("a", 1, 2, 0.0, 0))
-	ds := s.Schedule()
-	if len(ds) != 1 || ds[0].Postponed {
-		t.Fatalf("decisions = %+v", ds)
-	}
-	got := ds[0].Placement.GPUs
-	if got[0] != 0 || got[1] != 1 {
-		t.Fatalf("FCFS GPUs = %v, want [0 1]", got)
-	}
-}
-
-func TestBestFitPrefersUsedSocket(t *testing.T) {
-	s := newSched(t, BestFit, topology.Power8Minsky())
-	// Occupy GPU0 (socket 0).
-	if err := s.State().Allocate("occ", []int{0}, 0, perfmodel.Traits{}); err != nil {
-		t.Fatal(err)
-	}
-	_ = s.Submit(mkJob("a", 1, 1, 0.0, 0))
-	ds := s.Schedule()
-	if ds[0].Postponed {
-		t.Fatal("postponed unexpectedly")
-	}
-	// Bin packing: the most-used socket (socket 0) is filled first.
-	if got := ds[0].Placement.GPUs[0]; got != 1 {
-		t.Fatalf("BF chose GPU %d, want 1 (socket 0)", got)
-	}
-}
-
-func TestBestFitTightestMachineFirst(t *testing.T) {
-	topo := topology.Cluster(2, topology.KindMinsky)
-	s := newSched(t, BestFit, topo)
-	// Machine 0 has 3 free GPUs, machine 1 has 4.
-	if err := s.State().Allocate("occ", []int{0}, 0, perfmodel.Traits{}); err != nil {
-		t.Fatal(err)
-	}
-	_ = s.Submit(mkJob("a", 1, 2, 0.0, 0))
-	ds := s.Schedule()
-	ms := s.State().MachinesOf(ds[0].Placement.GPUs)
-	if len(ms) != 1 || ms[0] != 0 {
-		t.Fatalf("BF machines = %v, want tightest machine 0", ms)
-	}
-}
-
-func TestTopoAwarePacksPair(t *testing.T) {
-	s := newSched(t, TopoAware, topology.Power8Minsky())
-	_ = s.Submit(mkJob("a", 1, 2, 0.5, 0))
-	ds := s.Schedule()
-	p := ds[0].Placement
-	if !s.State().Topology().SameSocket(p.GPUs[0], p.GPUs[1]) {
-		t.Fatalf("TOPO-AWARE placement %v not packed", p.GPUs)
-	}
-	if !p.P2P {
-		t.Fatal("expected P2P placement")
-	}
-}
-
-func TestInOrderPoliciesBlockOnHead(t *testing.T) {
-	for _, pol := range []Policy{FCFS, BestFit, TopoAware} {
-		s := newSched(t, pol, topology.Power8Minsky())
-		// Take 3 GPUs so only one remains.
-		if err := s.State().Allocate("occ", []int{0, 1, 2}, 0, perfmodel.Traits{}); err != nil {
-			t.Fatal(err)
-		}
-		_ = s.Submit(mkJob("big", 1, 2, 0.0, 0))   // cannot fit
-		_ = s.Submit(mkJob("small", 1, 1, 0.0, 1)) // could fit, but is behind
-		s.Schedule()
-		if got := s.State().Owner(3); got != "" {
-			t.Fatalf("[%v] head-of-line blocking violated: GPU3 given to %q", pol, got)
-		}
-		if s.QueueLen() != 2 {
-			t.Fatalf("[%v] queue = %d, want 2", pol, s.QueueLen())
-		}
-	}
-}
-
-func TestTopoAwarePSkipsBlockedHead(t *testing.T) {
-	s := newSched(t, TopoAwareP, topology.Power8Minsky())
-	if err := s.State().Allocate("occ", []int{0, 1, 2}, 0, perfmodel.Traits{}); err != nil {
-		t.Fatal(err)
-	}
-	_ = s.Submit(mkJob("big", 1, 2, 0.0, 0))
-	_ = s.Submit(mkJob("small", 1, 1, 0.0, 1))
-	s.Schedule()
-	// Out-of-order execution: the single-GPU job runs past the blocked head.
-	if got := s.State().Owner(3); got != "small" {
-		t.Fatalf("out-of-order execution failed: GPU3 owned by %q", got)
-	}
-	if s.QueueLen() != 1 {
-		t.Fatalf("queue = %d, want 1 (big still waiting)", s.QueueLen())
-	}
-}
-
-func TestTopoAwarePPostponesLowUtility(t *testing.T) {
-	s := newSched(t, TopoAwareP, topology.Power8Minsky())
-	// Occupy one GPU per socket so only a cross-socket pair remains.
-	if err := s.State().Allocate("occ", []int{1, 3}, 0,
-		perfmodel.Traits{Model: perfmodel.GoogLeNet, Class: 3, GPUs: 1}); err != nil {
-		t.Fatal(err)
-	}
-	// A communication-hungry 2-GPU job with the Table 1 threshold 0.5:
-	// the only placement is {0, 2} (cross-socket), scoring below 0.5.
-	_ = s.Submit(mkJob("comm", 4, 2, 0.5, 0))
-	ds := s.Schedule()
-	if !ds[0].Postponed || ds[0].Reason != "low-utility" {
-		t.Fatalf("decision = %+v, want low-utility postponement", ds[0])
-	}
-	if s.QueueLen() != 1 {
-		t.Fatal("job left the queue")
-	}
-	if s.Stats().Postponements == 0 {
-		t.Fatal("postponement not counted")
-	}
-}
-
-func TestTopoAwarePlacesLowUtilityAnyway(t *testing.T) {
-	s := newSched(t, TopoAware, topology.Power8Minsky())
-	if err := s.State().Allocate("occ", []int{1, 3}, 0,
-		perfmodel.Traits{Model: perfmodel.GoogLeNet, Class: 3, GPUs: 1}); err != nil {
-		t.Fatal(err)
-	}
-	_ = s.Submit(mkJob("comm", 4, 2, 0.5, 0))
-	ds := s.Schedule()
-	if ds[0].Postponed {
-		t.Fatal("TOPO-AWARE must place when resources are available")
-	}
-	if !ds[0].SLOViolated {
-		t.Fatal("placement below the job's minimum utility must be flagged")
-	}
-	if s.Stats().SLOViolations != 1 {
-		t.Fatalf("violations = %d", s.Stats().SLOViolations)
-	}
-}
-
-func TestTopoAwarePIdleClusterEscape(t *testing.T) {
-	// On an idle cluster no future placement can be better, so even a
-	// below-threshold job is placed best-effort (deadlock avoidance).
-	topo := topology.Power8Minsky()
-	s := newSched(t, TopoAwareP, topo)
-	j := mkJob("impossible", 1, 2, 0.999, 0)
-	_ = s.Submit(j)
-	ds := s.Schedule()
-	if ds[0].Postponed {
-		t.Fatal("idle-cluster escape did not fire")
-	}
-}
-
-func TestReleaseFreesResources(t *testing.T) {
-	s := newSched(t, FCFS, topology.Power8Minsky())
-	_ = s.Submit(mkJob("a", 1, 4, 0.0, 0))
-	s.Schedule()
-	if s.State().FreeGPUCount() != 0 {
-		t.Fatal("allocation missing")
-	}
-	if err := s.Release("a"); err != nil {
-		t.Fatal(err)
-	}
-	if s.State().FreeGPUCount() != 4 {
-		t.Fatal("release did not free")
-	}
-	if err := s.Release("a"); err == nil {
-		t.Fatal("double release accepted")
-	}
-}
-
-func TestScheduleStats(t *testing.T) {
-	s := newSched(t, FCFS, topology.Power8Minsky())
-	_ = s.Submit(mkJob("a", 1, 2, 0.0, 0))
-	_ = s.Submit(mkJob("b", 1, 2, 0.0, 1))
-	_ = s.Submit(mkJob("c", 1, 2, 0.0, 2)) // cannot fit after a and b
-	s.Schedule()
-	st := s.Stats()
-	if st.Placements != 2 {
-		t.Fatalf("placements = %d", st.Placements)
-	}
-	if st.Postponements != 1 {
-		t.Fatalf("postponements = %d", st.Postponements)
-	}
-	if st.MeanDecisionTime() <= 0 {
-		t.Fatal("decision time not measured")
-	}
-	// Stats on an empty scheduler divide safely.
-	var zero Stats
-	if zero.MeanDecisionTime() != 0 {
-		t.Fatal("zero stats mean decision time should be 0")
-	}
-}
-
-func TestMultiNodeJobSpansMachines(t *testing.T) {
-	topo := topology.Cluster(2, topology.KindMinsky)
-	s := newSched(t, TopoAware, topo)
-	// Fill all of machine 0 and half of machine 1: a 6-GPU multi-node
-	// job must span machines.
-	j := mkJob("wide", 128, 6, 0.0, 0)
-	j.SingleNode = false
-	_ = s.Submit(j)
-	ds := s.Schedule()
-	if ds[0].Postponed {
-		t.Fatalf("multi-node placement failed: %+v", ds[0])
-	}
-	ms := s.State().MachinesOf(ds[0].Placement.GPUs)
-	if len(ms) != 2 {
-		t.Fatalf("6-GPU job spans %v machines, want 2", ms)
-	}
-}
-
-func TestSingleNodeJobNeverSpans(t *testing.T) {
-	topo := topology.Cluster(2, topology.KindMinsky)
 	for _, pol := range AllPolicies() {
-		s := newSched(t, pol, topo)
-		// 2 free on machine 0, 3 free on machine 1: a 4-GPU single-node
-		// job cannot be placed even though 5 GPUs are free in total.
-		if err := s.State().Allocate("o1", []int{0, 1}, 0, perfmodel.Traits{}); err != nil {
+		s := New(pol, cluster.NewState(topo), m)
+		if s.Policy() != pol {
+			t.Fatalf("policy = %v, want %v", s.Policy(), pol)
+		}
+		if err := s.Submit(job.New("j", perfmodel.AlexNet, 1, 2, 0.0, 0)); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.State().Allocate("o2", []int{4}, 0, perfmodel.Traits{}); err != nil {
-			t.Fatal(err)
-		}
-		_ = s.Submit(mkJob("sn", 1, 4, 0.0, 0))
 		ds := s.Schedule()
-		// The capacity gate skips the job without a decision record, or
-		// the policy records a postponement; either way nothing is placed.
-		if len(ds) > 0 && !ds[0].Postponed {
-			t.Fatalf("[%v] single-node constraint violated: %v", pol, ds[0].Placement.GPUs)
+		if len(ds) != 1 || ds[0].Postponed {
+			t.Fatalf("[%v] decisions = %+v", pol, ds)
 		}
-		if s.QueueLen() != 1 {
-			t.Fatalf("[%v] queue = %d, want 1", pol, s.QueueLen())
+		if err := s.Release("j"); err != nil {
+			t.Fatal(err)
 		}
 	}
 }
 
-func TestCapacityGateSkipsEvaluation(t *testing.T) {
-	s := newSched(t, TopoAwareP, topology.Power8Minsky())
-	if err := s.State().Allocate("occ", []int{0, 1, 2, 3}, 0, perfmodel.Traits{}); err != nil {
-		t.Fatal(err)
+// TestPolicyJSONRoundTrip keeps the sweep-artifact encoding stable
+// through the alias.
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	for _, p := range AllPolicies() {
+		js, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Policy
+		if err := json.Unmarshal(js, &back); err != nil || back != p {
+			t.Fatalf("round trip %v via %s: %v, %v", p, js, back, err)
+		}
 	}
-	_ = s.Submit(mkJob("a", 1, 1, 0.0, 0))
-	ds := s.Schedule()
-	// Gate fires before tryPlace: a no-capacity postponement is reported
-	// but no placement evaluation is timed or counted.
-	if len(ds) != 1 || !ds[0].Postponed || ds[0].Reason != "no-capacity" {
-		t.Fatalf("decisions = %+v, want one no-capacity postponement", ds)
-	}
-	if s.QueueLen() != 1 {
-		t.Fatal("job dropped by the capacity gate")
-	}
-	if s.Stats().Decisions != 0 {
-		t.Fatal("gated job counted as a timed decision")
-	}
-	if s.Stats().Postponements != 1 {
-		t.Fatal("gated job not counted as postponed")
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
 	}
 }

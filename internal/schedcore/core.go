@@ -1,0 +1,721 @@
+// Package schedcore is the driver-agnostic scheduling core of §4.4
+// (Algorithm 1): queue management, the epoch-gated placement loop, the
+// wake-up index and the four placement policies of §5, behind a small
+// Core API (Submit / Release / Schedule / Stats) with a pluggable Clock
+// and QueueDiscipline.
+//
+// The core is deliberately pure: it performs no I/O, reads time only
+// through its Clock (decision-latency instrumentation excepted), and is
+// a deterministic function of the submission/release sequence and the
+// cluster state. That is what lets two very different drivers share it
+// bit for bit — the discrete-event simulator (internal/simulator) drives
+// it with a virtual ManualClock, and the real-time serving front-end
+// (cmd/toposerve) drives it with a wall Clock from a single-writer event
+// loop. The core itself is not safe for concurrent use; exactly one
+// goroutine may call its methods.
+package schedcore
+
+import (
+	"slices"
+	"sort"
+	"time"
+
+	"gputopo/internal/cluster"
+	"gputopo/internal/core"
+	"gputopo/internal/job"
+	"gputopo/internal/perfmodel"
+)
+
+// Decision records the outcome of one placement attempt.
+type Decision struct {
+	Job       *job.Job
+	Placement *core.Placement // nil when postponed
+	// Postponed is true when the job stayed in the queue this round.
+	Postponed bool
+	// Reason explains a postponement ("no-capacity", "low-utility").
+	Reason string
+	// SLOViolated is true when the job was placed with a utility below
+	// its declared minimum (greedy policies and TOPO-AWARE do this;
+	// TOPO-AWARE-P by construction does not, except on an idle cluster
+	// where no better placement can ever exist).
+	SLOViolated bool
+	// Time is the Clock reading at the Schedule call that produced the
+	// decision: virtual seconds under the simulator, wall seconds since
+	// server start under toposerve.
+	Time float64
+	// Postponements, set on placement decisions only, is the number of
+	// scheduling rounds the job waited in the queue before this
+	// placement. It is computed from the round counters, so it is
+	// identical whether the wake-up index skipped the job's doomed
+	// re-evaluations or a full queue walk replayed them.
+	Postponements int
+}
+
+// Stats accumulates scheduler bookkeeping, including the decision-time
+// measurements reported in §5.5.3.
+type Stats struct {
+	Decisions     int
+	Placements    int
+	Postponements int
+	SLOViolations int
+	// GateSkips counts queued jobs whose placement evaluation was skipped
+	// because the cluster epoch had not moved since their last failed
+	// attempt (version-gated rescheduling). Each skip replays the memoized
+	// postponement decision instead of re-running the placement policy.
+	GateSkips int
+	// WakeSkips counts queued jobs the wake-up index left parked during a
+	// Schedule call: capacity-blocked jobs whose wake-up key (the smallest
+	// free-GPU count that could unblock them) the cluster had not reached,
+	// so no decision record was materialized for them at all. They still
+	// count as Postponements — the aggregate stays identical to a full
+	// queue walk — but cost O(1) in bulk instead of O(1) each.
+	WakeSkips    int
+	DecisionTime time.Duration // total time spent deciding
+	MaxDecision  time.Duration
+}
+
+// MeanDecisionTime returns the average time per placement decision.
+func (s Stats) MeanDecisionTime() time.Duration {
+	if s.Decisions == 0 {
+		return 0
+	}
+	return s.DecisionTime / time.Duration(s.Decisions)
+}
+
+// failedAttempt memoizes the outcome of a failed placement attempt: the
+// cluster epoch it was evaluated at and the postponement reason it
+// produced. Until an Allocate or Release moves the epoch, re-evaluating
+// the job is guaranteed to reproduce exactly this decision, so the
+// scheduler replays it instead of re-running the placement policy.
+type failedAttempt struct {
+	epoch  uint64
+	reason string
+}
+
+// entry is one queued job plus the bookkeeping the core keeps per job:
+// the submission sequence (tie-break of the queue discipline), the round
+// the job entered the queue (postponement accounting), and the count of
+// explicitly emitted postponement decisions (in-order policies).
+type entry struct {
+	job        *job.Job
+	seq        int
+	enterRound int
+	postponed  int
+	// parked is a transient flag: examine sets it when it files the entry
+	// into a wake-up bucket, so the indexed walk knows not to keep the
+	// entry on the active list too. Reset on every examine.
+	parked bool
+}
+
+// Core owns the waiting queue and the cluster allocation state. Build one
+// with New; drive it from exactly one goroutine.
+type Core struct {
+	policy Policy
+	state  *cluster.State
+	mapper *core.Mapper
+	clock  Clock
+	disc   QueueDiscipline
+
+	// queue is the single ordered wait list of the full-walk path: the
+	// in-order policies (FCFS, BF, TOPO-AWARE), and TOPO-AWARE-P with the
+	// wake-up index disabled. Kept sorted by the discipline (§4.4:
+	// arrival order avoids starvation).
+	queue []entry
+
+	// Wake-up index (TOPO-AWARE-P with the index enabled). active holds
+	// the jobs that must be re-examined whenever the cluster state moves:
+	// new submissions and jobs whose last failure was a placement-policy
+	// outcome (low utility, constraint infeasibility) rather than raw
+	// capacity. parkedSingle/parkedMulti hold the capacity-blocked jobs,
+	// bucketed by their wake-up key — the smallest free-GPU count
+	// (largest-free-machine count for single-node jobs, cluster-wide
+	// count for multi-node ones) that could possibly unblock them — as
+	// queue-order min-heaps. A Schedule call pops a bucket only while
+	// the capacity its key demands is actually there, so a release
+	// reschedules O(affected) jobs instead of waking (and re-parking)
+	// whole buckets or walking the whole queue.
+	active       []entry
+	parkedSingle map[int]*entryHeap
+	parkedMulti  map[int]*entryHeap
+	nParked      int
+	indexOff     bool
+
+	seq    int // next submission sequence number
+	rounds int // completed Schedule calls
+
+	stats Stats
+	// lastFailed holds the version-gate memo per queued job ID. Entries
+	// are dropped when the job places (it leaves the queue). gateOff
+	// disables the gate — only the on/off equivalence tests use it.
+	lastFailed map[string]failedAttempt
+	gateOff    bool
+
+	// decBuf and decPtrs are the reusable decision buffers: at scenario-2
+	// queue depths every event produces many postponement decisions, and
+	// allocating them fresh per Schedule call dominated the scheduler's
+	// allocation profile. The returned slice is valid until the next
+	// Schedule call.
+	decBuf  []Decision
+	decPtrs []*Decision
+	// freeScratch and hostScratch are reused by the placement policies
+	// for candidate GPU and host lists; evalScratch double-buffers the
+	// active list across indexed Schedule rounds. Their contents are
+	// dead once the owning call returns.
+	freeScratch []int
+	hostScratch []int
+	evalScratch []entry
+}
+
+// Option configures a Core at construction.
+type Option func(*Core)
+
+// WithClock sets the core's clock (default: a ManualClock at 0).
+func WithClock(clk Clock) Option { return func(c *Core) { c.clock = clk } }
+
+// WithQueueDiscipline sets the queue ordering (default: FIFOByArrival).
+func WithQueueDiscipline(d QueueDiscipline) Option { return func(c *Core) { c.disc = d } }
+
+// New returns a core with the given policy over the state. The mapper is
+// required for the topology-aware policies and used by the greedy ones
+// only to score their decisions for the metrics.
+func New(policy Policy, state *cluster.State, mapper *core.Mapper, opts ...Option) *Core {
+	// The parked buckets materialize lazily on the first park: only
+	// TOPO-AWARE-P ever uses them, and a scheduler-per-decision
+	// micro-benchmark should not pay for maps it never touches.
+	c := &Core{
+		policy:     policy,
+		state:      state,
+		mapper:     mapper,
+		lastFailed: map[string]failedAttempt{},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.clock == nil {
+		c.clock = zeroClock{}
+	}
+	if c.disc == nil {
+		c.disc = FIFOByArrival()
+	}
+	return c
+}
+
+// SetEpochGate toggles the version-gated rescheduling (on by default).
+// Gating never changes decisions — a placement attempt is a deterministic
+// function of the cluster state, and the gate only skips attempts whose
+// state provably has not changed — so the switch exists for the
+// equivalence tests that prove exactly that, and as an escape hatch.
+func (c *Core) SetEpochGate(enabled bool) { c.gateOff = !enabled }
+
+// SetWakeIndex toggles the wake-up index (on by default; only
+// TOPO-AWARE-P uses it — the in-order policies stop at the first blocked
+// job, so their walks are already O(affected)). Like the epoch gate, the
+// index never changes aggregate results: the equivalence tests prove
+// artifacts byte-identical either way. Toggling mid-run migrates the
+// queued jobs between the two representations.
+func (c *Core) SetWakeIndex(enabled bool) {
+	if c.indexOff == !enabled {
+		return
+	}
+	wasIndexed := c.indexed()
+	c.indexOff = !enabled
+	if c.policy != TopoAwareP {
+		return
+	}
+	if wasIndexed && !c.indexed() {
+		// Flush active + parked back into the single queue.
+		c.queue = append(c.queue, c.active...)
+		c.active = c.active[:0]
+		for g, h := range c.parkedSingle {
+			c.queue = append(c.queue, h.es...)
+			delete(c.parkedSingle, g)
+		}
+		for g, h := range c.parkedMulti {
+			c.queue = append(c.queue, h.es...)
+			delete(c.parkedMulti, g)
+		}
+		c.nParked = 0
+		c.sortEntries(c.queue)
+	} else if !wasIndexed && c.indexed() {
+		c.active = append(c.active, c.queue...)
+		c.queue = c.queue[:0]
+		c.sortEntries(c.active)
+	}
+}
+
+// indexed reports whether the wake-up index drives Schedule.
+func (c *Core) indexed() bool { return c.policy == TopoAwareP && !c.indexOff }
+
+// Policy returns the core's placement policy.
+func (c *Core) Policy() Policy { return c.policy }
+
+// State returns the cluster allocation state the core mutates.
+func (c *Core) State() *cluster.State { return c.state }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Now returns the core's clock reading — virtual time under a
+// ManualClock driver, wall seconds under WallClock.
+func (c *Core) Now() float64 { return c.clock.Now() }
+
+// entryCmp orders entries by the queue discipline, submission order on
+// ties — exactly the order a stable arrival sort of the append-ordered
+// queue produces.
+func (c *Core) entryCmp(a, b entry) int {
+	if c.disc.Less(a.job, b.job) {
+		return -1
+	}
+	if c.disc.Less(b.job, a.job) {
+		return 1
+	}
+	return a.seq - b.seq
+}
+
+func (c *Core) sortEntries(es []entry) {
+	slices.SortFunc(es, c.entryCmp)
+}
+
+// insertOrdered appends e, re-sorting only when e is out of order — jobs
+// arriving in discipline order (the common case, driven by event loops
+// and monotonic wall clocks) insert in O(1).
+func (c *Core) insertOrdered(q []entry, e entry) []entry {
+	needSort := len(q) > 0 && c.disc.Less(e.job, q[len(q)-1].job)
+	q = append(q, e)
+	if needSort {
+		sort.SliceStable(q, func(i, k int) bool {
+			return c.disc.Less(q[i].job, q[k].job)
+		})
+	}
+	return q
+}
+
+// Submit enqueues a job.
+func (c *Core) Submit(j *job.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	e := entry{job: j, seq: c.seq, enterRound: c.rounds}
+	c.seq++
+	if c.indexed() {
+		// New jobs are always active: they have never been evaluated, so
+		// no wake-up key is known for them yet.
+		c.active = c.insertOrdered(c.active, e)
+	} else {
+		c.queue = c.insertOrdered(c.queue, e)
+	}
+	return nil
+}
+
+// QueueLen returns the number of waiting jobs.
+func (c *Core) QueueLen() int {
+	if c.indexed() {
+		return len(c.active) + c.nParked
+	}
+	return len(c.queue)
+}
+
+// Queued returns the waiting jobs in queue order. Under the wake-up
+// index this merges the active and parked sets (O(n log n)); it is a
+// reporting accessor, not a hot path.
+func (c *Core) Queued() []*job.Job {
+	var es []entry
+	if c.indexed() {
+		es = make([]entry, 0, c.QueueLen())
+		es = append(es, c.active...)
+		for _, h := range c.parkedSingle {
+			es = append(es, h.es...)
+		}
+		for _, h := range c.parkedMulti {
+			es = append(es, h.es...)
+		}
+		c.sortEntries(es)
+	} else {
+		es = c.queue
+	}
+	out := make([]*job.Job, len(es))
+	for i, e := range es {
+		out[i] = e.job
+	}
+	return out
+}
+
+// Release frees the allocation of a finished job.
+func (c *Core) Release(jobID string) error { return c.state.Release(jobID) }
+
+// Withdraw removes a still-queued job (it never placed) from the queue
+// and the wake-up index — the serving front-end's cancellation path. It
+// returns false when no queued job has the ID.
+func (c *Core) Withdraw(jobID string) bool {
+	remove := func(es []entry) ([]entry, bool) {
+		for i := range es {
+			if es[i].job.ID == jobID {
+				return append(es[:i], es[i+1:]...), true
+			}
+		}
+		return es, false
+	}
+	removeParked := func(buckets map[int]*entryHeap) bool {
+		for g, h := range buckets {
+			if c.heapRemoveByID(h, jobID) {
+				c.nParked--
+				if h.Len() == 0 {
+					delete(buckets, g)
+				}
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	if c.indexed() {
+		if c.active, found = remove(c.active); !found {
+			found = removeParked(c.parkedSingle) || removeParked(c.parkedMulti)
+		}
+	} else {
+		c.queue, found = remove(c.queue)
+	}
+	if found {
+		delete(c.lastFailed, jobID)
+	}
+	return found
+}
+
+// Schedule runs one iteration of Algorithm 1: it examines the waiting
+// queue in discipline order, attempting to place each job, and returns
+// the decisions made. Jobs that cannot be placed stay queued. The
+// in-order policies (FCFS, BF, TOPO-AWARE) stop at the first job blocked
+// on capacity, preserving FIFO fairness; TOPO-AWARE-P skips postponed
+// jobs and continues (out-of-order execution, §4.4).
+//
+// Version gate: a failed attempt is memoized with the cluster epoch it
+// saw. While the epoch stands still the attempt would reproduce the exact
+// same postponement, so the gate replays the memoized decision instead of
+// re-running the placement policy.
+//
+// Wake-up index (TOPO-AWARE-P): capacity-blocked jobs are parked under
+// the smallest free-GPU count that could unblock them and are not even
+// visited — much less given decision records — until the cluster reaches
+// it, making events O(affected) instead of O(queue). Parked-and-skipped
+// jobs still count as postponements in bulk, so Stats (and every
+// artifact metric) is bit-identical with the index on or off; only the
+// returned decision stream omits their replayed records.
+//
+// The returned slice and the decisions it points to are reused by the
+// next Schedule call — consume them before scheduling again (the
+// simulation engines do).
+func (c *Core) Schedule() []*Decision {
+	c.rounds++
+	c.decBuf = c.decBuf[:0]
+	now := c.clock.Now()
+	if c.indexed() {
+		c.scheduleIndexed(now)
+	} else {
+		c.scheduleWalk(now)
+	}
+	// Build the pointer view only after the value buffer stopped growing:
+	// append may relocate decBuf, so taking addresses mid-walk would hand
+	// out dangling pointers.
+	c.decPtrs = c.decPtrs[:0]
+	for i := range c.decBuf {
+		c.decPtrs = append(c.decPtrs, &c.decBuf[i])
+	}
+	return c.decPtrs
+}
+
+// waited returns the placement-decision postponement count for e: the
+// number of completed scheduling rounds the job sat in the queue. For
+// TOPO-AWARE-P a full walk emits exactly one postponement decision per
+// queued job per round, so this equals the emitted count; the in-order
+// policies skip the jobs behind a blocked head, so they report the
+// explicitly emitted count instead.
+func (c *Core) waited(e *entry) int {
+	if c.policy == TopoAwareP {
+		return c.rounds - 1 - e.enterRound
+	}
+	return e.postponed
+}
+
+// scheduleWalk is the full-queue path: the in-order policies, and
+// TOPO-AWARE-P with the wake-up index disabled. Surviving jobs are
+// compacted into the queue's own backing array: keep < idx always holds,
+// so the write never clobbers an unread entry.
+func (c *Core) scheduleWalk(now float64) {
+	keep := 0
+	blocked := false
+	for idx := range c.queue {
+		e := &c.queue[idx]
+		if blocked {
+			keep += copy(c.queue[keep:], c.queue[idx:])
+			break
+		}
+		placed := c.examine(e, now)
+		if !placed {
+			c.queue[keep] = *e
+			keep++
+			if c.policy != TopoAwareP {
+				blocked = true
+			}
+		}
+	}
+	// Clear the dropped tail so placed jobs do not linger in the backing
+	// array and keep their allocations reachable.
+	for i := keep; i < len(c.queue); i++ {
+		c.queue[i] = entry{}
+	}
+	c.queue = c.queue[:keep]
+}
+
+// scheduleIndexed is the wake-up-index path (TOPO-AWARE-P only). It
+// merge-walks the active list against the heads of the parked buckets in
+// exact queue order, but consults a bucket only while the capacity its
+// wake-up key demands is actually there — so a parked job is popped only
+// when its availableResources gate is about to pass, and a release event
+// costs O(active + unblocked) instead of O(queue).
+//
+// Decision-equivalence: capacity only shrinks during the walk (Schedule
+// never releases), so a bucket whose key exceeds the current capacity is
+// guaranteed to fail the O(1) gate at this and every later position of a
+// full walk — its jobs would each receive a rubber-stamp no-capacity
+// postponement and stay queued. The index skips materializing those
+// records and accounts them in bulk, which keeps Stats (and every
+// artifact metric) bit-identical to the full walk.
+func (c *Core) scheduleIndexed(now float64) {
+	queueLen := c.QueueLen()
+	next := c.evalScratch[:0] // survivors that stay active, in queue order
+	ai := 0
+	for {
+		// Candidates: the next active entry and the head of every bucket
+		// the *current* capacity reaches. Re-reading the capacity per pick
+		// is what makes mid-walk placements gate later picks exactly like
+		// the full walk's per-position check. The map iteration order is
+		// irrelevant: the queue-order minimum wins regardless of the order
+		// the candidates are inspected in.
+		curMax := c.state.MaxFreeGPUs()
+		curTotal := c.state.FreeGPUCount()
+		var best *entry
+		var bestHeap *entryHeap
+		var bestKey int
+		var bestSingle bool
+		if ai < len(c.active) {
+			best = &c.active[ai]
+		}
+		consider := func(h *entryHeap, key int, single bool) {
+			if head := h.peek(); best == nil || c.entryCmp(*head, *best) < 0 {
+				best, bestHeap, bestKey, bestSingle = head, h, key, single
+			}
+		}
+		for g, h := range c.parkedSingle {
+			if g <= curMax {
+				consider(h, g, true)
+			}
+		}
+		for g, h := range c.parkedMulti {
+			if g <= curTotal {
+				consider(h, g, false)
+			}
+		}
+		if best == nil {
+			break
+		}
+		var e entry
+		if bestHeap != nil {
+			e = c.heapPop(bestHeap)
+			c.nParked--
+			if bestHeap.Len() == 0 {
+				if bestSingle {
+					delete(c.parkedSingle, bestKey)
+				} else {
+					delete(c.parkedMulti, bestKey)
+				}
+			}
+		} else {
+			e = c.active[ai]
+			ai++
+		}
+		if !c.examine(&e, now) {
+			// A popped bucket entry passed its capacity gate by
+			// construction, so examine either placed it or moved it to the
+			// memo'd active set; an active entry may also have just parked
+			// itself (examine pushed it into a — now ineligible — bucket).
+			if !e.parked {
+				next = append(next, e)
+			}
+		}
+	}
+	// Zero the recycled buffer before swapping so placed jobs do not
+	// linger reachable through its backing array (the walk path clears
+	// its dropped tail for the same reason).
+	old := c.active
+	clear(old)
+	c.active, c.evalScratch = next, old[:0]
+
+	// Bulk accounting for the jobs the index never visited: a full walk
+	// would have given each one a no-capacity (or replayed) postponement
+	// decision this round. Every visited job appended exactly one
+	// decision, so the skip count falls out of the buffer length.
+	skipped := queueLen - len(c.decBuf)
+	c.stats.Postponements += skipped
+	c.stats.WakeSkips += skipped
+}
+
+// examine runs the per-job step of Algorithm 1 on e: the O(1)
+// availableResources gate, the epoch-gate memo, and the placement policy.
+// It appends the job's decision to decBuf and updates stats. A job that
+// does not place stays with its caller — the walk path compacts the
+// queue, the indexed path keeps non-parked survivors active — except
+// that under the index a capacity-blocked job is filed straight into its
+// wake-up bucket here (and e.parked tells the caller so). Returns true
+// when the job placed.
+func (c *Core) examine(e *entry, now float64) bool {
+	j := e.job
+	e.parked = false
+	// availableResources(P) gate: skip the placement evaluation entirely
+	// when no machine (or, for multi-node jobs, the whole cluster) can
+	// hold the request. O(1) thanks to the cluster state's incremental
+	// free counters.
+	single := j.SingleNode
+	enough := c.state.MaxFreeGPUs() >= j.GPUs
+	if !single {
+		enough = c.state.FreeGPUCount() >= j.GPUs
+	}
+	if !enough {
+		c.stats.Postponements++
+		e.postponed++
+		c.decBuf = append(c.decBuf, Decision{Job: j, Postponed: true, Reason: "no-capacity", Time: now})
+		if c.indexed() {
+			// Park under the wake-up key: the free-GPU count that must be
+			// reached before the gate above can pass again. Buckets
+			// materialize lazily — only TOPO-AWARE-P ever pays for them.
+			e.parked = true
+			buckets := &c.parkedSingle
+			if !single {
+				buckets = &c.parkedMulti
+			}
+			if *buckets == nil {
+				*buckets = map[int]*entryHeap{}
+			}
+			h := (*buckets)[j.GPUs]
+			if h == nil {
+				h = &entryHeap{}
+				(*buckets)[j.GPUs] = h
+			}
+			c.heapPush(h, *e)
+			c.nParked++
+		}
+		return false
+	}
+
+	if memo, ok := c.lastFailed[j.ID]; !c.gateOff && ok && memo.epoch == c.state.Epoch() {
+		// Version gate hit: nothing changed since this job last failed
+		// to place, so replay the memoized postponement verbatim.
+		c.stats.GateSkips++
+		c.stats.Postponements++
+		e.postponed++
+		c.decBuf = append(c.decBuf, Decision{Job: j, Postponed: true, Reason: memo.reason, Time: now})
+		return false
+	}
+
+	start := time.Now()
+	d := c.tryPlace(j)
+	elapsed := time.Since(start)
+	c.stats.Decisions++
+	c.stats.DecisionTime += elapsed
+	if elapsed > c.stats.MaxDecision {
+		c.stats.MaxDecision = elapsed
+	}
+	d.Time = now
+	if d.Postponed {
+		c.lastFailed[j.ID] = failedAttempt{epoch: c.state.Epoch(), reason: d.Reason}
+		c.stats.Postponements++
+		e.postponed++
+		c.decBuf = append(c.decBuf, d)
+		return false
+	}
+	delete(c.lastFailed, j.ID)
+	c.stats.Placements++
+	if d.SLOViolated {
+		c.stats.SLOViolations++
+	}
+	d.Postponements = c.waited(e)
+	c.decBuf = append(c.decBuf, d)
+	return true
+}
+
+// tryPlace attempts to place one job according to the policy, committing
+// the allocation on success. It returns by value so Schedule can append
+// into its reusable decision buffer.
+func (c *Core) tryPlace(j *job.Job) Decision {
+	var placement *core.Placement
+	var err error
+	switch c.policy {
+	case FCFS:
+		placement, err = c.placeFCFS(j)
+	case BestFit:
+		placement, err = c.placeBestFit(j)
+	case TopoAware, TopoAwareP:
+		placement, err = c.placeTopoAware(j)
+	}
+	if err != nil {
+		return Decision{Job: j, Postponed: true, Reason: "no-capacity"}
+	}
+
+	if c.policy == TopoAwareP && placement.Utility < j.MinUtility && !c.clusterIdle() {
+		// Postpone: a better placement may open when jobs finish. On an
+		// idle cluster no future placement can beat this one, so place
+		// best-effort to avoid deadlock.
+		return Decision{Job: j, Postponed: true, Reason: "low-utility"}
+	}
+
+	if err := c.state.Allocate(j.ID, placement.GPUs, placement.BusDemand, j.Traits()); err != nil {
+		return Decision{Job: j, Postponed: true, Reason: "no-capacity"}
+	}
+	return Decision{
+		Job:         j,
+		Placement:   placement,
+		SLOViolated: placement.Utility < j.MinUtility,
+	}
+}
+
+// clusterIdle reports whether no job is currently running.
+func (c *Core) clusterIdle() bool { return len(c.state.Jobs()) == 0 }
+
+// filterHosts implements filterHostsByConstraints (Algorithm 1): machines
+// with enough free GPUs and enough uncommitted shared-bus bandwidth for
+// the job. Returned machine indices are ascending.
+func (c *Core) filterHosts(j *job.Job) []int {
+	topo := c.state.Topology()
+	demand := estimateDemand(j, c.state)
+	hosts := c.hostScratch[:0]
+	for m := 0; m < topo.NumMachines(); m++ {
+		if c.state.FreeCountOnMachine(m) < minGPUsPerHost(j) {
+			continue
+		}
+		if c.state.FreeBusBandwidth(m) < demand {
+			continue
+		}
+		hosts = append(hosts, m)
+	}
+	c.hostScratch = hosts
+	return hosts
+}
+
+// minGPUsPerHost is the minimum free GPUs a host must offer to be a
+// candidate: all of them for single-node jobs, one otherwise.
+func minGPUsPerHost(j *job.Job) int {
+	if j.SingleNode {
+		return j.GPUs
+	}
+	return 1
+}
+
+// estimateDemand conservatively estimates the job's shared-bus demand
+// using its best-case allocation on the empty topology.
+func estimateDemand(j *job.Job, st *cluster.State) float64 {
+	topo := st.Topology()
+	g := j.GPUs
+	if n := topo.NumGPUs(); g > n {
+		g = n
+	}
+	return perfmodel.BusDemand(j.Model, j.BatchSize, topo, topo.BestAllocation(g))
+}

@@ -1,0 +1,26 @@
+package schedcore
+
+import "gputopo/internal/job"
+
+// QueueDiscipline orders the waiting queue. Less reports whether a must
+// be served strictly before b; ties (neither Less(a,b) nor Less(b,a))
+// keep submission order, so a discipline only has to express priority,
+// not a total order. The discipline must be consistent for the lifetime
+// of the Core and must not mutate the jobs it compares.
+type QueueDiscipline interface {
+	// Name labels the discipline in state dumps and logs.
+	Name() string
+	Less(a, b *job.Job) bool
+}
+
+// fifoByArrival is the paper's §4.4 discipline: oldest arrival first,
+// submission order on ties. It is the default and the only discipline the
+// simulation artifacts are recorded under.
+type fifoByArrival struct{}
+
+// FIFOByArrival returns the default arrival-time FIFO discipline.
+func FIFOByArrival() QueueDiscipline { return fifoByArrival{} }
+
+func (fifoByArrival) Name() string { return "fifo-arrival" }
+
+func (fifoByArrival) Less(a, b *job.Job) bool { return a.Arrival < b.Arrival }

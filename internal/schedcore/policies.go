@@ -1,4 +1,4 @@
-package sched
+package schedcore
 
 import (
 	"fmt"
@@ -11,33 +11,33 @@ import (
 // placeFCFS is the First-Come-First-Served baseline of §5.2: the job at
 // the head of the FIFO queue receives the first free GPUs in index order,
 // with no topology consideration beyond the single-node constraint.
-func (s *Scheduler) placeFCFS(j *job.Job) (*core.Placement, error) {
+func (c *Core) placeFCFS(j *job.Job) (*core.Placement, error) {
 	if j.SingleNode {
-		topo := s.state.Topology()
+		topo := c.state.Topology()
 		for m := 0; m < topo.NumMachines(); m++ {
-			if s.state.FreeCountOnMachine(m) < j.GPUs {
+			if c.state.FreeCountOnMachine(m) < j.GPUs {
 				continue
 			}
-			free := s.state.AppendFreeGPUsOnMachine(s.freeScratch[:0], m)
-			s.freeScratch = free
-			return s.mapper.Score(j, s.state, free[:j.GPUs]), nil
+			free := c.state.AppendFreeGPUsOnMachine(c.freeScratch[:0], m)
+			c.freeScratch = free
+			return c.mapper.Score(j, c.state, free[:j.GPUs]), nil
 		}
 		return nil, fmt.Errorf("sched: no machine with %d free GPUs", j.GPUs)
 	}
-	free := s.state.AppendFreeGPUs(s.freeScratch[:0])
-	s.freeScratch = free
+	free := c.state.AppendFreeGPUs(c.freeScratch[:0])
+	c.freeScratch = free
 	if len(free) < j.GPUs {
 		return nil, fmt.Errorf("sched: %d free GPUs for request of %d", len(free), j.GPUs)
 	}
-	return s.mapper.Score(j, s.state, free[:j.GPUs]), nil
+	return c.mapper.Score(j, c.state, free[:j.GPUs]), nil
 }
 
 // placeBestFit is the Best-Fit bin-packing baseline of §5.2: it allocates
 // "first the GPUs from highly used domains" — machines are tried from the
 // fewest free GPUs that still fit, and within a machine the GPUs of the
 // most-used sockets are taken first.
-func (s *Scheduler) placeBestFit(j *job.Job) (*core.Placement, error) {
-	topo := s.state.Topology()
+func (c *Core) placeBestFit(j *job.Job) (*core.Placement, error) {
+	topo := c.state.Topology()
 	type hostFit struct {
 		machine int
 		free    int
@@ -48,7 +48,7 @@ func (s *Scheduler) placeBestFit(j *job.Job) (*core.Placement, error) {
 		// O(1) per machine via the state's incremental free counters —
 		// materializing every machine's free-GPU list just to count it
 		// dominated the greedy baselines' decision time at 1k machines.
-		free := s.state.FreeCountOnMachine(m)
+		free := c.state.FreeCountOnMachine(m)
 		if free > 0 {
 			hosts = append(hosts, hostFit{machine: m, free: free})
 		}
@@ -64,14 +64,14 @@ func (s *Scheduler) placeBestFit(j *job.Job) (*core.Placement, error) {
 	if j.SingleNode {
 		for _, h := range hosts {
 			if h.free >= j.GPUs {
-				gpus := s.bestFitGPUs(h.machine, j.GPUs)
-				return s.mapper.Score(j, s.state, gpus), nil
+				gpus := c.bestFitGPUs(h.machine, j.GPUs)
+				return c.mapper.Score(j, c.state, gpus), nil
 			}
 		}
 		return nil, fmt.Errorf("sched: no machine fits %d GPUs", j.GPUs)
 	}
 
-	gpus := s.freeScratch[:0]
+	gpus := c.freeScratch[:0]
 	for _, h := range hosts {
 		need := j.GPUs - len(gpus)
 		if need == 0 {
@@ -81,19 +81,19 @@ func (s *Scheduler) placeBestFit(j *job.Job) (*core.Placement, error) {
 		if take > h.free {
 			take = h.free
 		}
-		gpus = append(gpus, s.bestFitGPUs(h.machine, take)...)
+		gpus = append(gpus, c.bestFitGPUs(h.machine, take)...)
 	}
-	s.freeScratch = gpus
+	c.freeScratch = gpus
 	if len(gpus) < j.GPUs {
 		return nil, fmt.Errorf("sched: %d free GPUs for request of %d", len(gpus), j.GPUs)
 	}
-	return s.mapper.Score(j, s.state, gpus), nil
+	return c.mapper.Score(j, c.state, gpus), nil
 }
 
 // bestFitGPUs picks n free GPUs on the machine, preferring the sockets
 // with the most GPUs already in use (bin packing within the machine).
-func (s *Scheduler) bestFitGPUs(machine, n int) []int {
-	topo := s.state.Topology()
+func (c *Core) bestFitGPUs(machine, n int) []int {
+	topo := c.state.Topology()
 	type socketFit struct {
 		socket int
 		used   int
@@ -103,7 +103,7 @@ func (s *Scheduler) bestFitGPUs(machine, n int) []int {
 	for _, sk := range topo.Sockets(machine) {
 		used, free := 0, 0
 		for _, pos := range topo.GPUsOfSocket(machine, sk) {
-			if s.state.Owner(pos) == "" {
+			if c.state.Owner(pos) == "" {
 				free++
 			} else {
 				used++
@@ -122,7 +122,7 @@ func (s *Scheduler) bestFitGPUs(machine, n int) []int {
 	out := make([]int, 0, n)
 	for _, sf := range sockets {
 		for _, pos := range topo.GPUsOfSocket(machine, sf.socket) {
-			if s.state.Owner(pos) != "" {
+			if c.state.Owner(pos) != "" {
 				continue
 			}
 			if len(out) == n {
@@ -138,29 +138,29 @@ func (s *Scheduler) bestFitGPUs(machine, n int) []int {
 // constraints (Algorithm 1), then run the DRB mapper over each candidate
 // host (or over the whole candidate set for multi-node jobs) and keep the
 // highest-utility solution.
-func (s *Scheduler) placeTopoAware(j *job.Job) (*core.Placement, error) {
-	hosts := s.filterHosts(j)
+func (c *Core) placeTopoAware(j *job.Job) (*core.Placement, error) {
+	hosts := c.filterHosts(j)
 	if len(hosts) == 0 {
 		return nil, fmt.Errorf("sched: no host satisfies constraints of %s", j.ID)
 	}
 
 	if !j.SingleNode {
-		candidates := s.freeScratch[:0]
+		candidates := c.freeScratch[:0]
 		for _, m := range hosts {
-			candidates = s.state.AppendFreeGPUsOnMachine(candidates, m)
+			candidates = c.state.AppendFreeGPUsOnMachine(candidates, m)
 		}
-		s.freeScratch = candidates
+		c.freeScratch = candidates
 		if len(candidates) < j.GPUs {
 			return nil, fmt.Errorf("sched: %d candidate GPUs for request of %d", len(candidates), j.GPUs)
 		}
-		return s.mapper.Place(j, s.state, candidates)
+		return c.mapper.Place(j, c.state, candidates)
 	}
 
 	var best *core.Placement
 	for _, m := range hosts {
-		free := s.state.AppendFreeGPUsOnMachine(s.freeScratch[:0], m)
-		s.freeScratch = free
-		p, err := s.mapper.Place(j, s.state, free)
+		free := c.state.AppendFreeGPUsOnMachine(c.freeScratch[:0], m)
+		c.freeScratch = free
+		p, err := c.mapper.Place(j, c.state, free)
 		if err != nil {
 			continue
 		}

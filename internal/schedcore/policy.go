@@ -1,0 +1,71 @@
+package schedcore
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Policy selects the placement strategy.
+type Policy int
+
+// The four policies of the evaluation (§5.2).
+const (
+	FCFS Policy = iota
+	BestFit
+	TopoAware
+	TopoAwareP
+)
+
+// String returns the policy name as used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "FCFS"
+	case BestFit:
+		return "BF"
+	case TopoAware:
+		return "TOPO-AWARE"
+	case TopoAwareP:
+		return "TOPO-AWARE-P"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// AllPolicies lists every policy, in the paper's presentation order.
+func AllPolicies() []Policy { return []Policy{BestFit, FCFS, TopoAware, TopoAwareP} }
+
+// MarshalJSON encodes the policy as its figure name, keeping sweep
+// artifacts readable and stable across any renumbering of the constants.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON decodes a policy from its figure name.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	parsed, err := ParsePolicy(name)
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
+// ParsePolicy maps a policy name to its constant.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "FCFS", "fcfs":
+		return FCFS, nil
+	case "BF", "bf", "bestfit", "best-fit":
+		return BestFit, nil
+	case "TOPO-AWARE", "topo-aware", "topo":
+		return TopoAware, nil
+	case "TOPO-AWARE-P", "topo-aware-p", "topo-p":
+		return TopoAwareP, nil
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q", name)
+}

@@ -1,0 +1,77 @@
+package schedcore
+
+// entryHeap is a queue-order min-heap of parked entries: the head is the
+// entry the discipline would serve first. One heap backs each wake-up
+// bucket, so the indexed Schedule can interleave parked jobs with the
+// active list in exact queue order while popping only the jobs whose
+// capacity gate can actually pass — everything deeper in the heap is
+// provably blocked for the rest of the round and is never touched.
+type entryHeap struct {
+	es []entry
+}
+
+func (h *entryHeap) Len() int { return len(h.es) }
+
+func (h *entryHeap) peek() *entry { return &h.es[0] }
+
+// push inserts e under the core's queue order.
+func (c *Core) heapPush(h *entryHeap, e entry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.entryCmp(h.es[i], h.es[parent]) >= 0 {
+			break
+		}
+		h.es[i], h.es[parent] = h.es[parent], h.es[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the queue-order minimum.
+func (c *Core) heapPop(h *entryHeap) entry {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es[last] = entry{}
+	h.es = h.es[:last]
+	c.siftDown(h, 0)
+	return top
+}
+
+// removeByID deletes the entry with the job ID, re-heapifying. O(n) —
+// only Withdraw (the serving cancel path) uses it.
+func (c *Core) heapRemoveByID(h *entryHeap, jobID string) bool {
+	for i := range h.es {
+		if h.es[i].job.ID == jobID {
+			h.es[i] = h.es[len(h.es)-1]
+			h.es[len(h.es)-1] = entry{}
+			h.es = h.es[:len(h.es)-1]
+			// Sift-down from every interior node restores the heap in
+			// O(n) without tracking which direction i must move.
+			for j := len(h.es)/2 - 1; j >= 0; j-- {
+				c.siftDown(h, j)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) siftDown(h *entryHeap, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.es) && c.entryCmp(h.es[l], h.es[smallest]) < 0 {
+			smallest = l
+		}
+		if r < len(h.es) && c.entryCmp(h.es[r], h.es[smallest]) < 0 {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.es[i], h.es[smallest] = h.es[smallest], h.es[i]
+		i = smallest
+	}
+}

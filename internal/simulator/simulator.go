@@ -25,6 +25,7 @@ import (
 	"gputopo/internal/perfmodel"
 	"gputopo/internal/profile"
 	"gputopo/internal/sched"
+	"gputopo/internal/schedcore"
 	"gputopo/internal/stats"
 	"gputopo/internal/topology"
 )
@@ -56,6 +57,11 @@ type Config struct {
 	// equivalence tests prove it); the switch exists for those tests and
 	// as an escape hatch.
 	DisableEpochGate bool
+	// DisableWakeIndex turns off the scheduler's wake-up index, forcing
+	// the full-queue walk on every event. Artifacts are bit-identical
+	// either way (TestWakeIndexEquivalence proves it); the switch exists
+	// for those tests and as an escape hatch.
+	DisableWakeIndex bool
 }
 
 // JobResult records the outcome of one job.
@@ -211,6 +217,7 @@ type runningJob struct {
 	utility    float64
 	p2p        bool
 	violated   bool
+	waited     int     // scheduling rounds spent queued before placement
 	linkUsage  float64 // GB/s while running
 }
 
@@ -240,9 +247,17 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 	}
 
 	st := cluster.NewState(cfg.Topology)
-	scheduler := sched.New(cfg.Policy, st, mapper)
+	// The simulator is one driver of the shared scheduling core: it owns
+	// a ManualClock it advances to each event's virtual time, so the
+	// core's decision timestamps line up with simulation seconds exactly
+	// as toposerve's line up with wall seconds.
+	clock := schedcore.NewManualClock(0)
+	scheduler := schedcore.New(cfg.Policy, st, mapper, schedcore.WithClock(clock))
 	if cfg.DisableEpochGate {
 		scheduler.SetEpochGate(false)
+	}
+	if cfg.DisableWakeIndex {
+		scheduler.SetWakeIndex(false)
 	}
 	rng := stats.NewRNG(cfg.Seed)
 
@@ -250,9 +265,9 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 		cfg:       cfg,
 		state:     st,
 		scheduler: scheduler,
+		clock:     clock,
 		running:   map[string]*runningJob{},
 		byMachine: map[int]map[string]*runningJob{},
-		postpones: map[string]int{},
 		rng:       rng,
 	}
 
@@ -303,13 +318,13 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 type engine struct {
 	cfg       Config
 	state     *cluster.State
-	scheduler *sched.Scheduler
+	scheduler *schedcore.Core
+	clock     *schedcore.ManualClock
 	events    eventHeap
 	seq       int
 	now       float64
 	running   map[string]*runningJob
 	byMachine map[int]map[string]*runningJob
-	postpones map[string]int
 	results   []JobResult
 	timeline  []Interval
 	samples   []Sample
@@ -348,6 +363,7 @@ func (e *engine) loop(totalJobs int) error {
 		if ev.time > e.now {
 			e.now = ev.time
 		}
+		e.clock.Set(e.now)
 		switch ev.kind {
 		case evArrival:
 			if err := e.scheduler.Submit(ev.job); err != nil {
@@ -415,7 +431,6 @@ func (e *engine) runScheduler() {
 	affected := e.affectedScratch[:0]
 	for _, d := range decisions {
 		if d.Postponed {
-			e.postpones[d.Job.ID]++
 			continue
 		}
 		affected = append(affected, e.start(d)...)
@@ -455,6 +470,7 @@ func (e *engine) start(d *sched.Decision) []int {
 		utility:    d.Placement.Utility,
 		p2p:        d.Placement.P2P,
 		violated:   d.SLOViolated,
+		waited:     d.Postponements,
 		linkUsage:  perfmodel.AverageLinkUsage(j.Model, j.BatchSize, e.cfg.Topology, d.Placement.GPUs),
 	}
 	e.running[j.ID] = r
@@ -540,7 +556,7 @@ func (e *engine) finish(r *runningJob) error {
 		SlowdownQoS:     math.Max(0, run/ideal-1),
 		SlowdownQoSWait: math.Max(0, (e.now-r.job.Arrival)/ideal-1),
 		SLOViolated:     r.violated,
-		Postponements:   e.postpones[r.job.ID],
+		Postponements:   r.waited,
 	})
 	e.timeline = append(e.timeline, Interval{
 		JobID:  r.job.ID,

@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gputopo/internal/topology"
+)
+
+// ParseTopologyArg parses the compact topology syntax used in cell keys
+// and CLI flags (the inverse of TopologySpec.Key, minus weight
+// overrides) into a validated spec:
+//
+//	minsky                 one Minsky machine (count from context)
+//	dgx1:4                 four DGX-1 machines
+//	mix[minsky:2+dgx1:1]   heterogeneous cluster (degraded kinds like
+//	                       minsky-1g:1 included)
+//	matrix[dgx1.matrix]:3  a discovered machine stamped three times
+//
+// cmd/toposerve resolves its -topology flag through this, so a grid cell
+// key pasted from a sweep artifact serves the identical substrate.
+func ParseTopologyArg(s string) (TopologySpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return TopologySpec{}, fmt.Errorf("sweep: empty topology spec")
+	}
+	var ts TopologySpec
+	rest := s
+	switch {
+	case strings.HasPrefix(s, "mix["):
+		end := strings.Index(s, "]")
+		if end < 0 {
+			return TopologySpec{}, fmt.Errorf("sweep: topology %q: unterminated mix[", s)
+		}
+		specs, err := topology.ParseMix(s[len("mix["):end])
+		if err != nil {
+			return TopologySpec{}, err
+		}
+		for _, sp := range specs {
+			ts.Mix = append(ts.Mix, MixEntry{Kind: sp.Label(), Count: sp.Count})
+		}
+		rest = s[end+1:]
+		if rest != "" {
+			return TopologySpec{}, fmt.Errorf("sweep: topology %q: a mix pins its own machine count", s)
+		}
+	case strings.HasPrefix(s, "matrix["):
+		end := strings.Index(s, "]")
+		if end < 0 {
+			return TopologySpec{}, fmt.Errorf("sweep: topology %q: unterminated matrix[", s)
+		}
+		ts.MatrixFile = s[len("matrix["):end]
+		rest = s[end+1:]
+	default:
+		// builder[:count] — count is the suffix after the LAST colon so
+		// builder aliases keep their dashes and digits.
+		name := s
+		if i := strings.LastIndex(s, ":"); i >= 0 {
+			name, rest = s[:i], s[i:]
+		} else {
+			rest = ""
+		}
+		ts.Builder = name
+	}
+	if rest != "" {
+		count, ok := strings.CutPrefix(rest, ":")
+		if !ok {
+			return TopologySpec{}, fmt.Errorf("sweep: topology %q: trailing %q", s, rest)
+		}
+		n, err := strconv.Atoi(count)
+		if err != nil || n < 1 {
+			return TopologySpec{}, fmt.Errorf("sweep: topology %q: machine count %q must be an integer >= 1", s, count)
+		}
+		ts.Machines = n
+	}
+	if err := ts.Validate(); err != nil {
+		return TopologySpec{}, err
+	}
+	return ts, nil
+}

@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gputopo/internal/topology"
+)
+
+// TestParseTopologyArgRoundTrip pins the arg syntax against Key(): a
+// parsed spec's key reproduces the input for every supported form.
+func TestParseTopologyArgRoundTrip(t *testing.T) {
+	matrix := filepath.Join(t.TempDir(), "m.matrix")
+	if err := os.WriteFile(matrix, []byte(topology.DGX1().RenderMatrix()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		arg      string
+		key      string // "" = same as arg
+		machines int    // expected EffectiveMachines(1)
+		gpus     int    // expected NumGPUs of the built topology
+	}{
+		{"minsky", "", 1, 4},
+		{"dgx1:2", "", 2, 16},
+		{"pcie:3", "", 3, 12},
+		{"mix[minsky:2+dgx1:1]", "", 3, 16},
+		{"mix[minsky:1+minsky-1g:1]", "", 2, 7},
+		{matrix, "matrix[" + matrix + "]:3", 3, 24},
+	}
+	for _, tc := range cases {
+		arg := tc.arg
+		if tc.key != "" {
+			arg = tc.key // matrix case: parse the key form
+		}
+		ts, err := ParseTopologyArg(arg)
+		if err != nil {
+			t.Fatalf("%s: %v", arg, err)
+		}
+		if got := ts.Key(); got != arg {
+			t.Fatalf("Key round trip: %q -> %q", arg, got)
+		}
+		if got := ts.EffectiveMachines(1); got != tc.machines {
+			t.Fatalf("%s: machines = %d, want %d", arg, got, tc.machines)
+		}
+		topo, err := ts.Build(ts.EffectiveMachines(1), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.NumGPUs() != tc.gpus {
+			t.Fatalf("%s: %d GPUs, want %d", arg, topo.NumGPUs(), tc.gpus)
+		}
+	}
+}
+
+// TestParseTopologyArgErrors rejects malformed and invalid args with
+// named errors instead of building something surprising.
+func TestParseTopologyArgErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"nosuch",
+		"minsky:0",
+		"minsky:x",
+		"mix[minsky:2",
+		"mix[minsky:2]:3", // a mix pins its own count
+		"mix[]",
+		"matrix[/no/such/file.matrix]",
+		"mix[minsky-4g:1]", // no GPUs left
+	} {
+		if _, err := ParseTopologyArg(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}

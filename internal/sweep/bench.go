@@ -155,6 +155,23 @@ type BenchDiffOptions struct {
 	// PerMetric overrides RelTol by metric name (keys from
 	// BenchDiffMetricNames).
 	PerMetric map[string]float64
+	// WallClockOff skips every wall-clock-derived metric (elapsed_sec,
+	// points_per_sec, jobs_per_sec, ns_per_op) and gates only the
+	// deterministic allocation counts (allocs_per_op, bytes_per_op) —
+	// the CI mode for noisy shared runners, where a 5x wall-clock
+	// tolerance still pages on a slow neighbor while allocation counts
+	// catch every real hot-path regression.
+	WallClockOff bool
+}
+
+// wallClockMetric reports whether a bench metric measures time rather
+// than allocation work.
+func wallClockMetric(name string) bool {
+	switch name {
+	case "elapsed_sec", "points_per_sec", "jobs_per_sec", "ns_per_op":
+		return true
+	}
+	return false
 }
 
 func (o BenchDiffOptions) tol(metric string) float64 {
@@ -220,6 +237,9 @@ func DiffBench(oldRep, newRep *BenchReport, opt BenchDiffOptions) *DiffResult {
 			continue
 		}
 		for _, m := range benchGridMetrics {
+			if opt.WallClockOff && wallClockMetric(m.name) {
+				continue
+			}
 			oldV, newV := m.get(og), m.get(ng)
 			if m.higher {
 				// Compare reciprocals (cost per unit of work): that turns
@@ -260,6 +280,9 @@ func DiffBench(oldRep, newRep *BenchReport, opt BenchDiffOptions) *DiffResult {
 			continue
 		}
 		for _, m := range benchGoMetrics {
+			if opt.WallClockOff && wallClockMetric(m.name) {
+				continue
+			}
 			oldV, newV := m.get(ob), m.get(nb)
 			if oldV == 0 && newV == 0 {
 				continue // metric not recorded on either side

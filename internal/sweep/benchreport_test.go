@@ -183,3 +183,39 @@ func TestDiffBenchThresholds(t *testing.T) {
 		t.Fatalf("markdown missing added entry:\n%s", res.Markdown())
 	}
 }
+
+// TestDiffBenchWallClockOff pins the noisy-runner CI mode: with
+// WallClockOff every time-derived metric is skipped entirely — a 100x
+// wall-clock collapse passes — while allocation regressions still gate.
+func TestDiffBenchWallClockOff(t *testing.T) {
+	old := &BenchReport{
+		Grids:      []GridBench{{Grid: "smoke", Points: 32, ElapsedSec: 1, PointsPerSec: 32, JobsPerSec: 1000}},
+		Benchmarks: []GoBench{{Name: "BenchmarkX", NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 2}},
+	}
+	slow := &BenchReport{
+		Grids:      []GridBench{{Grid: "smoke", Points: 32, ElapsedSec: 100, PointsPerSec: 0.32, JobsPerSec: 10}},
+		Benchmarks: []GoBench{{Name: "BenchmarkX", NsPerOp: 10000, BytesPerOp: 64, AllocsPerOp: 2}},
+	}
+	// Default mode: the collapse is a regression even at huge tolerance.
+	if d := DiffBench(old, slow, BenchDiffOptions{RelTol: 5}); !d.HasRegressions() {
+		t.Fatal("wall-clock collapse passed the default gate")
+	}
+	// WallClockOff: time metrics are not even compared.
+	d := DiffBench(old, slow, BenchDiffOptions{RelTol: 0.5, WallClockOff: true})
+	if d.HasRegressions() {
+		t.Fatalf("wallclock-off still gated a time metric: %+v", d.Deltas)
+	}
+	for _, md := range d.Deltas {
+		if wallClockMetric(md.Metric) {
+			t.Fatalf("wall-clock metric %s compared in wallclock-off mode", md.Metric)
+		}
+	}
+	// Allocation regressions still fail.
+	leaky := &BenchReport{
+		Grids:      old.Grids,
+		Benchmarks: []GoBench{{Name: "BenchmarkX", NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 4}},
+	}
+	if d := DiffBench(old, leaky, BenchDiffOptions{RelTol: 0.5, WallClockOff: true}); !d.HasRegressions() {
+		t.Fatal("allocs/op regression passed the wallclock-off gate")
+	}
+}

@@ -6,23 +6,52 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"gputopo/internal/stats"
 )
 
-// The per-cell metrics the differ compares, in report order. Every entry
-// is the mean across a cell's replicas; lower is better for all of them.
-var diffMetrics = []struct {
+// The per-cell metrics the differ compares, in report order. Every base
+// metric is compared as its replica mean plus two distribution shapes —
+// stddev (run-to-run spread) and P95 (tail) — so a change that keeps the
+// mean but fattens the tail still fails the gate once replica counts
+// grow. Lower is better for all of them: shrinking variance or tail is
+// an improvement, growing them a regression.
+var diffMetrics = buildDiffMetrics()
+
+type diffMetric struct {
 	name string
+	// kind is "" for the mean, "stddev" or "p95" for the distribution
+	// companions; it selects the suffix-level tolerance default.
+	kind string
 	get  func(CellSummary) float64
-}{
-	{"makespan_s", func(c CellSummary) float64 { return c.Makespan.Mean }},
-	{"mean_slowdown_qos", func(c CellSummary) float64 { return c.MeanQoS.Mean }},
-	{"mean_slowdown_qos_wait", func(c CellSummary) float64 { return c.MeanQoSWait.Mean }},
-	{"total_wait_s", func(c CellSummary) float64 { return c.TotalWait.Mean }},
-	{"slo_violations", func(c CellSummary) float64 { return c.SLOViolations.Mean }},
+}
+
+func buildDiffMetrics() []diffMetric {
+	bases := []struct {
+		name string
+		get  func(CellSummary) stats.Summary
+	}{
+		{"makespan_s", func(c CellSummary) stats.Summary { return c.Makespan }},
+		{"mean_slowdown_qos", func(c CellSummary) stats.Summary { return c.MeanQoS }},
+		{"mean_slowdown_qos_wait", func(c CellSummary) stats.Summary { return c.MeanQoSWait }},
+		{"total_wait_s", func(c CellSummary) stats.Summary { return c.TotalWait }},
+		{"slo_violations", func(c CellSummary) stats.Summary { return c.SLOViolations }},
+	}
+	var ms []diffMetric
+	for _, b := range bases {
+		get := b.get
+		ms = append(ms,
+			diffMetric{name: b.name, kind: "", get: func(c CellSummary) float64 { return get(c).Mean }},
+			diffMetric{name: b.name + ".stddev", kind: "stddev", get: func(c CellSummary) float64 { return get(c).Stddev }},
+			diffMetric{name: b.name + ".p95", kind: "p95", get: func(c CellSummary) float64 { return get(c).P95 }},
+		)
+	}
+	return ms
 }
 
 // DiffMetricNames lists the metric names the differ compares (the keys
-// accepted by DiffOptions.PerMetric), in output order.
+// accepted by DiffOptions.PerMetric), in output order: each base metric's
+// mean, then its ".stddev" and ".p95" distribution companions.
 func DiffMetricNames() []string {
 	names := make([]string, len(diffMetrics))
 	for i, m := range diffMetrics {
@@ -32,19 +61,37 @@ func DiffMetricNames() []string {
 }
 
 // DiffOptions tunes the differ's tolerances. The zero value compares
-// exactly: any increase of any metric is a regression.
+// exactly: any increase of any metric is a regression. The distribution
+// metrics (".stddev", ".p95") get their own suffix-level defaults —
+// spread and tail estimates are noisier than means at small replica
+// counts, so they usually want looser gates.
 type DiffOptions struct {
 	// RelTol is the default relative tolerance: a metric change counts
 	// only when |new-old| > RelTol·|old|.
 	RelTol float64
-	// PerMetric overrides RelTol for individual metrics (keys from
-	// DiffMetricNames).
+	// StddevRelTol, when > 0, replaces RelTol for every ".stddev"
+	// metric.
+	StddevRelTol float64
+	// P95RelTol, when > 0, replaces RelTol for every ".p95" metric.
+	P95RelTol float64
+	// PerMetric overrides all of the above for individual metrics (keys
+	// from DiffMetricNames).
 	PerMetric map[string]float64
 }
 
-func (o DiffOptions) tol(metric string) float64 {
-	if t, ok := o.PerMetric[metric]; ok {
+func (o DiffOptions) tol(m diffMetric) float64 {
+	if t, ok := o.PerMetric[m.name]; ok {
 		return t
+	}
+	switch m.kind {
+	case "stddev":
+		if o.StddevRelTol > 0 {
+			return o.StddevRelTol
+		}
+	case "p95":
+		if o.P95RelTol > 0 {
+			return o.P95RelTol
+		}
 	}
 	return o.RelTol
 }
@@ -162,7 +209,7 @@ func Diff(oldRep, newRep *Report, opt DiffOptions) *DiffResult {
 			continue
 		}
 		for _, m := range diffMetrics {
-			rel, status := compareMetric(m.get(oc), m.get(nc), opt.tol(m.name))
+			rel, status := compareMetric(m.get(oc), m.get(nc), opt.tol(m))
 			d.Deltas = append(d.Deltas, MetricDelta{
 				Cell:   key,
 				Metric: m.name,

@@ -207,3 +207,58 @@ func TestDiffRealSweepRoundTrip(t *testing.T) {
 		t.Fatal("malformed artifact accepted")
 	}
 }
+
+// TestDiffDistributionMetrics covers the stddev/P95 companions: a change
+// that keeps every mean but fattens the spread or the tail must register
+// under the distribution metrics' own tolerances.
+func TestDiffDistributionMetrics(t *testing.T) {
+	old := makeReport("g", map[string]float64{"A": 100})
+	old.Cells[0].Makespan.Stddev = 10
+	old.Cells[0].Makespan.P95 = 120
+	upd := makeReport("g", map[string]float64{"A": 100})
+	upd.Cells[0].Makespan.Stddev = 16 // +60% spread
+	upd.Cells[0].Makespan.P95 = 132   // +10% tail
+
+	// Exact mode: both distribution drifts are regressions, the mean is
+	// unchanged.
+	d := Diff(old, upd, DiffOptions{})
+	if d.Regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (stddev + p95)", d.Regressions)
+	}
+	md := d.Markdown()
+	if !strings.Contains(md, "makespan_s.stddev") || !strings.Contains(md, "makespan_s.p95") {
+		t.Fatalf("markdown missing distribution rows:\n%s", md)
+	}
+
+	// Suffix-level tolerances gate independently: a 100% stddev
+	// allowance forgives the spread, a 5% p95 allowance still fails the
+	// tail.
+	d = Diff(old, upd, DiffOptions{StddevRelTol: 1.0, P95RelTol: 0.05})
+	if d.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (p95 only)", d.Regressions)
+	}
+	if d.Deltas[0].Metric == "makespan_s.p95" && d.Deltas[0].Status != DeltaRegression {
+		t.Fatalf("p95 delta: %+v", d.Deltas)
+	}
+
+	// Per-metric overrides beat the suffix defaults.
+	d = Diff(old, upd, DiffOptions{StddevRelTol: 0.01, P95RelTol: 0.01,
+		PerMetric: map[string]float64{"makespan_s.stddev": 1.0, "makespan_s.p95": 1.0}})
+	if d.HasRegressions() {
+		t.Fatalf("per-metric overrides ignored: %+v", d)
+	}
+
+	// The metric list advertises the new names.
+	names := DiffMetricNames()
+	want := map[string]bool{"makespan_s": true, "makespan_s.stddev": true, "makespan_s.p95": true,
+		"slo_violations.p95": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("DiffMetricNames missing %v (got %v)", want, names)
+	}
+	if len(names) != 15 {
+		t.Fatalf("expected 15 metrics (5 bases × mean/stddev/p95), got %d", len(names))
+	}
+}

@@ -97,7 +97,9 @@ func (ts TopologySpec) matrixPath() string {
 }
 
 // MixEntry is one run of identical machines in a heterogeneous topology
-// spec: Count machines built by the named builder.
+// spec: Count machines built by the named builder. The kind accepts the
+// degraded "-<n>g" suffix ("minsky-1g" is a Minsky with one failed GPU),
+// so fleets with partially failed nodes are first-class grid axes.
 type MixEntry struct {
 	Kind  string `json:"kind"`
 	Count int    `json:"count"`
@@ -107,14 +109,14 @@ type MixEntry struct {
 func (ts TopologySpec) mixSpecs() ([]topology.MachineSpec, error) {
 	specs := make([]topology.MachineSpec, 0, len(ts.Mix))
 	for _, e := range ts.Mix {
-		kind, err := topology.ParseMachineKind(e.Kind)
+		kind, failed, err := topology.ParseMixKind(e.Kind)
 		if err != nil {
 			return nil, err
 		}
 		if e.Count < 1 {
 			return nil, fmt.Errorf("mix entry %s:%d needs a machine count >= 1", e.Kind, e.Count)
 		}
-		specs = append(specs, topology.MachineSpec{Kind: kind, Count: e.Count})
+		specs = append(specs, topology.MachineSpec{Kind: kind, Count: e.Count, Failed: failed})
 	}
 	return specs, nil
 }

@@ -415,3 +415,47 @@ func TestMatrixFileBareSpecUsesCWD(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMixSpecDegradedKinds covers the "-<n>g" degraded-machine syntax at
+// the sweep layer: key rendering, building, validation errors, and grid
+// expansion through a spec file.
+func TestMixSpecDegradedKinds(t *testing.T) {
+	spec := TopologySpec{Mix: []MixEntry{{Kind: "minsky", Count: 2}, {Kind: "minsky-1g", Count: 1}}}
+	if got, want := spec.Key(), "mix[minsky:2+minsky-1g:1]"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := spec.Build(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumGPUs() != 2*4+3 || topo.NumMachines() != 3 {
+		t.Fatalf("degraded mix built %d GPUs on %d machines, want 11 on 3", topo.NumGPUs(), topo.NumMachines())
+	}
+
+	// Too many failed GPUs must fail validation before any simulation.
+	bad := TopologySpec{Mix: []MixEntry{{Kind: "minsky-4g", Count: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("minsky-4g (no GPUs left) accepted")
+	}
+
+	g, err := ParseGridSpec([]byte(`{
+		"name": "degraded-adhoc",
+		"policies": ["TOPO-AWARE-P"],
+		"topologies": [{"mix": [{"kind": "dgx1-5g", "count": 1}, {"kind": "pcie", "count": 1}]}],
+		"jobs": [5],
+		"base_seed": 3
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := g.Points()
+	if len(pts) != 1 || pts[0].Machines != 2 {
+		t.Fatalf("degraded grid expanded to %d points, machines %d", len(pts), pts[0].Machines)
+	}
+	if _, err := Run(g, Options{Workers: 2}); err != nil {
+		t.Fatalf("degraded-mix grid failed to run: %v", err)
+	}
+}

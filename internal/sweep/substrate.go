@@ -90,13 +90,19 @@ func (c *substrateCache) substrate(ts TopologySpec, machines int, standalone boo
 // runner is the default point runner: it resolves the point's substrate
 // through the cache and executes the selected engine.
 func (c *substrateCache) runner(p Point) (*RunOutput, error) {
-	return c.runPoint(p, false)
+	return c.runPoint(p, schedTweaks{})
+}
+
+// schedTweaks bundles the scheduler escape hatches the equivalence tests
+// thread through runPoint; production runs always use the zero value.
+type schedTweaks struct {
+	disableEpochGate bool
+	disableWakeIndex bool
 }
 
 // runPoint materializes the point's workload on the cached substrate and
-// runs the engine. disableEpochGate is threaded through for the gating
-// equivalence tests; production runs always leave it false.
-func (c *substrateCache) runPoint(p Point, disableEpochGate bool) (*RunOutput, error) {
+// runs the engine.
+func (c *substrateCache) runPoint(p Point, tweaks schedTweaks) (*RunOutput, error) {
 	var topo *topology.Topology
 	var profiles *profile.Store
 	var jobs []*job.Job
@@ -149,7 +155,8 @@ func (c *substrateCache) runPoint(p Point, disableEpochGate bool) (*RunOutput, e
 			Seed:             p.Seed,
 			SampleInterval:   p.grid.SampleInterval,
 			JitterStddev:     p.grid.JitterStddev,
-			DisableEpochGate: disableEpochGate,
+			DisableEpochGate: tweaks.disableEpochGate,
+			DisableWakeIndex: tweaks.disableWakeIndex,
 		}, jobs)
 		if err != nil {
 			return nil, err

@@ -59,26 +59,40 @@ func Power8Minsky() *Topology { return Power8MinskyWeights(DefaultWeights()) }
 func Power8MinskyWeights(w LevelWeights) *Topology {
 	b := NewBuilder("Power8-Minsky")
 	b.SetRoutingPenalty(3.5)
-	addMinskyMachine(b, 0, w.orDefault(), -1)
+	addMinskyMachine(b, 0, w.orDefault(), -1, 0)
 	return b.Build()
 }
 
 // addMinskyMachine appends one Minsky machine (index m) to the builder.
 // If netID >= 0 the machine vertex is linked to that network vertex.
-func addMinskyMachine(b *Builder, m int, w LevelWeights, netID int) {
+// failed removes that many GPUs from the top of the index range (a
+// degraded machine; see DegradedMachine).
+func addMinskyMachine(b *Builder, m int, w LevelWeights, netID, failed int) {
 	mID := b.AddNode(LevelMachine, fmt.Sprintf("M%d", m), m, -1, -1)
 	if netID >= 0 {
 		b.AddLink(netID, mID, LinkNetwork, BandwidthNetwork, w.Machine)
 	}
+	keep := 4 - failed
 	for s := 0; s < 2; s++ {
 		sID := b.AddNode(LevelSocket, fmt.Sprintf("M%d/S%d", m, s), m, s, -1)
 		b.AddLink(mID, sID, LinkXBus, BandwidthXBus, w.Socket)
-		g0 := b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, 2*s), m, s, 2*s)
-		g1 := b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, 2*s+1), m, s, 2*s+1)
+		g0, g1 := -1, -1
+		if 2*s < keep {
+			g0 = b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, 2*s), m, s, 2*s)
+		}
+		if 2*s+1 < keep {
+			g1 = b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, 2*s+1), m, s, 2*s+1)
+		}
 		// Dual NVLink GPU-to-GPU within the socket and GPU-to-CPU.
-		b.AddLink(g0, g1, LinkNVLink2, BandwidthNVLink2, w.GPUPeer)
-		b.AddLink(g0, sID, LinkNVLink2, BandwidthNVLink2, w.GPULink)
-		b.AddLink(g1, sID, LinkNVLink2, BandwidthNVLink2, w.GPULink)
+		if g0 >= 0 && g1 >= 0 {
+			b.AddLink(g0, g1, LinkNVLink2, BandwidthNVLink2, w.GPUPeer)
+		}
+		if g0 >= 0 {
+			b.AddLink(g0, sID, LinkNVLink2, BandwidthNVLink2, w.GPULink)
+		}
+		if g1 >= 0 {
+			b.AddLink(g1, sID, LinkNVLink2, BandwidthNVLink2, w.GPULink)
+		}
 	}
 }
 
@@ -215,6 +229,70 @@ func Machine(kind MachineKind, w LevelWeights) (*Topology, error) {
 	}
 }
 
+// kindGPUs returns the healthy GPU count of a machine kind.
+func (k MachineKind) kindGPUs() int {
+	if k == KindDGX1 {
+		return 8
+	}
+	return 4
+}
+
+// DegradedMachine builds a standalone machine of the given kind with
+// failedGPUs GPUs removed from the top of the index range — the
+// intra-kind asymmetry of a partially failed node (e.g. a 3-GPU Minsky).
+// Production fleets carry such machines for weeks between repair windows,
+// and they break every "by symmetry" shortcut an allocator is tempted to
+// take: the extremal-allocation search treats a degraded machine as its
+// own machine shape (see seedCandidates).
+func DegradedMachine(kind MachineKind, failedGPUs int) (*Topology, error) {
+	return DegradedMachineWeights(kind, failedGPUs, DefaultWeights())
+}
+
+// DegradedMachineWeights is DegradedMachine with custom level weights.
+func DegradedMachineWeights(kind MachineKind, failedGPUs int, w LevelWeights) (*Topology, error) {
+	if err := validateFailed(kind, failedGPUs); err != nil {
+		return nil, err
+	}
+	if failedGPUs == 0 {
+		return Machine(kind, w)
+	}
+	w = w.orDefault()
+	b := NewBuilder(fmt.Sprintf("%s-%dg", kindTitle(kind), failedGPUs))
+	if kind.usesNVLink() {
+		b.SetRoutingPenalty(3.5)
+	} else {
+		b.SetRoutingPenalty(2.5)
+	}
+	if kind == KindMinsky {
+		addMinskyMachine(b, 0, w, -1, failedGPUs)
+	} else {
+		addClusterMachine(b, 0, kind, w, -1, failedGPUs)
+	}
+	return b.Build(), nil
+}
+
+// kindTitle is the display name used in degraded-machine topology names.
+func kindTitle(kind MachineKind) string {
+	switch kind {
+	case KindMinsky:
+		return "Power8-Minsky"
+	case KindDGX1:
+		return "DGX-1"
+	default:
+		return "Power8-PCIe"
+	}
+}
+
+// validateFailed checks a degraded-GPU count against the kind's size: at
+// least one GPU must survive.
+func validateFailed(kind MachineKind, failed int) error {
+	if failed < 0 || failed >= kind.kindGPUs() {
+		return fmt.Errorf("topology: %s has %d GPUs; failed count %d must be in [0, %d]",
+			kind, kind.kindGPUs(), failed, kind.kindGPUs()-1)
+	}
+	return nil
+}
+
 // Cluster builds a homogeneous cluster of n machines joined by a network
 // vertex. The simulated large-scale scenarios of §5.5 use Minsky machines
 // ("all simulated machines are homogeneous and follow the hardware topology
@@ -241,20 +319,21 @@ func ClusterWeights(n int, kind MachineKind, w LevelWeights) *Topology {
 	}
 	netID := b.AddNode(LevelNetwork, "Net", -1, -1, -1)
 	for m := 0; m < n; m++ {
-		addMachineOfKind(b, m, kind, w, netID)
+		addMachineOfKind(b, m, kind, w, netID, 0)
 	}
 	return b.Build()
 }
 
-// addMachineOfKind appends one machine of the given kind to the builder.
-func addMachineOfKind(b *Builder, m int, kind MachineKind, w LevelWeights, netID int) {
+// addMachineOfKind appends one machine of the given kind to the builder,
+// with failed GPUs removed from the top of its index range.
+func addMachineOfKind(b *Builder, m int, kind MachineKind, w LevelWeights, netID, failed int) {
 	switch kind {
 	case KindMinsky:
-		addMinskyMachine(b, m, w, netID)
+		addMinskyMachine(b, m, w, netID, failed)
 	case KindDGX1, KindPCIeBox:
 		// For cluster simulations the paper uses Minsky nodes; DGX-1
 		// and PCIe clusters are provided for completeness.
-		addClusterMachine(b, m, kind, w, netID)
+		addClusterMachine(b, m, kind, w, netID, failed)
 	}
 }
 
@@ -266,24 +345,63 @@ func addMachineOfKind(b *Builder, m int, kind MachineKind, w LevelWeights, netID
 func (k MachineKind) usesNVLink() bool { return k != KindPCIeBox }
 
 // MachineSpec is one run of identical machines inside a heterogeneous
-// cluster: Count machines of the given Kind.
+// cluster: Count machines of the given Kind, each with Failed GPUs
+// removed (0 = healthy; see DegradedMachine).
 type MachineSpec struct {
-	Kind  MachineKind
-	Count int
+	Kind   MachineKind
+	Count  int
+	Failed int
 }
 
-// MixString renders a machine mix in the canonical "minsky:2+dgx1:1" form
-// accepted by ParseMix and used in sweep cell keys.
+// Label renders the spec's kind in the mix syntax: the builder name,
+// suffixed "-<n>g" for degraded machines ("minsky-1g" = 3-GPU Minsky).
+func (s MachineSpec) Label() string {
+	if s.Failed > 0 {
+		return fmt.Sprintf("%s-%dg", s.Kind, s.Failed)
+	}
+	return s.Kind.String()
+}
+
+// MixString renders a machine mix in the canonical
+// "minsky:2+minsky-1g:1+dgx1:1" form accepted by ParseMix and used in
+// sweep cell keys.
 func MixString(specs []MachineSpec) string {
 	parts := make([]string, len(specs))
 	for i, s := range specs {
-		parts[i] = fmt.Sprintf("%s:%d", s.Kind, s.Count)
+		parts[i] = fmt.Sprintf("%s:%d", s.Label(), s.Count)
 	}
 	return strings.Join(parts, "+")
 }
 
-// ParseMix parses a "minsky:2+dgx1:1" mix description into machine specs.
-// Every entry needs a registered builder name and a count >= 1.
+// ParseMixKind parses a mix kind name: a builder name accepted by
+// ParseMachineKind, optionally suffixed "-<n>g" marking n failed GPUs
+// ("minsky-1g" is a Minsky with one failed GPU, i.e. 3 healthy ones).
+// The failed count must leave at least one GPU.
+func ParseMixKind(name string) (MachineKind, int, error) {
+	base, failed := name, 0
+	if i := strings.LastIndex(name, "-"); i > 0 && strings.HasSuffix(name, "g") {
+		if n, err := strconv.Atoi(name[i+1 : len(name)-1]); err == nil {
+			base, failed = name[:i], n
+		}
+	}
+	kind, err := ParseMachineKind(base)
+	if err != nil {
+		// The unsuffixed name may itself be a builder alias containing a
+		// dash (e.g. "power8-minsky", "dgx-1"); retry verbatim.
+		if k2, err2 := ParseMachineKind(name); err2 == nil {
+			return k2, 0, nil
+		}
+		return 0, 0, err
+	}
+	if err := validateFailed(kind, failed); err != nil {
+		return 0, 0, err
+	}
+	return kind, failed, nil
+}
+
+// ParseMix parses a "minsky:2+minsky-1g:1+dgx1:1" mix description into
+// machine specs. Every entry needs a registered builder name (optionally
+// degraded with a "-<n>g" suffix) and a count >= 1.
 func ParseMix(s string) ([]MachineSpec, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, fmt.Errorf("topology: empty machine mix")
@@ -294,7 +412,7 @@ func ParseMix(s string) ([]MachineSpec, error) {
 		if !ok {
 			return nil, fmt.Errorf("topology: mix entry %q is not builder:count", part)
 		}
-		kind, err := ParseMachineKind(name)
+		kind, failed, err := ParseMixKind(name)
 		if err != nil {
 			return nil, err
 		}
@@ -302,7 +420,7 @@ func ParseMix(s string) ([]MachineSpec, error) {
 		if err != nil || count < 1 {
 			return nil, fmt.Errorf("topology: mix entry %q needs a machine count >= 1", part)
 		}
-		specs = append(specs, MachineSpec{Kind: kind, Count: count})
+		specs = append(specs, MachineSpec{Kind: kind, Count: count, Failed: failed})
 	}
 	return specs, nil
 }
@@ -335,6 +453,9 @@ func HeterogeneousClusterWeights(specs []MachineSpec, w LevelWeights) (*Topology
 		if s.Count < 1 {
 			return nil, fmt.Errorf("topology: machine spec %s:%d needs a count >= 1", s.Kind, s.Count)
 		}
+		if err := validateFailed(s.Kind, s.Failed); err != nil {
+			return nil, err
+		}
 		if s.Kind.usesNVLink() {
 			penalty = 3.5
 		}
@@ -344,18 +465,21 @@ func HeterogeneousClusterWeights(specs []MachineSpec, w LevelWeights) (*Topology
 	m := 0
 	for _, s := range specs {
 		for i := 0; i < s.Count; i++ {
-			addMachineOfKind(b, m, s.Kind, w, netID)
+			addMachineOfKind(b, m, s.Kind, w, netID, s.Failed)
 			m++
 		}
 	}
 	return b.Build(), nil
 }
 
-func addClusterMachine(b *Builder, m int, kind MachineKind, w LevelWeights, netID int) {
+func addClusterMachine(b *Builder, m int, kind MachineKind, w LevelWeights, netID, failed int) {
 	mID := b.AddNode(LevelMachine, fmt.Sprintf("M%d", m), m, -1, -1)
-	b.AddLink(netID, mID, LinkNetwork, BandwidthNetwork, w.Machine)
+	if netID >= 0 {
+		b.AddLink(netID, mID, LinkNetwork, BandwidthNetwork, w.Machine)
+	}
 	switch kind {
 	case KindPCIeBox:
+		keep := 4 - failed
 		for s := 0; s < 2; s++ {
 			sID := b.AddNode(LevelSocket, fmt.Sprintf("M%d/S%d", m, s), m, s, -1)
 			b.AddLink(mID, sID, LinkXBus, BandwidthXBus, w.Socket)
@@ -363,11 +487,15 @@ func addClusterMachine(b *Builder, m int, kind MachineKind, w LevelWeights, netI
 			b.AddLink(sID, swID, LinkPCIe, BandwidthPCIe, w.Switch)
 			for k := 0; k < 2; k++ {
 				idx := 2*s + k
+				if idx >= keep {
+					continue
+				}
 				g := b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, idx), m, s, idx)
 				b.AddLink(g, swID, LinkPCIe, BandwidthPCIe, w.GPULink)
 			}
 		}
 	case KindDGX1:
+		keep := 8 - failed
 		var sw [4]int
 		for s := 0; s < 2; s++ {
 			sID := b.AddNode(LevelSocket, fmt.Sprintf("M%d/S%d", m, s), m, s, -1)
@@ -379,7 +507,7 @@ func addClusterMachine(b *Builder, m int, kind MachineKind, w LevelWeights, netI
 			}
 		}
 		var gpu [8]int
-		for i := 0; i < 8; i++ {
+		for i := 0; i < keep; i++ {
 			s := i / 4
 			gpu[i] = b.AddNode(LevelGPU, fmt.Sprintf("M%d/GPU%d", m, i), m, s, i)
 			b.AddLink(gpu[i], sw[i/2], LinkPCIe, BandwidthPCIe, w.GPULink)
@@ -391,6 +519,9 @@ func addClusterMachine(b *Builder, m int, kind MachineKind, w LevelWeights, netI
 			{0, 3}, {1, 2}, {4, 7}, {5, 6},
 		}
 		for _, p := range nvPairs {
+			if p[0] >= keep || p[1] >= keep {
+				continue
+			}
 			b.AddLink(gpu[p[0]], gpu[p[1]], LinkNVLink, BandwidthNVLink, w.GPUPeer)
 		}
 	}
