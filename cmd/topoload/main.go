@@ -1,0 +1,267 @@
+// Command topoload is the load harness for toposerve: it drives a
+// workloadgen-style job stream at the /v1 HTTP API through the typed
+// client (internal/serveapi/client), measures the placement-decision
+// round trip at the client, and writes a BENCH_serve.json artifact
+// (the sweep bench schema's serving section) that toposweep -diff-bench
+// gates in CI.
+//
+//	toposerve -topology minsky:2 -max-queue 64 &
+//	topoload  -topology minsky:2 -url http://127.0.0.1:8080 -jobs 200 -workers 8
+//
+// Without -url, topoload starts an in-process server on a loopback
+// port (same engine, internal/serve) so one command benchmarks the
+// whole stack:
+//
+//	topoload -topology minsky:2 -policy topo-p -jobs 200 -o BENCH_serve.json
+//
+// Traffic model: -workers closed-loop submitters drain the generated
+// job list; every placed job is released after -hold, so the cluster
+// churns and queued jobs keep waking up. Submissions rejected by
+// admission control are retried by the client per Retry-After up to its
+// budget; a terminal failure of any kind counts into the artifact's
+// errors metric, which the perf gate holds at zero deterministically.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gputopo/internal/job"
+	"gputopo/internal/schedcore"
+	"gputopo/internal/serve"
+	"gputopo/internal/serveapi"
+	"gputopo/internal/serveapi/client"
+	"gputopo/internal/sweep"
+	"gputopo/internal/workload"
+)
+
+type config struct {
+	url      string
+	topoArg  string
+	policy   string
+	jobs     int
+	seed     uint64
+	rate     float64
+	workers  int
+	hold     time.Duration
+	retries  int
+	maxQueue int
+	logPath  string
+	name     string
+	out      string
+	appendTo bool
+	quiet    bool
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.url, "url", "", "target toposerve base URL (empty: run an in-process server)")
+	flag.StringVar(&cfg.topoArg, "topology", "minsky:2", "topology spec shaping the generated workload (and the in-process server)")
+	flag.StringVar(&cfg.policy, "policy", "topo-p", "in-process server policy")
+	flag.IntVar(&cfg.jobs, "jobs", 200, "jobs to submit")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "workload generator seed")
+	flag.Float64Var(&cfg.rate, "rate", 10, "workload generator arrival rate (jobs/min), shapes sizes and arrival spacing")
+	flag.IntVar(&cfg.workers, "workers", 8, "concurrent closed-loop submitters")
+	flag.DurationVar(&cfg.hold, "hold", 20*time.Millisecond, "how long a placed job runs before release")
+	flag.IntVar(&cfg.retries, "retries", 8, "client retry budget for 429 admission rejections")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "in-process server admission limit (0: unlimited)")
+	flag.StringVar(&cfg.logPath, "log", "", "in-process server event-log path (empty: in-memory)")
+	flag.StringVar(&cfg.name, "name", "", "bench entry name (default serve/<topology>/<policy>)")
+	flag.StringVar(&cfg.out, "o", "BENCH_serve.json", "bench artifact path (empty: don't write)")
+	flag.BoolVar(&cfg.appendTo, "append", false, "merge into an existing artifact instead of overwriting")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the summary")
+	flag.Parse()
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topoload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config, w io.Writer) error {
+	spec, err := sweep.ParseTopologyArg(cfg.topoArg)
+	if err != nil {
+		return err
+	}
+	topo, err := spec.Build(spec.EffectiveMachines(1), false)
+	if err != nil {
+		return err
+	}
+	jobs, err := workload.Generate(workload.GenConfig{
+		Jobs: cfg.jobs, Seed: cfg.seed, ArrivalRate: cfg.rate,
+	}, topo)
+	if err != nil {
+		return err
+	}
+
+	base := cfg.url
+	if base == "" {
+		pol, err := schedcore.ParsePolicy(cfg.policy)
+		if err != nil {
+			return err
+		}
+		srv, err := serve.New(serve.Config{
+			Spec: spec, Policy: pol, LogPath: cfg.logPath, MaxQueue: cfg.maxQueue,
+		})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer func() {
+			httpSrv.Close()
+			srv.Close()
+		}()
+		base = "http://" + ln.Addr().String()
+	}
+
+	c := client.New(base, client.WithMaxRetries(cfg.retries))
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("server at %s not healthy: %w", base, err)
+	}
+
+	sb, err := drive(ctx, c, jobs, cfg)
+	if err != nil {
+		return err
+	}
+
+	if !cfg.quiet {
+		fmt.Fprintf(w, "topoload: %s: %d jobs in %.2fs (%.1f jobs/s), %d placed on submit, %d errors, %d admission retries\n",
+			sb.Name, sb.Jobs, sb.ElapsedSec, sb.JobsPerSec, sb.Placed, sb.Errors, sb.Retries429)
+		fmt.Fprintf(w, "topoload: placement latency p50=%.2fms p95=%.2fms p99=%.2fms, %d decisions (%.0f/s)\n",
+			sb.LatencyP50Ms, sb.LatencyP95Ms, sb.LatencyP99Ms, sb.Decisions, sb.DecisionsPerSec)
+	}
+	if cfg.out == "" {
+		return nil
+	}
+	report := &sweep.BenchReport{}
+	if cfg.appendTo {
+		if data, err := os.ReadFile(cfg.out); err == nil {
+			if prev, err := sweep.LoadBenchReport(data, cfg.out); err == nil {
+				report = prev
+			} else {
+				return err
+			}
+		}
+	}
+	report.AddServe(sb)
+	js, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.out, js, 0o644)
+}
+
+// drive runs the closed-loop submit phase and assembles the bench entry.
+func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (sweep.ServeBench, error) {
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		placed    int64
+		errs      int64
+		releaseWG sync.WaitGroup
+	)
+	work := make(chan *job.Job)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				req := serveapi.JobRequest{
+					ID: j.ID, Model: j.Model.String(), BatchSize: j.BatchSize,
+					GPUs: j.GPUs, MinUtility: j.MinUtility, Iterations: j.Iterations,
+				}
+				t0 := time.Now()
+				jr, err := c.SubmitJob(ctx, req)
+				rtt := time.Since(t0)
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+					continue
+				}
+				mu.Lock()
+				latencies = append(latencies, rtt)
+				mu.Unlock()
+				if jr.Status == "placed" {
+					atomic.AddInt64(&placed, 1)
+					id := jr.ID
+					releaseWG.Add(1)
+					time.AfterFunc(cfg.hold, func() {
+						defer releaseWG.Done()
+						if _, err := c.ReleaseJob(ctx, id); err != nil {
+							atomic.AddInt64(&errs, 1)
+						}
+					})
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		work <- j
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Let held jobs finish releasing so the server's decision counters
+	// settle before the final state read.
+	releaseWG.Wait()
+
+	st, err := c.State(ctx)
+	if err != nil {
+		return sweep.ServeBench{}, err
+	}
+	_, retries := c.Stats()
+
+	name := cfg.name
+	if name == "" {
+		name = fmt.Sprintf("serve/%s/%s", cfg.topoArg, cfg.policy)
+	}
+	sb := sweep.ServeBench{
+		Name:       name,
+		Jobs:       len(jobs),
+		Errors:     int(errs),
+		Placed:     int(placed),
+		Retries429: int(retries),
+		Decisions:  st.Stats.Decisions,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	if sb.ElapsedSec > 0 {
+		sb.JobsPerSec = float64(sb.Jobs) / sb.ElapsedSec
+		sb.DecisionsPerSec = float64(sb.Decisions) / sb.ElapsedSec
+	}
+	sb.LatencyP50Ms = percentileMs(latencies, 50)
+	sb.LatencyP95Ms = percentileMs(latencies, 95)
+	sb.LatencyP99Ms = percentileMs(latencies, 99)
+	return sb, nil
+}
+
+// percentileMs returns the p-th percentile (nearest-rank) in
+// milliseconds. Sorts its input.
+func percentileMs(ds []time.Duration, p int) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	rank := (len(ds)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(ds) {
+		rank = len(ds)
+	}
+	return float64(ds[rank-1]) / float64(time.Millisecond)
+}

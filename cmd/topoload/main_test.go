@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gputopo/internal/sweep"
+)
+
+// TestRunInProcess drives the whole harness end to end against the
+// in-process server and checks the BENCH_serve.json artifact it writes:
+// every generated job accounted for, zero errors, and the
+// deterministic metrics the CI gate relies on populated.
+func TestRunInProcess(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_serve.json")
+	cfg := config{
+		topoArg: "minsky:2",
+		policy:  "topo-p",
+		jobs:    25,
+		seed:    42,
+		rate:    10,
+		workers: 4,
+		hold:    time.Millisecond,
+		retries: 8,
+		logPath: filepath.Join(dir, "events.log"),
+		out:     out,
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "placement latency") {
+		t.Fatalf("summary missing: %q", buf.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sweep.LoadBenchReport(data, out)
+	if err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if len(report.Serving) != 1 {
+		t.Fatalf("want 1 serving entry, got %d", len(report.Serving))
+	}
+	sb := report.Serving[0]
+	if sb.Name != "serve/minsky:2/topo-p" {
+		t.Fatalf("entry name %q", sb.Name)
+	}
+	if sb.Jobs != cfg.jobs {
+		t.Fatalf("jobs %d, want %d", sb.Jobs, cfg.jobs)
+	}
+	if sb.Errors != 0 {
+		t.Fatalf("%d errors driving an unlimited-queue server", sb.Errors)
+	}
+	if sb.Placed == 0 || sb.Placed > sb.Jobs {
+		t.Fatalf("placed %d outside (0, %d]", sb.Placed, sb.Jobs)
+	}
+	// Batching and FIFO head-of-line blocking keep decisions below the
+	// job count, but every placement cost at least one.
+	if sb.Decisions < sb.Placed {
+		t.Fatalf("decisions %d < placed %d", sb.Decisions, sb.Placed)
+	}
+	if sb.LatencyP50Ms <= 0 || sb.LatencyP99Ms < sb.LatencyP50Ms {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v", sb.LatencyP50Ms, sb.LatencyP99Ms)
+	}
+	if sb.ElapsedSec <= 0 || sb.JobsPerSec <= 0 || sb.DecisionsPerSec <= 0 {
+		t.Fatalf("rates unset: %+v", sb)
+	}
+
+	// -append merges a second entry instead of clobbering the artifact.
+	cfg.name = "serve/second"
+	cfg.appendTo = true
+	cfg.logPath = filepath.Join(dir, "events2.log")
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("append run: %v", err)
+	}
+	data, err = os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err = sweep.LoadBenchReport(data, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Serving) != 2 {
+		t.Fatalf("append kept %d entries, want 2", len(report.Serving))
+	}
+}
+
+func TestPercentileMs(t *testing.T) {
+	ds := []time.Duration{4 * time.Millisecond, time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
+	if got := percentileMs(ds, 50); got != 2 {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	if got := percentileMs(ds, 99); got != 4 {
+		t.Fatalf("p99 = %v, want 4", got)
+	}
+	if got := percentileMs(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}

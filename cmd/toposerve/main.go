@@ -1,32 +1,45 @@
 // Command toposerve is the real-time serving front-end over the
 // driver-agnostic scheduling core (internal/schedcore): the same §4.4
 // placement loop the simulator replays against virtual time, driven by
-// live HTTP traffic against the wall clock. One single-writer event loop
-// owns the core; handlers never touch it concurrently.
+// live HTTP traffic against the wall clock. The engine lives in
+// internal/serve: one single-writer loop owns the core, batches queued
+// arrivals into single scheduling rounds, journals every accepted
+// operation to an append-only event log with group-commit fsync, and
+// replays the log on start so a restart resumes with identical state.
 //
 //	toposerve -topology minsky:4 -policy topo-p -addr :8080
-//	toposerve -topology mix[minsky:2+dgx1:1]
-//	toposerve -topology matrix[machine.matrix]:8
+//	toposerve -topology mix[minsky:2+dgx1:1] -log /var/lib/toposerve/events.log
+//	toposerve -topology matrix[machine.matrix]:8 -max-queue 64
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"model":"AlexNet","batch_size":4,"gpus":2,"min_utility":0.5}'
 //	curl -s localhost:8080/v1/state
-//	curl -s localhost:8080/v1/decisions
+//	curl -s 'localhost:8080/v1/decisions?after=0&limit=100'
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-1
 //
 // The -topology syntax is the sweep cell-key syntax (named builders,
 // "mix[...]" heterogeneous clusters including degraded "minsky-1g"
 // kinds, and "matrix[file]" discovered machines), so a substrate from
 // any sweep artifact can be served verbatim. See docs/serving.md.
+//
+// SIGTERM/SIGINT drain gracefully: new submissions get 503 (draining),
+// in-flight requests finish, a final snapshot bounds the next start's
+// replay to zero records.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"gputopo/internal/schedcore"
+	"gputopo/internal/serve"
 	"gputopo/internal/sweep"
 )
 
@@ -35,16 +48,20 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		topoArg  = flag.String("topology", "minsky:1", "topology spec: builder[:machines], mix[kind:n+...], matrix[file][:machines]")
 		policy   = flag.String("policy", "topo-p", "placement policy: fcfs, bf, topo, topo-p")
+		logPath  = flag.String("log", "", "event-log path for durability (empty: in-memory only)")
+		maxQueue = flag.Int("max-queue", 0, "admission control: 429 when the wait queue is this deep (0: unlimited)")
+		snapshot = flag.Int("snapshot-every", 0, "snapshot+truncate the log every N records (0: default, negative: only on shutdown)")
+		drainFor = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGTERM")
 		quietOff = flag.Bool("quiet", false, "suppress the startup banner")
 	)
 	flag.Parse()
-	if err := run(*addr, *topoArg, *policy, *quietOff); err != nil {
+	if err := run(*addr, *topoArg, *policy, *logPath, *maxQueue, *snapshot, *drainFor, *quietOff); err != nil {
 		fmt.Fprintln(os.Stderr, "toposerve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, topoArg, policyName string, quiet bool) error {
+func run(addr, topoArg, policyName, logPath string, maxQueue, snapshotEvery int, drainFor time.Duration, quiet bool) error {
 	spec, err := sweep.ParseTopologyArg(topoArg)
 	if err != nil {
 		return err
@@ -53,13 +70,47 @@ func run(addr, topoArg, policyName string, quiet bool) error {
 	if err != nil {
 		return err
 	}
-	srv, err := NewServer(spec, pol, schedcore.WallClock())
+	srv, err := serve.New(serve.Config{
+		Spec:          spec,
+		Policy:        pol,
+		LogPath:       logPath,
+		MaxQueue:      maxQueue,
+		SnapshotEvery: snapshotEvery,
+	})
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
 	if !quiet {
-		fmt.Printf("toposerve: %s under %s on %s\n", spec.Key(), pol, addr)
+		durable := "in-memory"
+		if srv.Durable() {
+			durable = fmt.Sprintf("log %s (%d records replayed)", logPath, srv.Replayed())
+		}
+		fmt.Printf("toposerve: %s under %s on %s, %s\n", spec.Key(), pol, addr, durable)
 	}
-	return http.ListenAndServe(addr, srv.Handler())
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case s := <-sig:
+		if !quiet {
+			fmt.Printf("toposerve: %v: draining\n", s)
+		}
+		// Stop admitting, let in-flight requests finish, then write the
+		// final snapshot so the next start replays nothing.
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), drainFor)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			srv.Close()
+			return err
+		}
+		return srv.Close()
+	}
 }

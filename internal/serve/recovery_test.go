@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gputopo/internal/eventlog"
+	"gputopo/internal/schedcore"
+	"gputopo/internal/serveapi"
+	"gputopo/internal/serveapi/client"
+	"gputopo/internal/workload"
+)
+
+// pinnedState fetches /v1/state, strips the volatile fields and returns
+// both the struct and its canonical JSON bytes.
+func pinnedState(t *testing.T, c *client.Client) (*serveapi.StateResponse, []byte) {
+	t.Helper()
+	st, err := c.State(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ClearVolatile()
+	js, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, js
+}
+
+// TestKillAndRestartRecovery is the acceptance test of the durability
+// tentpole: drive a realistic mixed workload (submits saturating the
+// cluster, releases waking queued jobs) against a durable server, kill
+// it WITHOUT the shutdown snapshot, restart on the same log, and pin
+// /v1/state byte-for-byte (volatile fields cleared). Then shut down
+// gracefully and check the snapshot bounds the next replay to a single
+// record while still reproducing the state byte-for-byte.
+func TestKillAndRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "events.log")
+	spec := specArg(t, "minsky:2")
+	cfg := Config{Spec: spec, Policy: schedcore.TopoAwareP, LogPath: logPath, SnapshotEvery: -1}
+
+	topo, err := spec.Build(spec.EffectiveMachines(1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Generate(workload.GenConfig{Jobs: 30, Seed: 42, ArrivalRate: 10}, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := client.New(ts1.URL)
+	ctx := ctxT(t)
+
+	// Mixed traffic: every 6th submit is followed by releasing the oldest
+	// still-running job, so the log carries release + wake-up rounds, not
+	// just a submit burst.
+	var placed []string
+	released := 0
+	for i, j := range jobs {
+		jr, err := c1.SubmitJob(ctx, serveapi.JobRequest{
+			ID: j.ID, Model: j.Model.String(), BatchSize: j.BatchSize,
+			GPUs: j.GPUs, MinUtility: j.MinUtility, Iterations: j.Iterations,
+		})
+		if err != nil {
+			t.Fatalf("submit %s: %v", j.ID, err)
+		}
+		if jr.Status == "placed" {
+			placed = append(placed, jr.ID)
+		}
+		if i%6 == 5 && released < len(placed) {
+			rr, err := c1.ReleaseJob(ctx, placed[released])
+			if err != nil || rr.Status != "released" {
+				t.Fatalf("release %s: %+v %v", placed[released], rr, err)
+			}
+			released++
+		}
+	}
+	st1, js1 := pinnedState(t, c1)
+	if len(st1.Running) == 0 || len(st1.Queue) == 0 {
+		t.Fatalf("workload left no mixed state to recover: %+v", st1)
+	}
+	dec1, _, err := c1.AllDecisions(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	srv1.Kill() // crash: no shutdown snapshot
+
+	// Restart on the raw log: replay re-drives every record.
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if srv2.Replayed() == 0 {
+		t.Fatal("restart replayed nothing")
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	c2 := client.New(ts2.URL)
+
+	_, js2 := pinnedState(t, c2)
+	if string(js1) != string(js2) {
+		t.Fatalf("/v1/state diverged across kill+restart:\n before: %s\n after:  %s", js1, js2)
+	}
+	dec2, _, err := c2.AllDecisions(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec1, dec2) {
+		t.Fatalf("decision ring diverged: %d vs %d records", len(dec1), len(dec2))
+	}
+
+	// The recovered server keeps serving: submit once more, then shut
+	// down gracefully — the final snapshot truncates the log.
+	if _, err := c2.SubmitJob(ctx, serveapi.JobRequest{ID: "post-crash", GPUs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, js2b := pinnedState(t, c2)
+	ts2.Close()
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third generation: replay is bounded to exactly the snapshot record.
+	srv3, err := New(cfg)
+	if err != nil {
+		t.Fatalf("post-snapshot recovery failed: %v", err)
+	}
+	if srv3.Replayed() != 1 {
+		t.Fatalf("snapshot did not bound replay: %d records replayed, want 1", srv3.Replayed())
+	}
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+	defer srv3.Close()
+	_, js3 := pinnedState(t, client.New(ts3.URL))
+	if string(js2b) != string(js3) {
+		t.Fatalf("/v1/state diverged across snapshot restore:\n before: %s\n after:  %s", js2b, js3)
+	}
+}
+
+// TestSnapshotEveryBoundsReplay: with SnapshotEvery=8 a long submit
+// stream keeps the log short — the next open replays far fewer records
+// than the operations performed.
+func TestSnapshotEveryBoundsReplay(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "events.log")
+	cfg := Config{Spec: specArg(t, "minsky:1"), Policy: schedcore.TopoAwareP, LogPath: logPath, SnapshotEvery: 8}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	c := client.New(ts.URL)
+	ctx := ctxT(t)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := c.SubmitJob(ctx, serveapi.JobRequest{ID: fmt.Sprintf("s%d", i), GPUs: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var since int
+	srv.do(func() { since = srv.log.SinceRewrite() })
+	if since >= n {
+		t.Fatalf("log never snapshotted: %d records since rewrite after %d ops", since, n)
+	}
+	ts.Close()
+	srv.Kill() // keep the raw post-snapshot tail
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	// Replay = 1 snapshot + the bounded tail; far below 2*n records a
+	// raw log of n submits+rounds+places would hold.
+	if srv2.Replayed() > 2*8+2 {
+		t.Fatalf("replay not bounded: %d records", srv2.Replayed())
+	}
+	var queued, running int
+	srv2.do(func() {
+		queued = srv2.core.QueueLen()
+		running = len(srv2.core.State().Jobs())
+	})
+	if running+queued != n {
+		t.Fatalf("recovered %d running + %d queued, want %d total", running, queued, n)
+	}
+}
+
+// TestReplayDivergenceFailsLoudly hand-writes a log whose place record
+// contradicts what the policies recompute: recovery must refuse to
+// start rather than serve a cluster its journal does not describe.
+func TestReplayDivergenceFailsLoudly(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "events.log")
+	l, err := eventlog.Open(logPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := serveapi.JobSpec{
+		JobRequest: serveapi.JobRequest{ID: "d1", Model: "AlexNet", BatchSize: 4, GPUs: 2},
+		Arrival:    0.5,
+	}
+	records := []eventlog.Record{
+		{Type: eventlog.TypeSubmit, Time: 0.5, Job: &spec},
+		{Type: eventlog.TypeRound, Time: 0.5},
+		// The recomputed round will place d1 — but on whatever GPUs the
+		// policy picks, with seq 1. This record claims a different
+		// placement entirely.
+		{Type: eventlog.TypePlace, Time: 0.5, Decision: &serveapi.DecisionRecord{
+			Seq: 1, JobID: "d1", Placed: true, GPUs: []int{97, 98},
+		}},
+	}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{Spec: specArg(t, "minsky:1"), Policy: schedcore.TopoAwareP, LogPath: logPath})
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("divergent log accepted: %v", err)
+	}
+}
+
+// TestReplayToleratesTornBatch: a crash can persist a round record but
+// lose the place records behind it (the batch never synced). Recovery
+// must accept the log — the round's recomputed placements were never
+// acked, so there is nothing to verify them against.
+func TestReplayToleratesTornBatch(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "events.log")
+	l, err := eventlog.Open(logPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := serveapi.JobSpec{
+		JobRequest: serveapi.JobRequest{ID: "t1", Model: "AlexNet", BatchSize: 4, GPUs: 2},
+		Arrival:    1,
+	}
+	for _, r := range []eventlog.Record{
+		{Type: eventlog.TypeSubmit, Time: 1, Job: &spec},
+		{Type: eventlog.TypeRound, Time: 1},
+		// ...and the place records are gone with the crash.
+	} {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Spec: specArg(t, "minsky:1"), Policy: schedcore.TopoAwareP, LogPath: logPath})
+	if err != nil {
+		t.Fatalf("torn batch rejected: %v", err)
+	}
+	defer srv.Close()
+	var running int
+	srv.do(func() { running = len(srv.core.State().Jobs()) })
+	if running != 1 {
+		t.Fatalf("t1 not recovered as running: %d jobs", running)
+	}
+}
+
+// TestRecoveryMonotonicClock: the restarted server's clock resumes past
+// the log's highest timestamp, so post-restart arrivals never precede
+// recovered ones.
+func TestRecoveryMonotonicClock(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "events.log")
+	var fake float64
+	cfg := Config{Spec: specArg(t, "minsky:1"), Policy: schedcore.TopoAwareP, LogPath: logPath,
+		Now: func() float64 { return fake }}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	c := client.New(ts.URL)
+	ctx := ctxT(t)
+	fake = 100
+	if _, err := c.SubmitJob(ctx, serveapi.JobRequest{ID: "early", GPUs: 4, BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitJob(ctx, serveapi.JobRequest{ID: "waits", GPUs: 4, BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	srv.Kill()
+
+	fake = 0 // the process restarted; its time source reset
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.Close()
+	c2 := client.New(ts2.URL)
+	jr, err := c2.SubmitJob(ctx, serveapi.JobRequest{ID: "later", GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Time < 100 {
+		t.Fatalf("clock went backwards after restart: t=%v", jr.Time)
+	}
+	st, err := c2.State(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range st.Queue {
+		if q.ID == "later" && q.Arrival < 100 {
+			t.Fatalf("post-restart arrival %v precedes recovered arrivals", q.Arrival)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"gputopo/internal/serveapi"
+)
+
+// TestRetryOn429 pins the 429 path: the client must honor Retry-After,
+// retry within its budget and count the retries.
+func TestRetryOn429(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts < 3 {
+			serveapi.WriteRetryAfter(w, 1, "queue full")
+			return
+		}
+		serveapi.WriteJSON(w, serveapi.JobResponse{ID: "j1", Status: "queued"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithMaxRetries(5))
+	c.MaxRetryWait = 10 * time.Millisecond // don't actually sleep 1s in tests
+	resp, err := c.SubmitJob(context.Background(), serveapi.JobRequest{ID: "j1", GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "queued" || attempts != 3 {
+		t.Fatalf("status %q after %d attempts", resp.Status, attempts)
+	}
+	if _, retries := c.Stats(); retries != 2 {
+		t.Fatalf("retries429 = %d, want 2", retries)
+	}
+}
+
+// TestRetryBudgetExhausted: a server that never admits must surface the
+// queue_full APIError after MaxRetries.
+func TestRetryBudgetExhausted(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		serveapi.WriteRetryAfter(w, 1, "queue depth 64 at limit 64")
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithMaxRetries(2))
+	c.MaxRetryWait = time.Millisecond
+	_, err := c.SubmitJob(context.Background(), serveapi.JobRequest{ID: "j1", GPUs: 1})
+	if !IsCode(err, serveapi.CodeQueueFull) {
+		t.Fatalf("want queue_full APIError, got %v", err)
+	}
+	var ae *APIError
+	if !errorsAs(err, &ae) || ae.Status != 429 || ae.RetryAfter != time.Second {
+		t.Fatalf("APIError fields: %+v", ae)
+	}
+	if attempts != 3 { // initial + 2 retries
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func errorsAs(err error, out **APIError) bool {
+	ae, ok := err.(*APIError)
+	if ok {
+		*out = ae
+	}
+	return ok
+}
+
+// TestAPIErrorDecoding: envelope codes surface; non-envelope bodies
+// degrade to code "unknown".
+func TestAPIErrorDecoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/jobs/missing":
+			serveapi.WriteError(w, 404, serveapi.CodeJobNotFound, "no job")
+		default:
+			http.Error(w, "bare text", 500)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	_, err := c.ReleaseJob(context.Background(), "missing")
+	if !IsCode(err, serveapi.CodeJobNotFound) {
+		t.Fatalf("want job_not_found, got %v", err)
+	}
+	_, err = c.State(context.Background())
+	var ae *APIError
+	if !errorsAs(err, &ae) || ae.Code != "unknown" || ae.Status != 500 {
+		t.Fatalf("bare-body error: %v", err)
+	}
+}
+
+// TestContextCancelDuringRetry: a canceled context interrupts the retry
+// sleep instead of blocking out the full Retry-After.
+func TestContextCancelDuringRetry(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveapi.WriteRetryAfter(w, 30, "forever full")
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithMaxRetries(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.SubmitJob(ctx, serveapi.JobRequest{ID: "j", GPUs: 1})
+	if err == nil || time.Since(start) > 2*time.Second {
+		t.Fatalf("cancel did not interrupt retry sleep: err=%v after %v", err, time.Since(start))
+	}
+}
+
+// TestDecisionsPaging drives AllDecisions over a 3-page stub and checks
+// cursor propagation and truncation reporting.
+func TestDecisionsPaging(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		after, _ := strconv.Atoi(r.URL.Query().Get("after"))
+		resp := serveapi.DecisionsResponse{NextAfter: after, OldestSeq: 3, LatestSeq: 9}
+		if after < 3 {
+			resp.Truncated = true
+			after = 2 // records 1-2 dropped from the ring
+		}
+		for seq := after + 1; seq <= 9 && len(resp.Decisions) < 3; seq++ {
+			resp.Decisions = append(resp.Decisions, serveapi.DecisionRecord{Seq: seq, JobID: "j"})
+			resp.NextAfter = seq
+		}
+		serveapi.WriteJSON(w, resp)
+	}))
+	defer ts.Close()
+
+	all, truncated, err := New(ts.URL).AllDecisions(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("truncation not reported")
+	}
+	if len(all) != 7 || all[0].Seq != 3 || all[6].Seq != 9 {
+		t.Fatalf("paged %d records: %+v", len(all), all)
+	}
+}
+
+// TestHealth checks the non-JSON healthz path.
+func TestHealth(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	}))
+	defer ts.Close()
+	if err := New(ts.URL).Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

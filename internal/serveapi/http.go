@@ -1,0 +1,35 @@
+package serveapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// WriteJSON writes v as an indented JSON 200 response (indented so curl
+// output stays readable; the byte cost is irrelevant at API sizes).
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// WriteError writes the uniform error envelope with the HTTP status.
+func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(Errorf(code, format, args...))
+}
+
+// WriteRetryAfter writes a 429 queue_full envelope with the Retry-After
+// header admission control promises (seconds, rounded up to at least 1).
+func WriteRetryAfter(w http.ResponseWriter, seconds int, format string, args ...any) {
+	if seconds < 1 {
+		seconds = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(seconds))
+	WriteError(w, http.StatusTooManyRequests, CodeQueueFull, format, args...)
+}

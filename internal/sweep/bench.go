@@ -35,13 +35,46 @@ type GoBench struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// BenchReport is the perf-tracking artifact (BENCH_sweep.json): sweep
-// wall-clock/throughput entries plus micro-benchmark figures, diffable
+// ServeBench records one topoload run against a toposerve instance
+// (BENCH_serve.json): how much traffic was driven, how it fared, and
+// the placement-latency distribution observed at the client. Jobs and
+// Errors are deterministic (the differ gates them even under
+// -wallclock-off: losing traffic coverage or growing a nonzero error
+// count is a regression on any machine); everything else depends on
+// scheduling timing or wall clock and gates only in timed mode.
+type ServeBench struct {
+	Name string `json:"name"` // e.g. "serve/minsky:2/topo-p"
+	// Jobs is the number of submissions driven; Errors counts requests
+	// that failed for any reason other than an eventually-admitted 429.
+	Jobs   int `json:"jobs"`
+	Errors int `json:"errors"`
+	// Placed counts jobs the submitting POST itself placed; Retries429
+	// counts admission-control retries the client absorbed.
+	Placed     int `json:"placed,omitempty"`
+	Retries429 int `json:"retries_429,omitempty"`
+	// Decisions is the server's decision count over the run.
+	Decisions  int     `json:"decisions,omitempty"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	JobsPerSec float64 `json:"jobs_per_sec,omitempty"`
+	// DecisionsPerSec is scheduler decision throughput (decisions /
+	// elapsed) — the batching loop's amortization shows up here.
+	DecisionsPerSec float64 `json:"decisions_per_sec,omitempty"`
+	// Latency percentiles of the submit round trip (request sent to
+	// decision received), in milliseconds.
+	LatencyP50Ms float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP95Ms float64 `json:"latency_p95_ms,omitempty"`
+	LatencyP99Ms float64 `json:"latency_p99_ms,omitempty"`
+}
+
+// BenchReport is the perf-tracking artifact (BENCH_sweep.json /
+// BENCH_serve.json): sweep wall-clock/throughput entries,
+// micro-benchmark figures and serving load-harness runs, diffable
 // across commits with DiffBench.
 type BenchReport struct {
-	Schema     string      `json:"schema"`
-	Grids      []GridBench `json:"grids,omitempty"`
-	Benchmarks []GoBench   `json:"benchmarks,omitempty"`
+	Schema     string       `json:"schema"`
+	Grids      []GridBench  `json:"grids,omitempty"`
+	Benchmarks []GoBench    `json:"benchmarks,omitempty"`
+	Serving    []ServeBench `json:"serving,omitempty"`
 }
 
 // NewGridBench distills a completed report (with Elapsed/Workers set by
@@ -76,12 +109,24 @@ func (b *BenchReport) AddGrid(gb GridBench) {
 	b.Grids = append(b.Grids, gb)
 }
 
+// AddServe inserts or replaces the serving entry for the run name.
+func (b *BenchReport) AddServe(sb ServeBench) {
+	for i := range b.Serving {
+		if b.Serving[i].Name == sb.Name {
+			b.Serving[i] = sb
+			return
+		}
+	}
+	b.Serving = append(b.Serving, sb)
+}
+
 // JSON serializes the bench report deterministically (grids and
 // benchmarks sorted by name).
 func (b *BenchReport) JSON() ([]byte, error) {
 	b.Schema = BenchSchema
 	sort.Slice(b.Grids, func(i, j int) bool { return b.Grids[i].Grid < b.Grids[j].Grid })
 	sort.Slice(b.Benchmarks, func(i, j int) bool { return b.Benchmarks[i].Name < b.Benchmarks[j].Name })
+	sort.Slice(b.Serving, func(i, j int) bool { return b.Serving[i].Name < b.Serving[j].Name })
 	js, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return nil, err
@@ -164,11 +209,15 @@ type BenchDiffOptions struct {
 	WallClockOff bool
 }
 
-// wallClockMetric reports whether a bench metric measures time rather
-// than allocation work.
+// wallClockMetric reports whether a bench metric depends on real time
+// or load timing (latencies, rates, and the timing-dependent serving
+// counts) rather than deterministic work (allocation counts, traffic
+// coverage, error totals).
 func wallClockMetric(name string) bool {
 	switch name {
-	case "elapsed_sec", "points_per_sec", "jobs_per_sec", "ns_per_op":
+	case "elapsed_sec", "points_per_sec", "jobs_per_sec", "ns_per_op",
+		"decisions_per_sec", "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+		"placed", "retries_429", "decisions":
 		return true
 	}
 	return false
@@ -201,14 +250,47 @@ var benchGoMetrics = []struct {
 	{"allocs_per_op", func(g GoBench) float64 { return g.AllocsPerOp }},
 }
 
-// BenchDiffMetricNames lists the metric names the perf differ compares.
+// benchServeMetrics declares the serving load-harness metrics. Jobs and
+// errors are deterministic and survive -wallclock-off: a shrunken jobs
+// count means lost coverage, and any errors growth from zero compares
+// as an infinite relative change, regressing at every tolerance.
+var benchServeMetrics = []struct {
+	name   string
+	higher bool // higher is better
+	get    func(ServeBench) float64
+}{
+	{"jobs", true, func(s ServeBench) float64 { return float64(s.Jobs) }},
+	{"errors", false, func(s ServeBench) float64 { return float64(s.Errors) }},
+	{"placed", true, func(s ServeBench) float64 { return float64(s.Placed) }},
+	{"retries_429", false, func(s ServeBench) float64 { return float64(s.Retries429) }},
+	{"decisions", true, func(s ServeBench) float64 { return float64(s.Decisions) }},
+	{"elapsed_sec", false, func(s ServeBench) float64 { return s.ElapsedSec }},
+	{"jobs_per_sec", true, func(s ServeBench) float64 { return s.JobsPerSec }},
+	{"decisions_per_sec", true, func(s ServeBench) float64 { return s.DecisionsPerSec }},
+	{"latency_p50_ms", false, func(s ServeBench) float64 { return s.LatencyP50Ms }},
+	{"latency_p95_ms", false, func(s ServeBench) float64 { return s.LatencyP95Ms }},
+	{"latency_p99_ms", false, func(s ServeBench) float64 { return s.LatencyP99Ms }},
+}
+
+// BenchDiffMetricNames lists the metric names the perf differ compares
+// (deduplicated: grid and serving entries share rate names).
 func BenchDiffMetricNames() []string {
 	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
 	for _, m := range benchGridMetrics {
-		names = append(names, m.name)
+		add(m.name)
 	}
 	for _, m := range benchGoMetrics {
-		names = append(names, m.name)
+		add(m.name)
+	}
+	for _, m := range benchServeMetrics {
+		add(m.name)
 	}
 	return names
 }
@@ -294,6 +376,43 @@ func DiffBench(oldRep, newRep *BenchReport, opt BenchDiffOptions) *DiffResult {
 	for _, b := range newRep.Benchmarks {
 		if !seenBench[b.Name] {
 			d.AddedCells = append(d.AddedCells, "go:"+b.Name)
+		}
+	}
+
+	newServe := map[string]ServeBench{}
+	for _, s := range newRep.Serving {
+		newServe[s.Name] = s
+	}
+	seenServe := map[string]bool{}
+	for _, os := range oldRep.Serving {
+		key := "serve:" + os.Name
+		seenServe[os.Name] = true
+		ns, ok := newServe[os.Name]
+		if !ok {
+			d.MissingCells = append(d.MissingCells, key)
+			d.Regressions++
+			continue
+		}
+		for _, m := range benchServeMetrics {
+			if opt.WallClockOff && wallClockMetric(m.name) {
+				continue
+			}
+			oldV, newV := m.get(os), m.get(ns)
+			if m.higher {
+				rel, status := compareMetric(invert(oldV), invert(newV), opt.tol(m.name))
+				if !math.IsNaN(rel) && oldV != 0 {
+					rel = (newV - oldV) / math.Abs(oldV)
+				}
+				d.add(key, m.name, oldV, newV, rel, status)
+				continue
+			}
+			rel, status := compareMetric(oldV, newV, opt.tol(m.name))
+			d.add(key, m.name, oldV, newV, rel, status)
+		}
+	}
+	for _, s := range newRep.Serving {
+		if !seenServe[s.Name] {
+			d.AddedCells = append(d.AddedCells, "serve:"+s.Name)
 		}
 	}
 	sort.Strings(d.AddedCells)

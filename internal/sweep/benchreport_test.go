@@ -184,6 +184,76 @@ func TestDiffBenchThresholds(t *testing.T) {
 	}
 }
 
+// TestDiffBenchServing pins the serving section's gate semantics: jobs
+// and errors are deterministic and survive -wallclock-off (errors
+// growing from zero is an infinite relative change — a regression at
+// ANY tolerance), while latencies, rates and the timing-dependent
+// counts gate only in timed mode.
+func TestDiffBenchServing(t *testing.T) {
+	old := &BenchReport{Serving: []ServeBench{{
+		Name: "serve/minsky:2/topo-p", Jobs: 200, Errors: 0, Placed: 80, Retries429: 5,
+		Decisions: 900, ElapsedSec: 2, JobsPerSec: 100, DecisionsPerSec: 450,
+		LatencyP50Ms: 1.5, LatencyP95Ms: 4, LatencyP99Ms: 9,
+	}}}
+	same := &BenchReport{Serving: []ServeBench{{
+		Name: "serve/minsky:2/topo-p", Jobs: 200, Errors: 0, Placed: 75, Retries429: 9,
+		Decisions: 850, ElapsedSec: 3, JobsPerSec: 66, DecisionsPerSec: 280,
+		LatencyP50Ms: 2.5, LatencyP95Ms: 7, LatencyP99Ms: 16,
+	}}}
+	// Wallclock-off: noisy timing differences are not compared at all.
+	d := DiffBench(old, same, BenchDiffOptions{RelTol: 0.25, WallClockOff: true})
+	if d.HasRegressions() {
+		t.Fatalf("timing noise gated under wallclock-off:\n%s", d.Markdown())
+	}
+	for _, md := range d.Deltas {
+		if wallClockMetric(md.Metric) {
+			t.Fatalf("wall-clock serve metric %s compared in wallclock-off mode", md.Metric)
+		}
+	}
+
+	// A single error appearing regresses at any tolerance, even with the
+	// wall-clock gate off: 0 -> 1 is an infinite relative change.
+	erring := &BenchReport{Serving: []ServeBench{func() ServeBench {
+		s := old.Serving[0]
+		s.Errors = 1
+		return s
+	}()}}
+	if d := DiffBench(old, erring, BenchDiffOptions{RelTol: 1000, WallClockOff: true}); !d.HasRegressions() {
+		t.Fatal("serving errors growth passed the gate")
+	}
+	// Lost traffic coverage (jobs collapse) also gates deterministically.
+	fewer := &BenchReport{Serving: []ServeBench{func() ServeBench {
+		s := old.Serving[0]
+		s.Jobs = 10
+		return s
+	}()}}
+	if d := DiffBench(old, fewer, BenchDiffOptions{RelTol: 0.5, WallClockOff: true}); !d.HasRegressions() {
+		t.Fatal("jobs collapse passed the gate")
+	}
+	// In timed mode a latency blowup gates.
+	slower := &BenchReport{Serving: []ServeBench{func() ServeBench {
+		s := old.Serving[0]
+		s.LatencyP95Ms = 40
+		return s
+	}()}}
+	if d := DiffBench(old, slower, BenchDiffOptions{RelTol: 0.5}); !d.HasRegressions() {
+		t.Fatal("latency blowup passed the timed gate")
+	}
+	// A vanished serving entry is lost coverage.
+	if d := DiffBench(old, &BenchReport{}, BenchDiffOptions{RelTol: 0.5, WallClockOff: true}); !d.HasRegressions() || len(d.MissingCells) != 1 {
+		t.Fatalf("missing serving entry not flagged: %+v", d)
+	}
+	// Round trip through the artifact keeps the section.
+	js, err := old.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBenchReport(js, "mem")
+	if err != nil || len(back.Serving) != 1 || back.Serving[0].Jobs != 200 {
+		t.Fatalf("serving round trip: %+v %v", back, err)
+	}
+}
+
 // TestDiffBenchWallClockOff pins the noisy-runner CI mode: with
 // WallClockOff every time-derived metric is skipped entirely — a 100x
 // wall-clock collapse passes — while allocation regressions still gate.
