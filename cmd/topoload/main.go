@@ -45,21 +45,24 @@ import (
 )
 
 type config struct {
-	url      string
-	topoArg  string
-	policy   string
-	jobs     int
-	seed     uint64
-	rate     float64
-	workers  int
-	hold     time.Duration
-	retries  int
-	maxQueue int
-	logPath  string
-	name     string
-	out      string
-	appendTo bool
-	quiet    bool
+	url       string
+	topoArg   string
+	policy    string
+	disc      string
+	preempt   bool
+	prioShare float64
+	jobs      int
+	seed      uint64
+	rate      float64
+	workers   int
+	hold      time.Duration
+	retries   int
+	maxQueue  int
+	logPath   string
+	name      string
+	out       string
+	appendTo  bool
+	quiet     bool
 }
 
 func main() {
@@ -67,6 +70,9 @@ func main() {
 	flag.StringVar(&cfg.url, "url", "", "target toposerve base URL (empty: run an in-process server)")
 	flag.StringVar(&cfg.topoArg, "topology", "minsky:2", "topology spec shaping the generated workload (and the in-process server)")
 	flag.StringVar(&cfg.policy, "policy", "topo-p", "in-process server policy")
+	flag.StringVar(&cfg.disc, "discipline", "", "in-process server queue discipline: fifo (default) or priority")
+	flag.BoolVar(&cfg.preempt, "preempt", false, "enable preemption on the in-process server")
+	flag.Float64Var(&cfg.prioShare, "priority-share", 0, "fraction of generated jobs submitted at priority 1 (mixed-priority load)")
 	flag.IntVar(&cfg.jobs, "jobs", 200, "jobs to submit")
 	flag.Uint64Var(&cfg.seed, "seed", 42, "workload generator seed")
 	flag.Float64Var(&cfg.rate, "rate", 10, "workload generator arrival rate (jobs/min), shapes sizes and arrival spacing")
@@ -97,6 +103,7 @@ func run(cfg config, w io.Writer) error {
 	}
 	jobs, err := workload.Generate(workload.GenConfig{
 		Jobs: cfg.jobs, Seed: cfg.seed, ArrivalRate: cfg.rate,
+		HighPriorityShare: cfg.prioShare,
 	}, topo)
 	if err != nil {
 		return err
@@ -109,7 +116,8 @@ func run(cfg config, w io.Writer) error {
 			return err
 		}
 		srv, err := serve.New(serve.Config{
-			Spec: spec, Policy: pol, LogPath: cfg.logPath, MaxQueue: cfg.maxQueue,
+			Spec: spec, Policy: pol, Discipline: cfg.disc, Preemption: cfg.preempt,
+			LogPath: cfg.logPath, MaxQueue: cfg.maxQueue,
 		})
 		if err != nil {
 			return err
@@ -185,6 +193,7 @@ func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (
 				req := serveapi.JobRequest{
 					ID: j.ID, Model: j.Model.String(), BatchSize: j.BatchSize,
 					GPUs: j.GPUs, MinUtility: j.MinUtility, Iterations: j.Iterations,
+					Priority: j.Priority,
 				}
 				t0 := time.Now()
 				jr, err := c.SubmitJob(ctx, req)

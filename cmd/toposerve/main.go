@@ -48,6 +48,8 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		topoArg  = flag.String("topology", "minsky:1", "topology spec: builder[:machines], mix[kind:n+...], matrix[file][:machines]")
 		policy   = flag.String("policy", "topo-p", "placement policy: fcfs, bf, topo, topo-p")
+		disc     = flag.String("discipline", "", "queue discipline: fifo (default) or priority")
+		preempt  = flag.Bool("preempt", false, "enable topology-aware preemption (positive-priority jobs may evict lower-priority ones)")
 		logPath  = flag.String("log", "", "event-log path for durability (empty: in-memory only)")
 		maxQueue = flag.Int("max-queue", 0, "admission control: 429 when the wait queue is this deep (0: unlimited)")
 		snapshot = flag.Int("snapshot-every", 0, "snapshot+truncate the log every N records (0: default, negative: only on shutdown)")
@@ -55,13 +57,13 @@ func main() {
 		quietOff = flag.Bool("quiet", false, "suppress the startup banner")
 	)
 	flag.Parse()
-	if err := run(*addr, *topoArg, *policy, *logPath, *maxQueue, *snapshot, *drainFor, *quietOff); err != nil {
+	if err := run(*addr, *topoArg, *policy, *disc, *preempt, *logPath, *maxQueue, *snapshot, *drainFor, *quietOff); err != nil {
 		fmt.Fprintln(os.Stderr, "toposerve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, topoArg, policyName, logPath string, maxQueue, snapshotEvery int, drainFor time.Duration, quiet bool) error {
+func run(addr, topoArg, policyName, discipline string, preempt bool, logPath string, maxQueue, snapshotEvery int, drainFor time.Duration, quiet bool) error {
 	spec, err := sweep.ParseTopologyArg(topoArg)
 	if err != nil {
 		return err
@@ -73,6 +75,8 @@ func run(addr, topoArg, policyName, logPath string, maxQueue, snapshotEvery int,
 	srv, err := serve.New(serve.Config{
 		Spec:          spec,
 		Policy:        pol,
+		Discipline:    discipline,
+		Preemption:    preempt,
 		LogPath:       logPath,
 		MaxQueue:      maxQueue,
 		SnapshotEvery: snapshotEvery,

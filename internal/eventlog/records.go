@@ -17,6 +17,11 @@ const (
 	// re-driving the core, then verifies them against these records —
 	// any divergence fails recovery loudly.
 	TypePlace = "place"
+	// TypeEvict: a scheduling round preempted a running job — Decision
+	// carries the eviction notice (victim ID, freed GPUs, preemptor).
+	// Like TypePlace, replay recomputes evictions by re-driving the core
+	// and verifies them against these records.
+	TypeEvict = "evict"
 	// TypeRelease: a running job was released; its GPUs freed.
 	TypeRelease = "release"
 	// TypeWithdraw: a still-queued job was withdrawn.
@@ -87,6 +92,8 @@ type SnapStats struct {
 	SLOViolations  int   `json:"slo_violations"`
 	GateSkips      int   `json:"gate_skips"`
 	WakeSkips      int   `json:"wake_skips"`
+	Preemptions    int   `json:"preemptions,omitempty"`
+	Evictions      int   `json:"evictions,omitempty"`
 	DecisionTimeNs int64 `json:"decision_time_ns,omitempty"`
 	MaxDecisionNs  int64 `json:"max_decision_ns,omitempty"`
 }

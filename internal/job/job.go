@@ -42,6 +42,12 @@ type Job struct {
 	// evaluated mode, the default) or model-parallel activation exchange
 	// (§2's more communication-intensive extension).
 	Parallelism perfmodel.Parallelism
+	// Priority ranks the job for priority queue disciplines and
+	// preemption: higher values are served first, and under a preemptive
+	// scheduler may evict strictly lower-priority running jobs. Zero (the
+	// default) reproduces the paper's single-class workload; the FIFO
+	// discipline ignores the field entirely.
+	Priority int
 
 	comm *jobgraph.Graph
 }

@@ -49,6 +49,11 @@ type Decision struct {
 	// identical whether the wake-up index skipped the job's doomed
 	// re-evaluations or a full queue walk replayed them.
 	Postponements int
+	// Evictions lists the running jobs this placement preempted, in
+	// eviction order. Non-empty only under SetPreemption(true) when the
+	// placement went through the preemption path; the victims are
+	// re-enqueued and will appear in later placement decisions.
+	Evictions []Eviction
 }
 
 // Stats accumulates scheduler bookkeeping, including the decision-time
@@ -69,7 +74,13 @@ type Stats struct {
 	// so no decision record was materialized for them at all. They still
 	// count as Postponements — the aggregate stays identical to a full
 	// queue walk — but cost O(1) in bulk instead of O(1) each.
-	WakeSkips    int
+	WakeSkips int
+	// Preemptions counts placements that went through the preemption
+	// path (evicting at least one victim); Evictions counts the victims
+	// those placements displaced. Both stay zero unless SetPreemption
+	// enabled the path.
+	Preemptions  int
+	Evictions    int
 	DecisionTime time.Duration // total time spent deciding
 	MaxDecision  time.Duration
 }
@@ -143,6 +154,25 @@ type Core struct {
 	seq    int // next submission sequence number
 	rounds int // completed Schedule calls
 
+	// place evaluates the placement policies against the live state; the
+	// preemption path builds throwaway placers over clones of it.
+	place placer
+
+	// Preemption bookkeeping. running mirrors the cluster state's
+	// allocations as job objects, so victim selection can rank running
+	// jobs by priority without a reverse lookup. pendingRequeue stages
+	// the victims evicted during the current Schedule round: they rejoin
+	// the queue only after the round's dispatch finishes, so the round
+	// never examines a job it just evicted. deferred holds parked
+	// entries whose wake-up bucket an eviction re-opened *behind* the
+	// round's progress point — they re-park untouched at the end of the
+	// round (see scheduleIndexed).
+	preemptOn      bool
+	running        map[string]*job.Job
+	pendingRequeue []*job.Job
+	deferred       []entry
+	evictedInRound bool
+
 	stats Stats
 	// lastFailed holds the version-gate memo per queued job ID. Entries
 	// are dropped when the job places (it leaves the queue). gateOff
@@ -157,12 +187,8 @@ type Core struct {
 	// Schedule call.
 	decBuf  []Decision
 	decPtrs []*Decision
-	// freeScratch and hostScratch are reused by the placement policies
-	// for candidate GPU and host lists; evalScratch double-buffers the
-	// active list across indexed Schedule rounds. Their contents are
-	// dead once the owning call returns.
-	freeScratch []int
-	hostScratch []int
+	// evalScratch double-buffers the active list across indexed Schedule
+	// rounds. Its contents are dead once the owning call returns.
 	evalScratch []entry
 }
 
@@ -187,6 +213,8 @@ func New(policy Policy, state *cluster.State, mapper *core.Mapper, opts ...Optio
 		state:      state,
 		mapper:     mapper,
 		lastFailed: map[string]failedAttempt{},
+		running:    map[string]*job.Job{},
+		place:      placer{policy: policy, state: state, mapper: mapper},
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -245,6 +273,10 @@ func (c *Core) SetWakeIndex(enabled bool) {
 
 // indexed reports whether the wake-up index drives Schedule.
 func (c *Core) indexed() bool { return c.policy == TopoAwareP && !c.indexOff }
+
+// Discipline returns the name of the queue discipline ordering the wait
+// queue.
+func (c *Core) Discipline() string { return c.disc.Name() }
 
 // Policy returns the core's placement policy.
 func (c *Core) Policy() Policy { return c.policy }
@@ -341,7 +373,26 @@ func (c *Core) Queued() []*job.Job {
 }
 
 // Release frees the allocation of a finished job.
-func (c *Core) Release(jobID string) error { return c.state.Release(jobID) }
+func (c *Core) Release(jobID string) error {
+	if err := c.state.Release(jobID); err != nil {
+		return err
+	}
+	delete(c.running, jobID)
+	return nil
+}
+
+// Restore re-registers a recovered running job with its original
+// placement — the replay path of a durable driver restoring a snapshot.
+// Unlike allocating on the cluster state directly, it also registers the
+// job in the core's running set, so preemption can see (and evict)
+// recovered jobs exactly like freshly placed ones.
+func (c *Core) Restore(j *job.Job, gpus []int, bandwidth float64) error {
+	if err := c.state.Allocate(j.ID, gpus, bandwidth, j.Traits()); err != nil {
+		return err
+	}
+	c.running[j.ID] = j
+	return nil
+}
 
 // Withdraw removes a still-queued job (it never placed) from the queue
 // and the wake-up index — the serving front-end's cancellation path. It
@@ -407,12 +458,14 @@ func (c *Core) Withdraw(jobID string) bool {
 func (c *Core) Schedule() []*Decision {
 	c.rounds++
 	c.decBuf = c.decBuf[:0]
+	c.evictedInRound = false
 	now := c.clock.Now()
 	if c.indexed() {
 		c.scheduleIndexed(now)
 	} else {
 		c.scheduleWalk(now)
 	}
+	c.requeueVictims()
 	// Build the pointer view only after the value buffer stopped growing:
 	// append may relocate decBuf, so taking addresses mid-walk would hand
 	// out dangling pointers.
@@ -480,10 +533,22 @@ func (c *Core) scheduleWalk(now float64) {
 // postponement and stay queued. The index skips materializing those
 // records and accounts them in bulk, which keeps Stats (and every
 // artifact metric) bit-identical to the full walk.
+//
+// Preemption is the one event that grows capacity mid-round, and it
+// breaks the only-shrinks invariant in exactly one way: an eviction can
+// re-open a bucket whose head sits *behind* the round's progress point —
+// a job a full walk already rubber-stamped at its earlier queue position
+// and will not revisit this round. Picking it now would diverge from the
+// walk, so such heads are deferred (popped, stashed, re-parked after the
+// round); heads at or past the watermark are picked normally, which is
+// precisely the walk's behavior of later positions seeing post-eviction
+// capacity. The watermark is the queue order of the last examined entry.
 func (c *Core) scheduleIndexed(now float64) {
 	queueLen := c.QueueLen()
 	next := c.evalScratch[:0] // survivors that stay active, in queue order
 	ai := 0
+	var watermark entry
+	haveMark := false
 	for {
 		// Candidates: the next active entry and the head of every bucket
 		// the *current* capacity reaches. Re-reading the capacity per pick
@@ -529,10 +594,20 @@ func (c *Core) scheduleIndexed(now float64) {
 					delete(c.parkedMulti, bestKey)
 				}
 			}
+			if c.evictedInRound && haveMark && c.entryCmp(e, watermark) < 0 {
+				// This bucket only became eligible through an eviction, and
+				// its head's queue position was already passed: the full
+				// walk gave the job its no-capacity record back then and
+				// will not revisit it this round. Defer it — it re-parks
+				// untouched once the round ends.
+				c.deferred = append(c.deferred, e)
+				continue
+			}
 		} else {
 			e = c.active[ai]
 			ai++
 		}
+		watermark, haveMark = e, true
 		if !c.examine(&e, now) {
 			// A popped bucket entry passed its capacity gate by
 			// construction, so examine either placed it or moved it to the
@@ -550,10 +625,20 @@ func (c *Core) scheduleIndexed(now float64) {
 	clear(old)
 	c.active, c.evalScratch = next, old[:0]
 
+	// Entries deferred by the watermark check re-park under their
+	// original wake-up keys, exactly as the full walk leaves them queued.
+	for i := range c.deferred {
+		c.park(&c.deferred[i])
+		c.deferred[i] = entry{}
+	}
+	c.deferred = c.deferred[:0]
+
 	// Bulk accounting for the jobs the index never visited: a full walk
 	// would have given each one a no-capacity (or replayed) postponement
 	// decision this round. Every visited job appended exactly one
 	// decision, so the skip count falls out of the buffer length.
+	// Deferred entries land here too — the walk's record for them was
+	// issued before the eviction, at their original queue position.
 	skipped := queueLen - len(c.decBuf)
 	c.stats.Postponements += skipped
 	c.stats.WakeSkips += skipped
@@ -580,28 +665,21 @@ func (c *Core) examine(e *entry, now float64) bool {
 		enough = c.state.FreeGPUCount() >= j.GPUs
 	}
 	if !enough {
+		if c.preemptEligible(j) && c.preemptAndPlace(e, now) {
+			return true
+		}
 		c.stats.Postponements++
 		e.postponed++
 		c.decBuf = append(c.decBuf, Decision{Job: j, Postponed: true, Reason: "no-capacity", Time: now})
-		if c.indexed() {
+		if c.indexed() && !c.preemptEligible(j) {
 			// Park under the wake-up key: the free-GPU count that must be
-			// reached before the gate above can pass again. Buckets
-			// materialize lazily — only TOPO-AWARE-P ever pays for them.
-			e.parked = true
-			buckets := &c.parkedSingle
-			if !single {
-				buckets = &c.parkedMulti
-			}
-			if *buckets == nil {
-				*buckets = map[int]*entryHeap{}
-			}
-			h := (*buckets)[j.GPUs]
-			if h == nil {
-				h = &entryHeap{}
-				(*buckets)[j.GPUs] = h
-			}
-			c.heapPush(h, *e)
-			c.nParked++
+			// reached before the gate above can pass again. Preemption-
+			// eligible jobs never park — their chance to place changes
+			// whenever a lower-priority job starts running, an event the
+			// capacity-keyed index cannot wake them for, so they stay
+			// active and are re-examined every round like a full walk
+			// would.
+			c.park(e)
 		}
 		return false
 	}
@@ -626,6 +704,15 @@ func (c *Core) examine(e *entry, now float64) bool {
 	}
 	d.Time = now
 	if d.Postponed {
+		// The gate passed but placement still failed (fragmentation,
+		// bandwidth, DRB infeasibility): eviction can fix those too.
+		// Attempting it before the memo is what keeps the version gate
+		// sound under preemption — a memo now means "placement AND
+		// preemption both failed at this epoch", and both are
+		// deterministic functions of the cluster state.
+		if d.Reason == "no-capacity" && c.preemptEligible(j) && c.preemptAndPlace(e, now) {
+			return true
+		}
 		c.lastFailed[j.ID] = failedAttempt{epoch: c.state.Epoch(), reason: d.Reason}
 		c.stats.Postponements++
 		e.postponed++
@@ -642,62 +729,45 @@ func (c *Core) examine(e *entry, now float64) bool {
 	return true
 }
 
+// park files a capacity-blocked entry into its wake-up bucket: the
+// free-GPU count that must be reached before its availableResources gate
+// can pass again. Buckets materialize lazily — only TOPO-AWARE-P ever
+// pays for them.
+func (c *Core) park(e *entry) {
+	e.parked = true
+	buckets := &c.parkedSingle
+	if !e.job.SingleNode {
+		buckets = &c.parkedMulti
+	}
+	if *buckets == nil {
+		*buckets = map[int]*entryHeap{}
+	}
+	h := (*buckets)[e.job.GPUs]
+	if h == nil {
+		h = &entryHeap{}
+		(*buckets)[e.job.GPUs] = h
+	}
+	c.heapPush(h, *e)
+	c.nParked++
+}
+
 // tryPlace attempts to place one job according to the policy, committing
 // the allocation on success. It returns by value so Schedule can append
 // into its reusable decision buffer.
 func (c *Core) tryPlace(j *job.Job) Decision {
-	var placement *core.Placement
-	var err error
-	switch c.policy {
-	case FCFS:
-		placement, err = c.placeFCFS(j)
-	case BestFit:
-		placement, err = c.placeBestFit(j)
-	case TopoAware, TopoAwareP:
-		placement, err = c.placeTopoAware(j)
+	placement, reason := c.place.attempt(j)
+	if placement == nil {
+		return Decision{Job: j, Postponed: true, Reason: reason}
 	}
-	if err != nil {
-		return Decision{Job: j, Postponed: true, Reason: "no-capacity"}
-	}
-
-	if c.policy == TopoAwareP && placement.Utility < j.MinUtility && !c.clusterIdle() {
-		// Postpone: a better placement may open when jobs finish. On an
-		// idle cluster no future placement can beat this one, so place
-		// best-effort to avoid deadlock.
-		return Decision{Job: j, Postponed: true, Reason: "low-utility"}
-	}
-
 	if err := c.state.Allocate(j.ID, placement.GPUs, placement.BusDemand, j.Traits()); err != nil {
 		return Decision{Job: j, Postponed: true, Reason: "no-capacity"}
 	}
+	c.running[j.ID] = j
 	return Decision{
 		Job:         j,
 		Placement:   placement,
 		SLOViolated: placement.Utility < j.MinUtility,
 	}
-}
-
-// clusterIdle reports whether no job is currently running.
-func (c *Core) clusterIdle() bool { return len(c.state.Jobs()) == 0 }
-
-// filterHosts implements filterHostsByConstraints (Algorithm 1): machines
-// with enough free GPUs and enough uncommitted shared-bus bandwidth for
-// the job. Returned machine indices are ascending.
-func (c *Core) filterHosts(j *job.Job) []int {
-	topo := c.state.Topology()
-	demand := estimateDemand(j, c.state)
-	hosts := c.hostScratch[:0]
-	for m := 0; m < topo.NumMachines(); m++ {
-		if c.state.FreeCountOnMachine(m) < minGPUsPerHost(j) {
-			continue
-		}
-		if c.state.FreeBusBandwidth(m) < demand {
-			continue
-		}
-		hosts = append(hosts, m)
-	}
-	c.hostScratch = hosts
-	return hosts
 }
 
 // minGPUsPerHost is the minimum free GPUs a host must offer to be a

@@ -1,0 +1,299 @@
+package difftest
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gputopo/internal/cluster"
+	"gputopo/internal/core"
+	"gputopo/internal/profile"
+	"gputopo/internal/schedcore"
+)
+
+// coreConfigs are the fast-path configurations of the real Core the
+// reference must match placement-for-placement. The epoch gate and the
+// wake-up index are documented as never changing decisions; this is
+// where that claim gets falsified if it is ever wrong.
+var coreConfigs = []struct {
+	name        string
+	gate, index bool
+}{
+	{"gate+index", true, true},
+	{"gate", true, false},
+	{"index", false, true},
+	{"plain", false, false},
+}
+
+// schedUnder builds a real Core over its own fresh substrate for the
+// trace's configuration.
+func schedUnder(t *testing.T, tr *Trace, gate, index bool) *schedcore.Core {
+	t.Helper()
+	disc, err := schedcore.ParseDiscipline(tr.Discipline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := core.NewMapper(profile.Generate(tr.Topology, tr.Topology.NumGPUs()), core.DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := schedcore.New(tr.Policy, cluster.NewState(tr.Topology), mapper, schedcore.WithQueueDiscipline(disc))
+	c.SetEpochGate(gate)
+	c.SetWakeIndex(index)
+	c.SetPreemption(tr.Preempt)
+	return c
+}
+
+// reduce projects a Core round onto the reference's Placement identity:
+// placement decisions only, in decision order, with their eviction
+// lists. Postponement records are not compared — the wake-up index
+// legitimately materializes none for parked jobs.
+func reduce(decs []*schedcore.Decision) []Placement {
+	var out []Placement
+	for _, d := range decs {
+		if d.Postponed {
+			continue
+		}
+		p := Placement{JobID: d.Job.ID, GPUs: d.Placement.GPUs, Utility: d.Placement.Utility}
+		for _, ev := range d.Evictions {
+			p.Evictions = append(p.Evictions, EvictionRec{JobID: ev.Job.ID, GPUs: ev.GPUs})
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func queuedIDs(c *schedcore.Core) []string {
+	q := c.Queued()
+	ids := make([]string, len(q))
+	for i, j := range q {
+		ids[i] = j.ID
+	}
+	return ids
+}
+
+// runTrace drives one trace through the reference and every Core
+// configuration, comparing placements, queue order and running set
+// after every round.
+func runTrace(t *testing.T, tr *Trace) {
+	t.Helper()
+	disc, err := schedcore.ParseDiscipline(tr.Discipline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewReference(tr.Policy, tr.Topology, disc, tr.Preempt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := make([]*schedcore.Core, len(coreConfigs))
+	for i, cc := range coreConfigs {
+		cores[i] = schedUnder(t, tr, cc.gate, cc.index)
+	}
+
+	for step, ev := range tr.Events {
+		switch ev.Kind {
+		case Submit:
+			if err := ref.Submit(CloneJob(ev.Job)); err != nil {
+				t.Fatalf("%s step %d: reference submit %s: %v", tr, step, ev.Job.ID, err)
+			}
+			for i, c := range cores {
+				if err := c.Submit(CloneJob(ev.Job)); err != nil {
+					t.Fatalf("%s step %d: %s submit %s: %v", tr, step, coreConfigs[i].name, ev.Job.ID, err)
+				}
+			}
+		case Remove:
+			// Resolve against the reference; the equality invariant makes
+			// the resolution identical on every core, and the per-core
+			// checks below fail loudly if it ever is not.
+			switch {
+			case contains(ref.Running(), ev.Target):
+				if err := ref.Release(ev.Target); err != nil {
+					t.Fatalf("%s step %d: reference release %s: %v", tr, step, ev.Target, err)
+				}
+				for i, c := range cores {
+					if err := c.Release(ev.Target); err != nil {
+						t.Fatalf("%s step %d: %s release %s: %v", tr, step, coreConfigs[i].name, ev.Target, err)
+					}
+				}
+			case contains(ref.Queued(), ev.Target):
+				ref.Withdraw(ev.Target)
+				for i, c := range cores {
+					if !c.Withdraw(ev.Target) {
+						t.Fatalf("%s step %d: %s withdraw %s: not queued", tr, step, coreConfigs[i].name, ev.Target)
+					}
+				}
+			default:
+				continue // already released or withdrawn earlier
+			}
+		}
+
+		want := ref.Schedule()
+		wantQ, wantR := ref.Queued(), ref.Running()
+		for i, c := range cores {
+			got := reduce(c.Schedule())
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s step %d: %s placements diverged\n ref:  %+v\n core: %+v",
+					tr, step, coreConfigs[i].name, want, got)
+			}
+			if gotQ := queuedIDs(c); !reflect.DeepEqual(gotQ, wantQ) {
+				t.Fatalf("%s step %d: %s queue diverged\n ref:  %v\n core: %v",
+					tr, step, coreConfigs[i].name, wantQ, gotQ)
+			}
+			if gotR := c.Running(); !reflect.DeepEqual(gotR, wantR) {
+				t.Fatalf("%s step %d: %s running set diverged\n ref:  %v\n core: %v",
+					tr, step, coreConfigs[i].name, wantR, gotR)
+			}
+		}
+	}
+
+	// Drain: keep scheduling over releases until everything finishes, so
+	// traces also cover the tail where parked jobs wake as capacity frees.
+	for guard := 0; ; guard++ {
+		if guard > 10*len(tr.Events) {
+			t.Fatalf("%s: drain did not converge: queue=%v running=%v", tr, ref.Queued(), ref.Running())
+		}
+		run := ref.Running()
+		if len(run) == 0 && len(ref.Queued()) == 0 {
+			break
+		}
+		if len(run) > 0 {
+			id := run[0]
+			if err := ref.Release(id); err != nil {
+				t.Fatalf("%s drain: reference release %s: %v", tr, id, err)
+			}
+			for i, c := range cores {
+				if err := c.Release(id); err != nil {
+					t.Fatalf("%s drain: %s release %s: %v", tr, coreConfigs[i].name, id, err)
+				}
+			}
+		} else {
+			// Nothing runs but jobs still wait: they can never place (e.g.
+			// a multi-node job larger than the cluster). Withdraw the head.
+			id := ref.Queued()[0]
+			ref.Withdraw(id)
+			for i, c := range cores {
+				if !c.Withdraw(id) {
+					t.Fatalf("%s drain: %s withdraw %s: not queued", tr, coreConfigs[i].name, id)
+				}
+			}
+		}
+		want := ref.Schedule()
+		wantQ, wantR := ref.Queued(), ref.Running()
+		for i, c := range cores {
+			got := reduce(c.Schedule())
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s drain: %s placements diverged\n ref:  %+v\n core: %+v",
+					tr, coreConfigs[i].name, want, got)
+			}
+			if gotQ := queuedIDs(c); !reflect.DeepEqual(gotQ, wantQ) {
+				t.Fatalf("%s drain: %s queue diverged\n ref:  %v\n core: %v",
+					tr, coreConfigs[i].name, wantQ, gotQ)
+			}
+			if gotR := c.Running(); !reflect.DeepEqual(gotR, wantR) {
+				t.Fatalf("%s drain: %s running set diverged\n ref:  %v\n core: %v",
+					tr, coreConfigs[i].name, wantR, gotR)
+			}
+		}
+	}
+}
+
+func contains(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDifferentialTraces is the harness: ≥1000 seeded random traces,
+// each run through the naive reference and the real Core under all four
+// gate/index configurations, with placements, queue order and running
+// sets compared after every scheduling round. Seeds are the subtest
+// names, so a failure reproduces with -run 'TestDifferentialTraces/seed0042'.
+func TestDifferentialTraces(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 100
+	}
+	for seed := 0; seed < n; seed++ {
+		tr := NewTrace(uint64(seed))
+		t.Run(fmt.Sprintf("seed%04d", seed), func(t *testing.T) {
+			t.Parallel()
+			runTrace(t, tr)
+		})
+	}
+}
+
+// TestTraceCoverage guards the harness against vacuity: the seeded
+// trace population must actually exercise every policy, both
+// disciplines, preemption with real evictions, and multi-node jobs —
+// otherwise a regression in one of those paths could slip through a
+// green differential run.
+func TestTraceCoverage(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 100
+	}
+	policies := map[schedcore.Policy]int{}
+	var priority, preempt, multiNode, evictions int
+	for seed := 0; seed < n; seed++ {
+		tr := NewTrace(uint64(seed))
+		policies[tr.Policy]++
+		if tr.Discipline == "priority" {
+			priority++
+		}
+		if tr.Preempt {
+			preempt++
+		}
+		for _, ev := range tr.Events {
+			if ev.Kind == Submit && !ev.Job.SingleNode {
+				multiNode++
+			}
+		}
+		if !tr.Preempt {
+			continue
+		}
+		disc, err := schedcore.ParseDiscipline(tr.Discipline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewReference(tr.Policy, tr.Topology, disc, tr.Preempt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range tr.Events {
+			switch ev.Kind {
+			case Submit:
+				if err := ref.Submit(CloneJob(ev.Job)); err != nil {
+					t.Fatal(err)
+				}
+			case Remove:
+				if contains(ref.Running(), ev.Target) {
+					if err := ref.Release(ev.Target); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					ref.Withdraw(ev.Target)
+				}
+			}
+			for _, p := range ref.Schedule() {
+				evictions += len(p.Evictions)
+			}
+		}
+	}
+	for _, pol := range []schedcore.Policy{schedcore.FCFS, schedcore.BestFit, schedcore.TopoAware, schedcore.TopoAwareP} {
+		if policies[pol] < n/20 {
+			t.Errorf("policy %s underrepresented: %d of %d traces", pol, policies[pol], n)
+		}
+	}
+	if priority < n/4 || preempt < n/4 {
+		t.Errorf("config mix too thin: priority=%d preempt=%d of %d", priority, preempt, n)
+	}
+	if multiNode < n {
+		t.Errorf("multi-node submissions too rare: %d across %d traces", multiNode, n)
+	}
+	if evictions < n/20 {
+		t.Errorf("preemption path barely exercised: %d evictions across %d traces", evictions, n)
+	}
+}

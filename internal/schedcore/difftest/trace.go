@@ -1,0 +1,117 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gputopo/internal/job"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/schedcore"
+	"gputopo/internal/topology"
+)
+
+// EventKind enumerates trace events. Every event is followed by one
+// Schedule call on every scheduler under test, so traces exercise the
+// round boundaries both drivers (simulator, serving loop) produce.
+type EventKind int
+
+// Trace event kinds. Remove resolves dynamically at apply time: it
+// becomes a Release when the target is running, a Withdraw when it is
+// queued, and a no-op when it already finished — the schedulers under
+// comparison agree on that state by invariant, so the resolution is
+// identical on every side.
+const (
+	Submit EventKind = iota
+	Remove
+)
+
+// Event is one step of a trace.
+type Event struct {
+	Kind EventKind
+	// Job is the submission payload (Submit). Consumers must clone it —
+	// schedulers may not share job objects.
+	Job *job.Job
+	// Target is the job ID a Remove aims at.
+	Target string
+}
+
+// Trace is one randomized scheduling session: a substrate, a scheduler
+// configuration, and an event sequence.
+type Trace struct {
+	Seed       uint64
+	Topology   *topology.Topology
+	TopoName   string
+	Policy     schedcore.Policy
+	Discipline string // "" (fifo) or "priority"
+	Preempt    bool
+	Events     []Event
+}
+
+// String identifies the trace in failure messages.
+func (tr *Trace) String() string {
+	return fmt.Sprintf("seed=%d topo=%s policy=%s disc=%q preempt=%v events=%d",
+		tr.Seed, tr.TopoName, tr.Policy, tr.Discipline, tr.Preempt, len(tr.Events))
+}
+
+// CloneJob copies a generated job so schedulers never share mutable
+// state.
+func CloneJob(j *job.Job) *job.Job {
+	c := job.New(j.ID, j.Model, j.BatchSize, j.GPUs, j.MinUtility, j.Arrival)
+	c.Iterations = j.Iterations
+	c.SingleNode = j.SingleNode
+	c.AntiCollocate = j.AntiCollocate
+	c.Parallelism = j.Parallelism
+	c.Priority = j.Priority
+	return c
+}
+
+// NewTrace generates a deterministic randomized trace from the seed:
+// random substrate, random scheduler configuration, and a submit-heavy
+// event mix with enough removals to churn capacity and wake parked jobs.
+func NewTrace(seed uint64) *Trace {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	tr := &Trace{Seed: seed}
+
+	topos := []struct {
+		name  string
+		build func() *topology.Topology
+	}{
+		{"minsky:1", func() *topology.Topology { return topology.Cluster(1, topology.KindMinsky) }},
+		{"minsky:2", func() *topology.Topology { return topology.Cluster(2, topology.KindMinsky) }},
+		{"dgx1:1", func() *topology.Topology { return topology.Cluster(1, topology.KindDGX1) }},
+		{"pcie:2", func() *topology.Topology { return topology.Cluster(2, topology.KindPCIeBox) }},
+	}
+	pick := topos[rng.Intn(len(topos))]
+	tr.TopoName, tr.Topology = pick.name, pick.build()
+
+	policies := []schedcore.Policy{schedcore.FCFS, schedcore.BestFit, schedcore.TopoAware, schedcore.TopoAwareP}
+	tr.Policy = policies[rng.Intn(len(policies))]
+	if rng.Intn(2) == 1 {
+		tr.Discipline = "priority"
+	}
+	tr.Preempt = rng.Intn(2) == 1
+
+	models := []perfmodel.NN{perfmodel.AlexNet, perfmodel.CaffeRef, perfmodel.GoogLeNet}
+	nEvents := 20 + rng.Intn(21)
+	var ids []string
+	for i := 0; i < nEvents; i++ {
+		if len(ids) > 0 && rng.Float64() < 0.35 {
+			tr.Events = append(tr.Events, Event{Kind: Remove, Target: ids[rng.Intn(len(ids))]})
+			continue
+		}
+		id := fmt.Sprintf("j%02d", len(ids))
+		j := job.New(id, models[rng.Intn(len(models))], 1<<rng.Intn(4), 1+rng.Intn(4),
+			[]float64{0, 0, 0.4, 0.7}[rng.Intn(4)], float64(i))
+		if rng.Float64() < 0.2 {
+			j.SingleNode = false
+		}
+		// Positive priorities drive the priority discipline and the
+		// preemption path; the mix keeps plenty of priority-0 victims.
+		if rng.Float64() < 0.35 {
+			j.Priority = 1 + rng.Intn(2)
+		}
+		ids = append(ids, id)
+		tr.Events = append(tr.Events, Event{Kind: Submit, Job: j})
+	}
+	return tr
+}

@@ -1,6 +1,10 @@
 package schedcore
 
-import "gputopo/internal/job"
+import (
+	"fmt"
+
+	"gputopo/internal/job"
+)
 
 // QueueDiscipline orders the waiting queue. Less reports whether a must
 // be served strictly before b; ties (neither Less(a,b) nor Less(b,a))
@@ -24,3 +28,34 @@ func FIFOByArrival() QueueDiscipline { return fifoByArrival{} }
 func (fifoByArrival) Name() string { return "fifo-arrival" }
 
 func (fifoByArrival) Less(a, b *job.Job) bool { return a.Arrival < b.Arrival }
+
+// priorityThenArrival serves strictly higher Priority first and falls
+// back to arrival order inside a priority class — the discipline of the
+// co-located-workload scenarios, where latency-sensitive jobs overtake
+// throughput training but each class stays FIFO-fair internally.
+type priorityThenArrival struct{}
+
+// PriorityThenArrival returns the priority-first queue discipline.
+func PriorityThenArrival() QueueDiscipline { return priorityThenArrival{} }
+
+func (priorityThenArrival) Name() string { return "priority-arrival" }
+
+func (priorityThenArrival) Less(a, b *job.Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Arrival < b.Arrival
+}
+
+// ParseDiscipline maps a discipline name to its implementation. The
+// empty string selects the default (arrival FIFO), so configs can leave
+// the field unset.
+func ParseDiscipline(name string) (QueueDiscipline, error) {
+	switch name {
+	case "", "fifo", "fifo-arrival":
+		return FIFOByArrival(), nil
+	case "priority", "priority-arrival":
+		return PriorityThenArrival(), nil
+	}
+	return nil, fmt.Errorf("sched: unknown queue discipline %q (want fifo or priority)", name)
+}

@@ -4,40 +4,87 @@ import (
 	"fmt"
 	"slices"
 
+	"gputopo/internal/cluster"
 	"gputopo/internal/core"
 	"gputopo/internal/job"
 )
 
+// placer evaluates the placement policies of §5 against one cluster
+// state without committing anything. The Core owns one bound to its live
+// state; the preemption path builds throwaway placers over state clones
+// to evaluate victim sets, and the exported Placer facade hands the same
+// arithmetic to the differential test harness — so every caller scores
+// placements with bit-identical code.
+type placer struct {
+	policy Policy
+	state  *cluster.State
+	mapper *core.Mapper
+	// freeScratch and hostScratch are reused for candidate GPU and host
+	// lists; their contents are dead once the owning call returns.
+	freeScratch []int
+	hostScratch []int
+}
+
+// attempt runs the placement policy on the job and applies the
+// TOPO-AWARE-P low-utility postponement rule. It returns the chosen
+// placement, or nil and the postponement reason ("no-capacity",
+// "low-utility"). Nothing is committed: the caller allocates.
+func (p *placer) attempt(j *job.Job) (*core.Placement, string) {
+	var placement *core.Placement
+	var err error
+	switch p.policy {
+	case FCFS:
+		placement, err = p.placeFCFS(j)
+	case BestFit:
+		placement, err = p.placeBestFit(j)
+	case TopoAware, TopoAwareP:
+		placement, err = p.placeTopoAware(j)
+	}
+	if err != nil {
+		return nil, "no-capacity"
+	}
+	if p.policy == TopoAwareP && placement.Utility < j.MinUtility && !p.clusterIdle() {
+		// Postpone: a better placement may open when jobs finish. On an
+		// idle cluster no future placement can beat this one, so place
+		// best-effort to avoid deadlock.
+		return nil, "low-utility"
+	}
+	return placement, ""
+}
+
+// clusterIdle reports whether no job is currently running.
+func (p *placer) clusterIdle() bool { return len(p.state.Jobs()) == 0 }
+
 // placeFCFS is the First-Come-First-Served baseline of §5.2: the job at
 // the head of the FIFO queue receives the first free GPUs in index order,
 // with no topology consideration beyond the single-node constraint.
-func (c *Core) placeFCFS(j *job.Job) (*core.Placement, error) {
+func (p *placer) placeFCFS(j *job.Job) (*core.Placement, error) {
 	if j.SingleNode {
-		topo := c.state.Topology()
+		topo := p.state.Topology()
 		for m := 0; m < topo.NumMachines(); m++ {
-			if c.state.FreeCountOnMachine(m) < j.GPUs {
+			if p.state.FreeCountOnMachine(m) < j.GPUs {
 				continue
 			}
-			free := c.state.AppendFreeGPUsOnMachine(c.freeScratch[:0], m)
-			c.freeScratch = free
-			return c.mapper.Score(j, c.state, free[:j.GPUs]), nil
+			free := p.state.AppendFreeGPUsOnMachine(p.freeScratch[:0], m)
+			p.freeScratch = free
+			return p.mapper.Score(j, p.state, free[:j.GPUs]), nil
 		}
 		return nil, fmt.Errorf("sched: no machine with %d free GPUs", j.GPUs)
 	}
-	free := c.state.AppendFreeGPUs(c.freeScratch[:0])
-	c.freeScratch = free
+	free := p.state.AppendFreeGPUs(p.freeScratch[:0])
+	p.freeScratch = free
 	if len(free) < j.GPUs {
 		return nil, fmt.Errorf("sched: %d free GPUs for request of %d", len(free), j.GPUs)
 	}
-	return c.mapper.Score(j, c.state, free[:j.GPUs]), nil
+	return p.mapper.Score(j, p.state, free[:j.GPUs]), nil
 }
 
 // placeBestFit is the Best-Fit bin-packing baseline of §5.2: it allocates
 // "first the GPUs from highly used domains" — machines are tried from the
 // fewest free GPUs that still fit, and within a machine the GPUs of the
 // most-used sockets are taken first.
-func (c *Core) placeBestFit(j *job.Job) (*core.Placement, error) {
-	topo := c.state.Topology()
+func (p *placer) placeBestFit(j *job.Job) (*core.Placement, error) {
+	topo := p.state.Topology()
 	type hostFit struct {
 		machine int
 		free    int
@@ -48,7 +95,7 @@ func (c *Core) placeBestFit(j *job.Job) (*core.Placement, error) {
 		// O(1) per machine via the state's incremental free counters —
 		// materializing every machine's free-GPU list just to count it
 		// dominated the greedy baselines' decision time at 1k machines.
-		free := c.state.FreeCountOnMachine(m)
+		free := p.state.FreeCountOnMachine(m)
 		if free > 0 {
 			hosts = append(hosts, hostFit{machine: m, free: free})
 		}
@@ -64,14 +111,14 @@ func (c *Core) placeBestFit(j *job.Job) (*core.Placement, error) {
 	if j.SingleNode {
 		for _, h := range hosts {
 			if h.free >= j.GPUs {
-				gpus := c.bestFitGPUs(h.machine, j.GPUs)
-				return c.mapper.Score(j, c.state, gpus), nil
+				gpus := p.bestFitGPUs(h.machine, j.GPUs)
+				return p.mapper.Score(j, p.state, gpus), nil
 			}
 		}
 		return nil, fmt.Errorf("sched: no machine fits %d GPUs", j.GPUs)
 	}
 
-	gpus := c.freeScratch[:0]
+	gpus := p.freeScratch[:0]
 	for _, h := range hosts {
 		need := j.GPUs - len(gpus)
 		if need == 0 {
@@ -81,19 +128,19 @@ func (c *Core) placeBestFit(j *job.Job) (*core.Placement, error) {
 		if take > h.free {
 			take = h.free
 		}
-		gpus = append(gpus, c.bestFitGPUs(h.machine, take)...)
+		gpus = append(gpus, p.bestFitGPUs(h.machine, take)...)
 	}
-	c.freeScratch = gpus
+	p.freeScratch = gpus
 	if len(gpus) < j.GPUs {
 		return nil, fmt.Errorf("sched: %d free GPUs for request of %d", len(gpus), j.GPUs)
 	}
-	return c.mapper.Score(j, c.state, gpus), nil
+	return p.mapper.Score(j, p.state, gpus), nil
 }
 
 // bestFitGPUs picks n free GPUs on the machine, preferring the sockets
 // with the most GPUs already in use (bin packing within the machine).
-func (c *Core) bestFitGPUs(machine, n int) []int {
-	topo := c.state.Topology()
+func (p *placer) bestFitGPUs(machine, n int) []int {
+	topo := p.state.Topology()
 	type socketFit struct {
 		socket int
 		used   int
@@ -103,7 +150,7 @@ func (c *Core) bestFitGPUs(machine, n int) []int {
 	for _, sk := range topo.Sockets(machine) {
 		used, free := 0, 0
 		for _, pos := range topo.GPUsOfSocket(machine, sk) {
-			if c.state.Owner(pos) == "" {
+			if p.state.Owner(pos) == "" {
 				free++
 			} else {
 				used++
@@ -122,7 +169,7 @@ func (c *Core) bestFitGPUs(machine, n int) []int {
 	out := make([]int, 0, n)
 	for _, sf := range sockets {
 		for _, pos := range topo.GPUsOfSocket(machine, sf.socket) {
-			if c.state.Owner(pos) != "" {
+			if p.state.Owner(pos) != "" {
 				continue
 			}
 			if len(out) == n {
@@ -138,34 +185,34 @@ func (c *Core) bestFitGPUs(machine, n int) []int {
 // constraints (Algorithm 1), then run the DRB mapper over each candidate
 // host (or over the whole candidate set for multi-node jobs) and keep the
 // highest-utility solution.
-func (c *Core) placeTopoAware(j *job.Job) (*core.Placement, error) {
-	hosts := c.filterHosts(j)
+func (p *placer) placeTopoAware(j *job.Job) (*core.Placement, error) {
+	hosts := p.filterHosts(j)
 	if len(hosts) == 0 {
 		return nil, fmt.Errorf("sched: no host satisfies constraints of %s", j.ID)
 	}
 
 	if !j.SingleNode {
-		candidates := c.freeScratch[:0]
+		candidates := p.freeScratch[:0]
 		for _, m := range hosts {
-			candidates = c.state.AppendFreeGPUsOnMachine(candidates, m)
+			candidates = p.state.AppendFreeGPUsOnMachine(candidates, m)
 		}
-		c.freeScratch = candidates
+		p.freeScratch = candidates
 		if len(candidates) < j.GPUs {
 			return nil, fmt.Errorf("sched: %d candidate GPUs for request of %d", len(candidates), j.GPUs)
 		}
-		return c.mapper.Place(j, c.state, candidates)
+		return p.mapper.Place(j, p.state, candidates)
 	}
 
 	var best *core.Placement
 	for _, m := range hosts {
-		free := c.state.AppendFreeGPUsOnMachine(c.freeScratch[:0], m)
-		c.freeScratch = free
-		p, err := c.mapper.Place(j, c.state, free)
+		free := p.state.AppendFreeGPUsOnMachine(p.freeScratch[:0], m)
+		p.freeScratch = free
+		pl, err := p.mapper.Place(j, p.state, free)
 		if err != nil {
 			continue
 		}
-		if best == nil || p.Utility > best.Utility {
-			best = p
+		if best == nil || pl.Utility > best.Utility {
+			best = pl
 		}
 	}
 	if best == nil {
@@ -173,3 +220,40 @@ func (c *Core) placeTopoAware(j *job.Job) (*core.Placement, error) {
 	}
 	return best, nil
 }
+
+// filterHosts implements filterHostsByConstraints (Algorithm 1): machines
+// with enough free GPUs and enough uncommitted shared-bus bandwidth for
+// the job. Returned machine indices are ascending.
+func (p *placer) filterHosts(j *job.Job) []int {
+	topo := p.state.Topology()
+	demand := estimateDemand(j, p.state)
+	hosts := p.hostScratch[:0]
+	for m := 0; m < topo.NumMachines(); m++ {
+		if p.state.FreeCountOnMachine(m) < minGPUsPerHost(j) {
+			continue
+		}
+		if p.state.FreeBusBandwidth(m) < demand {
+			continue
+		}
+		hosts = append(hosts, m)
+	}
+	p.hostScratch = hosts
+	return hosts
+}
+
+// Placer exposes the placement evaluation to packages outside the core —
+// the differential harness's naive reference scheduler reimplements the
+// queue mechanics from scratch but must score placements with exactly
+// the same policy arithmetic, or every comparison would chase mapper
+// deltas instead of queue bugs.
+type Placer struct{ p placer }
+
+// NewPlacer returns a placement evaluator for the policy over the state.
+func NewPlacer(policy Policy, state *cluster.State, mapper *core.Mapper) *Placer {
+	return &Placer{p: placer{policy: policy, state: state, mapper: mapper}}
+}
+
+// Attempt evaluates the policy on the job without committing. It returns
+// the placement, or nil and the postponement reason ("no-capacity",
+// "low-utility").
+func (pl *Placer) Attempt(j *job.Job) (*core.Placement, string) { return pl.p.attempt(j) }

@@ -1,0 +1,267 @@
+package schedcore
+
+import (
+	"testing"
+
+	"gputopo/internal/job"
+	"gputopo/internal/topology"
+)
+
+func mkPrioJob(id string, gpus, prio int, arrival float64) *job.Job {
+	j := mkJob(id, 1, gpus, 0, arrival)
+	j.Priority = prio
+	return j
+}
+
+// placedIDs extracts the IDs of the placed decisions, in order.
+func placedIDs(decs []*Decision) []string {
+	var ids []string
+	for _, d := range decs {
+		if !d.Postponed {
+			ids = append(ids, d.Job.ID)
+		}
+	}
+	return ids
+}
+
+func TestPriorityDisciplineOrdersQueue(t *testing.T) {
+	s := newSchedWith(t, FCFS, topology.Power8Minsky(), WithQueueDiscipline(PriorityThenArrival()))
+	_ = s.Submit(mkPrioJob("low-early", 1, 0, 1))
+	_ = s.Submit(mkPrioJob("high-late", 1, 1, 10))
+	_ = s.Submit(mkPrioJob("high-early", 1, 1, 5))
+	q := s.Queued()
+	if q[0].ID != "high-early" || q[1].ID != "high-late" || q[2].ID != "low-early" {
+		t.Fatalf("priority queue order: %v %v %v", q[0].ID, q[1].ID, q[2].ID)
+	}
+	if s.Discipline() != "priority-arrival" {
+		t.Fatalf("discipline name %q", s.Discipline())
+	}
+}
+
+func TestPreemptionEvictsYoungestLowerPriority(t *testing.T) {
+	s := newSchedWith(t, TopoAwareP, topology.Power8Minsky(), WithQueueDiscipline(PriorityThenArrival()))
+	s.SetPreemption(true)
+	_ = s.Submit(mkPrioJob("low1", 2, 0, 0))
+	_ = s.Submit(mkPrioJob("low2", 2, 0, 1))
+	if ids := placedIDs(s.Schedule()); len(ids) != 2 {
+		t.Fatalf("setup placements: %v", ids)
+	}
+
+	_ = s.Submit(mkPrioJob("high", 2, 1, 2))
+	decs := s.Schedule()
+	if ids := placedIDs(decs); len(ids) != 1 || ids[0] != "high" {
+		t.Fatalf("expected preemptive placement of high, got %v", ids)
+	}
+	var evs []Eviction
+	for _, d := range decs {
+		if d.Job.ID == "high" {
+			evs = d.Evictions
+		}
+	}
+	// Victim order prefers the youngest job inside the lowest tier: low2
+	// loses less progress than low1.
+	if len(evs) != 1 || evs[0].Job.ID != "low2" || len(evs[0].GPUs) != 2 {
+		t.Fatalf("evictions: %+v", evs)
+	}
+	if st := s.Stats(); st.Preemptions != 1 || st.Evictions != 1 {
+		t.Fatalf("stats: preemptions=%d evictions=%d", st.Preemptions, st.Evictions)
+	}
+	// The victim is back in the queue; the preemptor and survivor run.
+	if q := s.Queued(); len(q) != 1 || q[0].ID != "low2" {
+		t.Fatalf("queue after eviction: %v", q)
+	}
+	if run := s.Running(); len(run) != 2 || run[0] != "high" || run[1] != "low1" {
+		t.Fatalf("running after eviction: %v", run)
+	}
+
+	// When the preemptor finishes, the victim resumes on the freed GPUs.
+	if err := s.Release("high"); err != nil {
+		t.Fatal(err)
+	}
+	if ids := placedIDs(s.Schedule()); len(ids) != 1 || ids[0] != "low2" {
+		t.Fatalf("victim not re-placed: %v", ids)
+	}
+}
+
+func TestPreemptionOffPostpones(t *testing.T) {
+	s := newSchedWith(t, TopoAwareP, topology.Power8Minsky(), WithQueueDiscipline(PriorityThenArrival()))
+	_ = s.Submit(mkPrioJob("low1", 2, 0, 0))
+	_ = s.Submit(mkPrioJob("low2", 2, 0, 1))
+	_ = s.Schedule()
+	_ = s.Submit(mkPrioJob("high", 2, 1, 2))
+	decs := s.Schedule()
+	if ids := placedIDs(decs); len(ids) != 0 {
+		t.Fatalf("placements with preemption off: %v", ids)
+	}
+	if st := s.Stats(); st.Preemptions != 0 || st.Evictions != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPreemptionEvictsLowestTierFirst(t *testing.T) {
+	s := newSchedWith(t, TopoAwareP, topology.Power8Minsky(), WithQueueDiscipline(PriorityThenArrival()))
+	s.SetPreemption(true)
+	// prio-1 arrived later than prio-0: tier must beat recency.
+	_ = s.Submit(mkPrioJob("tier0", 2, 0, 0))
+	_ = s.Submit(mkPrioJob("tier1", 2, 1, 5))
+	_ = s.Schedule()
+	_ = s.Submit(mkPrioJob("top", 2, 2, 6))
+	decs := s.Schedule()
+	if ids := placedIDs(decs); len(ids) != 1 || ids[0] != "top" {
+		t.Fatalf("expected top placed, got %v", ids)
+	}
+	for _, d := range decs {
+		if d.Job.ID == "top" {
+			if len(d.Evictions) != 1 || d.Evictions[0].Job.ID != "tier0" {
+				t.Fatalf("expected tier0 evicted, got %+v", d.Evictions)
+			}
+		}
+	}
+}
+
+func TestPreemptionNeverEvictsEqualPriority(t *testing.T) {
+	s := newSchedWith(t, TopoAwareP, topology.Power8Minsky(), WithQueueDiscipline(PriorityThenArrival()))
+	s.SetPreemption(true)
+	_ = s.Submit(mkPrioJob("a", 2, 1, 0))
+	_ = s.Submit(mkPrioJob("b", 2, 1, 1))
+	_ = s.Schedule()
+	_ = s.Submit(mkPrioJob("c", 2, 1, 2))
+	if ids := placedIDs(s.Schedule()); len(ids) != 0 {
+		t.Fatalf("equal-priority eviction happened: %v", ids)
+	}
+	if st := s.Stats(); st.Preemptions != 0 {
+		t.Fatalf("preemptions: %d", st.Preemptions)
+	}
+}
+
+func TestZeroPriorityNeverPreempts(t *testing.T) {
+	// Preemption enabled, but the arriving job has the default priority 0:
+	// it must park/postpone like before — only positive priorities are
+	// eligible, which is also what keeps the wake-up index sound.
+	s := newSchedWith(t, TopoAwareP, topology.Power8Minsky(), WithQueueDiscipline(PriorityThenArrival()))
+	s.SetPreemption(true)
+	_ = s.Submit(mkPrioJob("a", 2, 0, 0))
+	_ = s.Submit(mkPrioJob("b", 2, 0, 1))
+	_ = s.Schedule()
+	_ = s.Submit(mkPrioJob("c", 2, 0, 2))
+	if ids := placedIDs(s.Schedule()); len(ids) != 0 {
+		t.Fatalf("zero-priority job preempted: %v", ids)
+	}
+}
+
+func TestPreemptionGreedyVictimPrefix(t *testing.T) {
+	// Machine holds a 2-GPU job and two 1-GPU jobs; a high-priority 2-GPU
+	// arrival needs 2 GPUs freed.
+	s := newSchedWith(t, TopoAwareP, topology.Power8Minsky(), WithQueueDiscipline(PriorityThenArrival()))
+	s.SetPreemption(true)
+	_ = s.Submit(mkPrioJob("pair", 2, 0, 0))
+	_ = s.Submit(mkPrioJob("solo1", 1, 0, 1))
+	_ = s.Submit(mkPrioJob("solo2", 1, 0, 2))
+	if ids := placedIDs(s.Schedule()); len(ids) != 3 {
+		t.Fatalf("setup placements: %v", ids)
+	}
+	_ = s.Submit(mkPrioJob("high", 2, 1, 3))
+	decs := s.Schedule()
+	var evs []Eviction
+	for _, d := range decs {
+		if d.Job.ID == "high" && !d.Postponed {
+			evs = d.Evictions
+		}
+	}
+	// The per-machine greedy walks candidates youngest-first and stops at
+	// the first prefix that frees enough GPUs: [solo2, solo1] frees 2, so
+	// the pair job — oldest, most progress to lose — survives.
+	if len(evs) != 2 || evs[0].Job.ID != "solo2" || evs[1].Job.ID != "solo1" {
+		t.Fatalf("victim set: %+v", evs)
+	}
+}
+
+func TestPreemptionMultiNode(t *testing.T) {
+	// A 6-GPU multi-node job on a full 2×Minsky cluster must evict across
+	// machines via the cluster-wide greedy.
+	topo := topology.Cluster(2, topology.KindMinsky)
+	s := newSchedWith(t, TopoAwareP, topo, WithQueueDiscipline(PriorityThenArrival()))
+	s.SetPreemption(true)
+	for i, id := range []string{"a", "b", "c", "d"} {
+		_ = s.Submit(mkPrioJob(id, 2, 0, float64(i)))
+	}
+	if ids := placedIDs(s.Schedule()); len(ids) != 4 {
+		t.Fatalf("setup placements: %v", ids)
+	}
+	big := mkPrioJob("big", 6, 1, 10)
+	big.SingleNode = false
+	_ = s.Submit(big)
+	decs := s.Schedule()
+	var placed bool
+	for _, d := range decs {
+		if d.Job.ID == "big" && !d.Postponed {
+			placed = true
+			if len(d.Evictions) != 3 {
+				t.Fatalf("multi-node evictions: %+v", d.Evictions)
+			}
+		}
+	}
+	if !placed {
+		t.Fatal("multi-node preemption did not place")
+	}
+	if st := s.Stats(); st.Preemptions != 1 || st.Evictions != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestPreemptionWalkIndexEquivalence runs one scripted mixed-priority
+// session under all four gate/wake-index configurations and demands
+// identical placement streams — the compact, deterministic cousin of the
+// randomized difftest harness.
+func TestPreemptionWalkIndexEquivalence(t *testing.T) {
+	type round struct {
+		submit   []*job.Job
+		release  []string
+		expected []string // placed IDs, in order
+	}
+	script := func() []round {
+		return []round{
+			{submit: []*job.Job{mkPrioJob("l1", 2, 0, 0), mkPrioJob("l2", 2, 0, 1), mkPrioJob("l3", 2, 0, 2), mkPrioJob("l4", 2, 0, 3)}},
+			{submit: []*job.Job{mkPrioJob("h1", 2, 1, 4), mkPrioJob("h2", 4, 2, 5)}},
+			{release: []string{"h1"}},
+			{submit: []*job.Job{mkPrioJob("l5", 1, 0, 6)}},
+			{release: []string{"h2"}},
+		}
+	}
+	var baseline [][]string
+	for i, cfg := range []struct{ gate, index bool }{{true, true}, {true, false}, {false, true}, {false, false}} {
+		topo := topology.Cluster(2, topology.KindMinsky)
+		s := newSchedWith(t, TopoAwareP, topo, WithQueueDiscipline(PriorityThenArrival()))
+		s.SetPreemption(true)
+		s.SetEpochGate(cfg.gate)
+		s.SetWakeIndex(cfg.index)
+		var got [][]string
+		for _, r := range script() {
+			for _, j := range r.submit {
+				if err := s.Submit(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, id := range r.release {
+				if err := s.Release(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got = append(got, placedIDs(s.Schedule()))
+		}
+		if i == 0 {
+			baseline = got
+			continue
+		}
+		for ri := range baseline {
+			if len(baseline[ri]) != len(got[ri]) {
+				t.Fatalf("config %+v round %d: %v vs %v", cfg, ri, got[ri], baseline[ri])
+			}
+			for k := range baseline[ri] {
+				if baseline[ri][k] != got[ri][k] {
+					t.Fatalf("config %+v round %d: %v vs %v", cfg, ri, got[ri], baseline[ri])
+				}
+			}
+		}
+	}
+}

@@ -163,7 +163,8 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 			Queue:      []serveapi.QueuedEntry{},
 			Fragments:  st.Fragmentation(),
 			Decisions:  len(s.decisions),
-			Discipline: "fifo-arrival",
+			Discipline: s.core.Discipline(),
+			Preemption: s.core.PreemptionEnabled(),
 			Stats: serveapi.SchedStats{
 				Decisions:       stats.Decisions,
 				Placements:      stats.Placements,
@@ -171,6 +172,8 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 				SLOViolations:   stats.SLOViolations,
 				GateSkips:       stats.GateSkips,
 				WakeSkips:       stats.WakeSkips,
+				Preemptions:     stats.Preemptions,
+				Evictions:       stats.Evictions,
 				MeanDecisionUs:  float64(stats.MeanDecisionTime()) / float64(time.Microsecond),
 				MaxDecisionUs:   float64(stats.MaxDecision) / float64(time.Microsecond),
 				TotalDecisionMs: float64(stats.DecisionTime) / float64(time.Millisecond),
@@ -182,6 +185,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		for _, qj := range s.core.Queued() {
 			resp.Queue = append(resp.Queue, serveapi.QueuedEntry{
 				ID: qj.ID, GPUs: qj.GPUs, MinUtility: qj.MinUtility, Arrival: qj.Arrival,
+				Priority: qj.Priority,
 			})
 		}
 		for m := 0; m < topo.NumMachines(); m++ {

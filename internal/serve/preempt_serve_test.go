@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gputopo/internal/schedcore"
+	"gputopo/internal/serveapi"
+	"gputopo/internal/serveapi/client"
+)
+
+// TestServePriorityPreemption drives the preemption path over HTTP: fill
+// the cluster with priority-0 jobs, submit a priority-1 job, and check
+// the eviction shows up everywhere a client could look — the preemptor's
+// placement, the victim back in /v1/queue, eviction notices in
+// /v1/decisions, and the stats counters.
+func TestServePriorityPreemption(t *testing.T) {
+	srv, c := startServer(t, Config{
+		Spec: specArg(t, "minsky:1"), Policy: schedcore.TopoAwareP,
+		Discipline: "priority", Preemption: true,
+	})
+	ctx := ctxT(t)
+
+	for _, id := range []string{"low1", "low2"} {
+		jr, err := c.SubmitJob(ctx, serveapi.JobRequest{ID: id, GPUs: 2})
+		if err != nil || jr.Status != "placed" {
+			t.Fatalf("submit %s: %+v %v", id, jr, err)
+		}
+	}
+	jr, err := c.SubmitJob(ctx, serveapi.JobRequest{ID: "high", GPUs: 2, Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Status != "placed" {
+		t.Fatalf("high-priority job not placed preemptively: %+v", jr)
+	}
+
+	st, err := c.State(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Preemption || st.Discipline != "priority-arrival" {
+		t.Fatalf("state misreports config: discipline=%q preemption=%v", st.Discipline, st.Preemption)
+	}
+	if st.Stats.Preemptions != 1 || st.Stats.Evictions != 1 {
+		t.Fatalf("stats: preemptions=%d evictions=%d", st.Stats.Preemptions, st.Stats.Evictions)
+	}
+	// The victim (youngest priority-0 job) is back in the queue.
+	if len(st.Queue) != 1 || st.Queue[0].ID != "low2" || st.Queue[0].Priority != 0 {
+		t.Fatalf("queue after eviction: %+v", st.Queue)
+	}
+
+	// The decision stream carries the eviction notice before the
+	// preemptor's placement.
+	decs, _, err := c.AllDecisions(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evict *serveapi.DecisionRecord
+	for i := range decs {
+		if decs[i].Evicted {
+			evict = &decs[i]
+		}
+	}
+	if evict == nil {
+		t.Fatalf("no eviction record in decisions: %+v", decs)
+	}
+	if evict.JobID != "low2" || evict.PreemptedBy != "high" || evict.Reason != "preempted" || len(evict.GPUs) != 2 {
+		t.Fatalf("eviction record: %+v", evict)
+	}
+
+	// Releasing the preemptor lets the victim resume.
+	if _, err := c.ReleaseJob(ctx, "high"); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.State(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Queue) != 0 || len(st.Running) != 2 {
+		t.Fatalf("victim did not resume: queue=%+v running=%+v", st.Queue, st.Running)
+	}
+	_ = srv
+}
+
+// TestKillAndRestartRecoveryWithEvictions extends the durability
+// acceptance test to logs that contain evict records: preempt, crash
+// without a snapshot, restart, and pin /v1/state and the decision ring
+// byte-for-byte. A graceful shutdown then proves a snapshot taken AFTER
+// an eviction restores a cluster where preemption still works — running
+// jobs restored from the snapshot must remain evictable.
+func TestKillAndRestartRecoveryWithEvictions(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "events.log")
+	cfg := Config{
+		Spec: specArg(t, "minsky:2"), Policy: schedcore.TopoAwareP,
+		Discipline: "priority", Preemption: true,
+		LogPath: logPath, SnapshotEvery: -1,
+	}
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	c1 := client.New(ts1.URL)
+	ctx := ctxT(t)
+
+	// Saturate both machines with priority-0 jobs, then preempt twice and
+	// queue extra work so the recovered state mixes running, queued and
+	// evicted-then-requeued jobs.
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if jr, err := c1.SubmitJob(ctx, serveapi.JobRequest{ID: id, GPUs: 2}); err != nil || jr.Status != "placed" {
+			t.Fatalf("submit %s: %+v %v", id, jr, err)
+		}
+	}
+	if jr, err := c1.SubmitJob(ctx, serveapi.JobRequest{ID: "high1", GPUs: 2, Priority: 1}); err != nil || jr.Status != "placed" {
+		t.Fatalf("high1: %+v %v", jr, err)
+	}
+	if jr, err := c1.SubmitJob(ctx, serveapi.JobRequest{ID: "high2", GPUs: 2, Priority: 2}); err != nil || jr.Status != "placed" {
+		t.Fatalf("high2: %+v %v", jr, err)
+	}
+	if _, err := c1.SubmitJob(ctx, serveapi.JobRequest{ID: "waiter", GPUs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	st1, js1 := pinnedState(t, c1)
+	if st1.Stats.Evictions < 2 {
+		t.Fatalf("workload produced %d evictions, want >= 2", st1.Stats.Evictions)
+	}
+	if len(st1.Queue) < 2 {
+		t.Fatalf("no evicted jobs waiting: %+v", st1.Queue)
+	}
+	dec1, _, err := c1.AllDecisions(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	srv1.Kill() // crash: the raw log now contains evict records
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("recovery over evictions failed: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	c2 := client.New(ts2.URL)
+	_, js2 := pinnedState(t, c2)
+	if string(js1) != string(js2) {
+		t.Fatalf("/v1/state diverged across kill+restart with evictions:\n before: %s\n after:  %s", js1, js2)
+	}
+	dec2, _, err := c2.AllDecisions(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec1, dec2) {
+		t.Fatalf("decision ring diverged: %d vs %d records", len(dec1), len(dec2))
+	}
+
+	// Graceful shutdown writes a snapshot; the restored server must keep
+	// the running registry intact so snapshot-restored jobs stay
+	// evictable.
+	_, js2b := pinnedState(t, c2)
+	ts2.Close()
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv3, err := New(cfg)
+	if err != nil {
+		t.Fatalf("post-snapshot recovery failed: %v", err)
+	}
+	if srv3.Replayed() != 1 {
+		t.Fatalf("snapshot did not bound replay: %d records, want 1", srv3.Replayed())
+	}
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+	defer srv3.Close()
+	c3 := client.New(ts3.URL)
+	_, js3 := pinnedState(t, c3)
+	if string(js2b) != string(js3) {
+		t.Fatalf("/v1/state diverged across snapshot restore:\n before: %s\n after:  %s", js2b, js3)
+	}
+	if jr, err := c3.SubmitJob(ctx, serveapi.JobRequest{ID: "high3", GPUs: 2, Priority: 3}); err != nil || jr.Status != "placed" {
+		t.Fatalf("preemption against snapshot-restored jobs failed: %+v %v", jr, err)
+	}
+	st3, err := c3.State(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Stats.Evictions <= st1.Stats.Evictions {
+		t.Fatalf("no new eviction after snapshot restore: %d vs %d", st3.Stats.Evictions, st1.Stats.Evictions)
+	}
+}

@@ -64,16 +64,16 @@ func (s *Server) applyRecord(rec eventlog.Record) error {
 		}
 		s.clk.Set(rec.Time)
 		for _, r := range s.appendDecisions(s.core.Schedule()) {
-			if r.Placed {
+			if r.Placed || r.Evicted {
 				s.replayExpect = append(s.replayExpect, r)
 			}
 		}
-	case eventlog.TypePlace:
+	case eventlog.TypePlace, eventlog.TypeEvict:
 		if rec.Decision == nil {
-			return fmt.Errorf("serve: place record without decision")
+			return fmt.Errorf("serve: %s record without decision", rec.Type)
 		}
 		if len(s.replayExpect) == 0 {
-			return fmt.Errorf("serve: replay diverged: log places %s (seq %d) but the recomputed round placed nothing more", rec.Decision.JobID, rec.Decision.Seq)
+			return fmt.Errorf("serve: replay diverged: log has %s %s (seq %d) but the recomputed round produced nothing more", rec.Type, rec.Decision.JobID, rec.Decision.Seq)
 		}
 		got := s.replayExpect[0]
 		s.replayExpect = s.replayExpect[1:]
@@ -92,9 +92,13 @@ func (s *Server) applyRecord(rec eventlog.Record) error {
 	return nil
 }
 
-// sameDecision compares the deterministic identity of a placement.
+// sameDecision compares the deterministic identity of a placement or an
+// eviction notice.
 func sameDecision(a, b serveapi.DecisionRecord) bool {
 	if a.Seq != b.Seq || a.JobID != b.JobID || a.Placed != b.Placed || len(a.GPUs) != len(b.GPUs) {
+		return false
+	}
+	if a.Evicted != b.Evicted || a.PreemptedBy != b.PreemptedBy {
 		return false
 	}
 	for i := range a.GPUs {
@@ -117,19 +121,24 @@ func (s *Server) restoreSnapshot(sn *eventlog.Snapshot) error {
 		SLOViolations: sn.Stats.SLOViolations,
 		GateSkips:     sn.Stats.GateSkips,
 		WakeSkips:     sn.Stats.WakeSkips,
+		Preemptions:   sn.Stats.Preemptions,
+		Evictions:     sn.Stats.Evictions,
 		DecisionTime:  time.Duration(sn.Stats.DecisionTimeNs),
 		MaxDecision:   time.Duration(sn.Stats.MaxDecisionNs),
 	}
 	s.decSeq = sn.DecSeq
 	s.decisions = append([]serveapi.DecisionRecord(nil), sn.Decisions...)
 	s.decHead = 0
-	st := s.core.State()
 	for _, rj := range sn.Running {
 		j, err := rj.Job.Job()
 		if err != nil {
 			return fmt.Errorf("serve: snapshot running job %q: %w", rj.Job.ID, err)
 		}
-		if err := st.Allocate(j.ID, rj.GPUs, rj.Bandwidth, j.Traits()); err != nil {
+		// Restore through the core (not the raw cluster state) so its
+		// running registry is rebuilt — preemption selects victims from
+		// that registry, and a job restored behind its back could never
+		// be evicted.
+		if err := s.core.Restore(j, rj.GPUs, rj.Bandwidth); err != nil {
 			return fmt.Errorf("serve: snapshot running job %q: %w", j.ID, err)
 		}
 		s.jobs[j.ID] = j
@@ -178,6 +187,8 @@ func (s *Server) writeSnapshot(now float64) {
 			SLOViolations:  stats.SLOViolations,
 			GateSkips:      stats.GateSkips,
 			WakeSkips:      stats.WakeSkips,
+			Preemptions:    stats.Preemptions,
+			Evictions:      stats.Evictions,
 			DecisionTimeNs: int64(stats.DecisionTime),
 			MaxDecisionNs:  int64(stats.MaxDecision),
 		},

@@ -58,6 +58,15 @@ type Config struct {
 	Spec sweep.TopologySpec
 	// Policy is the placement policy.
 	Policy schedcore.Policy
+	// Discipline selects the queue discipline (schedcore.ParseDiscipline
+	// names: "fifo", "priority"). Empty means FIFO-by-arrival, which is
+	// byte-compatible with logs written before disciplines existed.
+	Discipline string
+	// Preemption enables topology-aware preemption: positive-priority
+	// jobs that cannot place may evict strictly lower-priority running
+	// jobs. A durable server must be reopened with the same Discipline
+	// and Preemption it logged under, or replay diverges.
+	Preemption bool
 	// LogPath enables durability: the event log lives there, is replayed
 	// on start and group-committed per batch. Empty means in-memory only.
 	LogPath string
@@ -187,10 +196,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfterSec == 0 {
 		cfg.RetryAfterSec = DefaultRetryAfterSec
 	}
+	disc, err := schedcore.ParseDiscipline(cfg.Discipline)
+	if err != nil {
+		return nil, err
+	}
 	clk := schedcore.NewManualClock(0)
+	sched := schedcore.New(cfg.Policy, cluster.NewState(topo), mapper,
+		schedcore.WithClock(clk), schedcore.WithQueueDiscipline(disc))
+	if cfg.Preemption {
+		sched.SetPreemption(true)
+	}
 	s := &Server{
 		cfg:      cfg,
-		core:     schedcore.New(cfg.Policy, cluster.NewState(topo), mapper, schedcore.WithClock(clk)),
+		core:     sched,
 		clk:      clk,
 		topoKey:  cfg.Spec.Key(),
 		ops:      make(chan *op),
@@ -308,14 +326,31 @@ func (s *Server) processBatch(batch []*op) {
 
 	var roundRecs []serveapi.DecisionRecord
 	if needRound {
-		// The round record marks this Schedule call so replay batches at
-		// exactly the same boundary; place records journal its results
-		// for divergence checking.
-		s.logAppend(eventlog.Record{Type: eventlog.TypeRound, Time: now})
-		roundRecs = s.appendDecisions(s.core.Schedule())
-		for i := range roundRecs {
-			if roundRecs[i].Placed {
-				s.logAppend(eventlog.Record{Type: eventlog.TypePlace, Time: now, Decision: &roundRecs[i]})
+		// Each iteration journals its own round record so replay batches
+		// at exactly the same boundaries; place and evict records journal
+		// the results for divergence checking. A round that evicted is
+		// followed by another round at the same clock: the victims are
+		// back in the queue and deserve an immediate re-placement attempt,
+		// exactly like the simulator's multi-round loop. Termination: each
+		// preemptive placement swaps strictly lower-priority victims for a
+		// higher-priority runner, so the running set's priority multiset
+		// strictly climbs.
+		for {
+			s.logAppend(eventlog.Record{Type: eventlog.TypeRound, Time: now})
+			recs := s.appendDecisions(s.core.Schedule())
+			evicted := false
+			for i := range recs {
+				switch {
+				case recs[i].Evicted:
+					evicted = true
+					s.logAppend(eventlog.Record{Type: eventlog.TypeEvict, Time: now, Decision: &recs[i]})
+				case recs[i].Placed:
+					s.logAppend(eventlog.Record{Type: eventlog.TypePlace, Time: now, Decision: &recs[i]})
+				}
+			}
+			roundRecs = append(roundRecs, recs...)
+			if !evicted {
+				break
 			}
 		}
 	}
@@ -430,8 +465,11 @@ func (s *Server) finish(o *op, now float64, roundRecs []serveapi.DecisionRecord,
 	switch o.kind {
 	case opSubmit:
 		resp := serveapi.JobResponse{ID: o.id, Time: now}
+		// The LAST record wins: under preemption a job can be placed in
+		// one round of the batch and evicted in a later one — its final
+		// status is back-in-queue, reason "preempted".
 		var mine *serveapi.DecisionRecord
-		for i := range roundRecs {
+		for i := len(roundRecs) - 1; i >= 0; i-- {
 			if roundRecs[i].JobID == o.id {
 				mine = &roundRecs[i]
 				break
@@ -477,10 +515,34 @@ func (s *Server) finish(o *op, now float64, roundRecs []serveapi.DecisionRecord,
 
 // appendDecisions assigns sequence numbers to a round's decisions and
 // appends them to the ring; shared verbatim between live batches and
-// replay so the ring reconstructs identically.
+// replay so the ring reconstructs identically. A preemptive placement
+// expands into its eviction notices (one ring record per victim, so
+// /v1/decisions clients learn about displaced jobs) followed by the
+// preemptor's own placement record.
 func (s *Server) appendDecisions(ds []*schedcore.Decision) []serveapi.DecisionRecord {
 	recs := make([]serveapi.DecisionRecord, 0, len(ds))
+	ring := func(r serveapi.DecisionRecord) {
+		if len(s.decisions) == decisionLogCap {
+			s.decisions[s.decHead] = r
+			s.decHead = (s.decHead + 1) % decisionLogCap
+		} else {
+			s.decisions = append(s.decisions, r)
+		}
+		recs = append(recs, r)
+	}
 	for _, d := range ds {
+		for _, ev := range d.Evictions {
+			s.decSeq++
+			ring(serveapi.DecisionRecord{
+				Seq:         s.decSeq,
+				Time:        d.Time,
+				JobID:       ev.Job.ID,
+				Reason:      "preempted",
+				Evicted:     true,
+				PreemptedBy: d.Job.ID,
+				GPUs:        append([]int(nil), ev.GPUs...),
+			})
+		}
 		s.decSeq++
 		r := serveapi.DecisionRecord{
 			Seq:    s.decSeq,
@@ -495,13 +557,7 @@ func (s *Server) appendDecisions(ds []*schedcore.Decision) []serveapi.DecisionRe
 			r.SLOViolated = d.SLOViolated
 			r.Postponements = d.Postponements
 		}
-		if len(s.decisions) == decisionLogCap {
-			s.decisions[s.decHead] = r
-			s.decHead = (s.decHead + 1) % decisionLogCap
-		} else {
-			s.decisions = append(s.decisions, r)
-		}
-		recs = append(recs, r)
+		ring(r)
 	}
 	return recs
 }
@@ -541,6 +597,8 @@ func (s *Server) combinedStats() schedcore.Stats {
 	cur.SLOViolations += b.SLOViolations
 	cur.GateSkips += b.GateSkips
 	cur.WakeSkips += b.WakeSkips
+	cur.Preemptions += b.Preemptions
+	cur.Evictions += b.Evictions
 	cur.DecisionTime += b.DecisionTime
 	if b.MaxDecision > cur.MaxDecision {
 		cur.MaxDecision = b.MaxDecision

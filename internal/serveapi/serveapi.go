@@ -75,6 +75,11 @@ type JobRequest struct {
 	SingleNode    *bool   `json:"single_node,omitempty"`
 	AntiCollocate bool    `json:"anti_collocate,omitempty"`
 	ModelParallel bool    `json:"model_parallel,omitempty"`
+	// Priority ranks the job under the priority queue disciplines; with
+	// preemption enabled a positive-priority job may evict strictly
+	// lower-priority running jobs. 0 (the default) is the ordinary
+	// training class.
+	Priority int `json:"priority,omitempty"`
 }
 
 // JobSpec is a fully resolved job as the server accepted it: the request
@@ -112,6 +117,7 @@ func (s JobSpec) Job() (*job.Job, error) {
 	if s.ModelParallel {
 		j.Parallelism = perfmodel.ModelParallel
 	}
+	j.Priority = s.Priority
 	if err := j.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,6 +139,7 @@ func SpecOf(j *job.Job) JobSpec {
 			SingleNode:    &single,
 			AntiCollocate: j.AntiCollocate,
 			ModelParallel: j.Parallelism == perfmodel.ModelParallel,
+			Priority:      j.Priority,
 		},
 		Arrival: j.Arrival,
 	}
@@ -161,7 +168,9 @@ type ReleaseResponse struct {
 	Unblocked []string `json:"unblocked,omitempty"`
 }
 
-// DecisionRecord is one logged scheduling decision.
+// DecisionRecord is one logged scheduling decision: a placement, a
+// postponement, or — under preemption — an eviction notice for a running
+// job displaced by a higher-priority placement.
 type DecisionRecord struct {
 	Seq           int     `json:"seq"`
 	Time          float64 `json:"time_s"`
@@ -172,6 +181,12 @@ type DecisionRecord struct {
 	Reason        string  `json:"reason,omitempty"`
 	SLOViolated   bool    `json:"slo_violated,omitempty"`
 	Postponements int     `json:"postponements,omitempty"`
+	// Evicted marks a preemption notice: JobID was evicted from GPUs (the
+	// freed positions) to make room for PreemptedBy, and is back in the
+	// wait queue. Clients watching /v1/decisions learn about displaced
+	// jobs from exactly these records.
+	Evicted     bool   `json:"evicted,omitempty"`
+	PreemptedBy string `json:"preempted_by,omitempty"`
 }
 
 // DecisionsResponse answers GET /v1/decisions?after=S&limit=N: records
@@ -216,6 +231,8 @@ type StateResponse struct {
 	Decisions  int              `json:"decisions_logged"`
 	Fragments  float64          `json:"fragmentation"`
 	Discipline string           `json:"queue_discipline"`
+	// Preemption reports whether topology-aware preemption is enabled.
+	Preemption bool `json:"preemption,omitempty"`
 }
 
 // RunningEntry is one running job in the state snapshot.
@@ -230,6 +247,7 @@ type QueuedEntry struct {
 	GPUs       int     `json:"gpus"`
 	MinUtility float64 `json:"min_utility"`
 	Arrival    float64 `json:"arrival_s"`
+	Priority   int     `json:"priority,omitempty"`
 }
 
 // BandwidthEntry is one machine's free shared-bus bandwidth.
@@ -248,6 +266,8 @@ type SchedStats struct {
 	SLOViolations   int     `json:"slo_violations"`
 	GateSkips       int     `json:"gate_skips"`
 	WakeSkips       int     `json:"wake_skips"`
+	Preemptions     int     `json:"preemptions,omitempty"`
+	Evictions       int     `json:"evictions,omitempty"`
 	MeanDecisionUs  float64 `json:"mean_decision_us"`
 	MaxDecisionUs   float64 `json:"max_decision_us"`
 	TotalDecisionMs float64 `json:"total_decision_ms"`

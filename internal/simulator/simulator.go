@@ -62,6 +62,14 @@ type Config struct {
 	// either way (TestWakeIndexEquivalence proves it); the switch exists
 	// for those tests and as an escape hatch.
 	DisableWakeIndex bool
+	// Discipline selects the queue ordering by name ("fifo", "priority";
+	// empty: the default arrival FIFO). See schedcore.ParseDiscipline.
+	Discipline string
+	// EnablePreemption turns on topology-aware preemption: positive-
+	// priority jobs that cannot place may evict strictly lower-priority
+	// running ones. Evicted jobs keep their progress (iterations already
+	// completed are not repeated) and re-enter the queue.
+	EnablePreemption bool
 }
 
 // JobResult records the outcome of one job.
@@ -82,6 +90,10 @@ type JobResult struct {
 	SlowdownQoSWait float64
 	SLOViolated     bool
 	Postponements   int
+	// Preemptions counts how many times the job was evicted by a
+	// higher-priority placement before finishing. Start/Wait anchor to
+	// the FIRST placement, so an evicted job's wait does not restart.
+	Preemptions int
 }
 
 // Sample is one point of the bandwidth/utility time series.
@@ -219,6 +231,17 @@ type runningJob struct {
 	violated   bool
 	waited     int     // scheduling rounds spent queued before placement
 	linkUsage  float64 // GB/s while running
+	firstStart float64 // first placement time; == start unless re-placed after eviction
+	preempts   int     // times this job has been evicted so far
+}
+
+// evictedCarry preserves an evicted job's progress between placements:
+// the iterations it still owes, its first start (so Wait does not
+// restart), and how often it has been displaced.
+type evictedCarry struct {
+	remaining  float64
+	firstStart float64
+	preempts   int
 }
 
 // Run executes the simulation of the given jobs (arrival times inside the
@@ -252,12 +275,20 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 	// core's decision timestamps line up with simulation seconds exactly
 	// as toposerve's line up with wall seconds.
 	clock := schedcore.NewManualClock(0)
-	scheduler := schedcore.New(cfg.Policy, st, mapper, schedcore.WithClock(clock))
+	disc, err := schedcore.ParseDiscipline(cfg.Discipline)
+	if err != nil {
+		return nil, err
+	}
+	scheduler := schedcore.New(cfg.Policy, st, mapper,
+		schedcore.WithClock(clock), schedcore.WithQueueDiscipline(disc))
 	if cfg.DisableEpochGate {
 		scheduler.SetEpochGate(false)
 	}
 	if cfg.DisableWakeIndex {
 		scheduler.SetWakeIndex(false)
+	}
+	if cfg.EnablePreemption {
+		scheduler.SetPreemption(true)
 	}
 	rng := stats.NewRNG(cfg.Seed)
 
@@ -325,6 +356,7 @@ type engine struct {
 	now       float64
 	running   map[string]*runningJob
 	byMachine map[int]map[string]*runningJob
+	evicted   map[string]*evictedCarry // progress banked across preemptions
 	results   []JobResult
 	timeline  []Interval
 	samples   []Sample
@@ -423,22 +455,71 @@ func (e *engine) advanceJob(r *runningJob, t float64) {
 	}
 }
 
-// runScheduler performs one Algorithm 1 iteration, starts any placed jobs,
+// runScheduler performs Algorithm 1 iterations, starts any placed jobs,
 // and refreshes the rates of every job on the machines those placements
-// touched.
+// touched. A round that preempted re-enqueues its victims only after
+// dispatch, so when evictions occurred the loop runs another round at the
+// same virtual time — the victims get their shot at the capacity the
+// preemptors left before the simulation moves on. Termination: every
+// extra round is caused by a preemptive placement, and each such
+// placement swaps strictly-lower-priority running jobs for a
+// higher-priority one, so the running set's priority multiset strictly
+// climbs and the chain is finite.
 func (e *engine) runScheduler() {
-	decisions := e.scheduler.Schedule()
 	affected := e.affectedScratch[:0]
-	for _, d := range decisions {
-		if d.Postponed {
-			continue
+	for rounds := 0; ; rounds++ {
+		if rounds > 10_000 {
+			panic("simulator: preemption rounds did not converge")
 		}
-		affected = append(affected, e.start(d)...)
+		decisions := e.scheduler.Schedule()
+		evicted := false
+		for _, d := range decisions {
+			for i := range d.Evictions {
+				affected = append(affected, e.evict(d.Evictions[i].Job.ID)...)
+				evicted = true
+			}
+			if d.Postponed {
+				continue
+			}
+			affected = append(affected, e.start(d)...)
+		}
+		if !evicted {
+			break
+		}
 	}
 	e.affectedScratch = affected
 	if len(affected) > 0 {
 		e.refreshMachines(affected)
 	}
+}
+
+// evict removes a preempted job from the engine's bookkeeping, banking
+// its progress (advanced to the current instant) so a later re-placement
+// resumes where the job stopped. The in-flight finish event dies on the
+// running-map lookup in loop(). The interval the job did run is recorded
+// on the timeline; its machines are returned for the rate refresh.
+func (e *engine) evict(id string) []int {
+	r := e.running[id]
+	e.advanceJob(r, e.now)
+	if e.evicted == nil {
+		e.evicted = map[string]*evictedCarry{}
+	}
+	e.evicted[id] = &evictedCarry{
+		remaining:  r.remaining,
+		firstStart: r.firstStart,
+		preempts:   r.preempts + 1,
+	}
+	delete(e.running, id)
+	for _, m := range r.machines {
+		delete(e.byMachine[m], id)
+		if len(e.byMachine[m]) == 0 {
+			delete(e.byMachine, m)
+		}
+	}
+	if e.now > r.start {
+		e.timeline = append(e.timeline, Interval{JobID: id, GPUs: r.gpus, Start: r.start, Finish: e.now})
+	}
+	return r.machines
 }
 
 // sortedDedup sorts xs ascending and removes adjacent duplicates in
@@ -467,11 +548,20 @@ func (e *engine) start(d *sched.Decision) []int {
 		rate:       1 / baseIter,
 		lastUpdate: e.now,
 		start:      e.now,
+		firstStart: e.now,
 		utility:    d.Placement.Utility,
 		p2p:        d.Placement.P2P,
 		violated:   d.SLOViolated,
 		waited:     d.Postponements,
 		linkUsage:  perfmodel.AverageLinkUsage(j.Model, j.BatchSize, e.cfg.Topology, d.Placement.GPUs),
+	}
+	if c, ok := e.evicted[j.ID]; ok {
+		// Re-placement after preemption: resume the remaining iterations
+		// and keep the original start so Wait measures queue-to-first-GPU.
+		r.remaining = c.remaining
+		r.firstStart = c.firstStart
+		r.preempts = c.preempts
+		delete(e.evicted, j.ID)
 	}
 	e.running[j.ID] = r
 	for _, m := range r.machines {
@@ -541,12 +631,15 @@ func (e *engine) finish(r *runningJob) error {
 	}
 
 	ideal := e.idealTime(r.job)
-	run := e.now - r.start
-	wait := r.start - r.job.Arrival
+	// Run spans first placement to finish: for a preempted job it includes
+	// the re-queued gaps, so SlowdownQoS charges the eviction delay to the
+	// victim the same way interference slowdown is charged.
+	run := e.now - r.firstStart
+	wait := r.firstStart - r.job.Arrival
 	e.results = append(e.results, JobResult{
 		Job:             r.job,
 		GPUs:            r.gpus,
-		Start:           r.start,
+		Start:           r.firstStart,
 		Finish:          e.now,
 		Wait:            wait,
 		Run:             run,
@@ -557,6 +650,7 @@ func (e *engine) finish(r *runningJob) error {
 		SlowdownQoSWait: math.Max(0, (e.now-r.job.Arrival)/ideal-1),
 		SLOViolated:     r.violated,
 		Postponements:   r.waited,
+		Preemptions:     r.preempts,
 	})
 	e.timeline = append(e.timeline, Interval{
 		JobID:  r.job.ID,

@@ -36,6 +36,18 @@ func buildDiffMetrics() []diffMetric {
 		{"mean_slowdown_qos_wait", func(c CellSummary) stats.Summary { return c.MeanQoSWait }},
 		{"total_wait_s", func(c CellSummary) stats.Summary { return c.TotalWait }},
 		{"slo_violations", func(c CellSummary) stats.Summary { return c.SLOViolations }},
+		// Priority cells only: a nil summary compares as NaN, which
+		// compareMetric treats as equal against another NaN (both cells
+		// priority-free) and as a regression against a real value (the
+		// metric vanished or appeared — either way the artifacts disagree
+		// about what was measured).
+		{"high_pri_wait_s", func(c CellSummary) stats.Summary {
+			if c.HighPriWait == nil {
+				nan := math.NaN()
+				return stats.Summary{Mean: nan, Stddev: nan, P95: nan}
+			}
+			return *c.HighPriWait
+		}},
 	}
 	var ms []diffMetric
 	for _, b := range bases {

@@ -251,14 +251,14 @@ func TestDiffDistributionMetrics(t *testing.T) {
 	// The metric list advertises the new names.
 	names := DiffMetricNames()
 	want := map[string]bool{"makespan_s": true, "makespan_s.stddev": true, "makespan_s.p95": true,
-		"slo_violations.p95": true}
+		"slo_violations.p95": true, "high_pri_wait_s": true}
 	for _, n := range names {
 		delete(want, n)
 	}
 	if len(want) != 0 {
 		t.Fatalf("DiffMetricNames missing %v (got %v)", want, names)
 	}
-	if len(names) != 15 {
-		t.Fatalf("expected 15 metrics (5 bases × mean/stddev/p95), got %d", len(names))
+	if len(names) != 18 {
+		t.Fatalf("expected 18 metrics (6 bases × mean/stddev/p95), got %d", len(names))
 	}
 }

@@ -1,0 +1,21 @@
+package sweep
+
+import "fmt"
+
+// ParseDisciplineMode splits a disciplines-axis value into the schedcore
+// queue-discipline name and the preemption switch. The axis deliberately
+// folds preemption into the discipline name ("priority-preempt") instead
+// of adding a second boolean axis: preemption without priority ordering
+// is meaningless (only positive-priority jobs may preempt), so the
+// combined name keeps impossible grid corners unrepresentable.
+func ParseDisciplineMode(v string) (disc string, preempt bool, err error) {
+	switch v {
+	case "", "fifo":
+		return v, false, nil
+	case "priority":
+		return "priority", false, nil
+	case "priority-preempt":
+		return "priority", true, nil
+	}
+	return "", false, fmt.Errorf("sweep: unknown discipline %q (want fifo, priority or priority-preempt)", v)
+}

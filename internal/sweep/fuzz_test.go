@@ -1,0 +1,55 @@
+package sweep_test
+
+import (
+	"strings"
+	"testing"
+
+	"gputopo/internal/sweep"
+)
+
+// FuzzParseTopologyArg fuzzes the cell-key / -topology flag syntax.
+// Accepted specs must reach a Key() fixed point — Key output reparses,
+// and the reparse renders the same Key — because sweep artifacts and
+// toposerve exchange substrates through exactly that string.
+func FuzzParseTopologyArg(f *testing.F) {
+	f.Add("minsky")
+	f.Add("dgx1:4")
+	f.Add("pcie:2")
+	f.Add("power8-minsky:1")
+	f.Add("mix[minsky:2+minsky-1g:1+dgx1:1]")
+	f.Add("matrix[testdata/dgx1.matrix]:3")
+	f.Add("matrix[testdata/dgx1.matrix]")
+	f.Add("mix[")
+	f.Add("minsky:0")
+	f.Add("mix[minsky:2]:3")
+	f.Add(":")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1024 {
+			t.Skip()
+		}
+		// Validate reads matrix[...] files; keep the fuzzer inside the
+		// package directory so it cannot stumble into device files or
+		// other blocking reads via absolute or parent-relative paths.
+		if i := strings.Index(s, "matrix["); i >= 0 {
+			file := s[i+len("matrix["):]
+			if strings.HasPrefix(file, "/") || strings.HasPrefix(file, "~") || strings.Contains(file, "..") {
+				t.Skip()
+			}
+		}
+		ts, err := sweep.ParseTopologyArg(s)
+		if err != nil {
+			return
+		}
+		key := ts.Key()
+		if key == "" {
+			t.Fatalf("ParseTopologyArg(%q) accepted input but renders an empty key", s)
+		}
+		ts2, err := sweep.ParseTopologyArg(key)
+		if err != nil {
+			t.Fatalf("key %q of accepted spec %q does not reparse: %v", key, s, err)
+		}
+		if again := ts2.Key(); again != key {
+			t.Fatalf("key is not a fixed point: %q -> %q -> %q", s, key, again)
+		}
+	})
+}

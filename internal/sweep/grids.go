@@ -152,6 +152,25 @@ var namedGrids = map[string]struct {
 			}
 		},
 	},
+	"priority": {
+		desc: "queue-discipline ablation: TOPO-AWARE-P × {fifo, priority, priority-preempt} on minsky:2, 60 jobs (20% priority-1) × 3 replicas (9 points)",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name:     "priority",
+				Policies: []sched.Policy{sched.TopoAwareP},
+				// Two machines keep the cluster contended enough that the
+				// disciplines actually diverge: priority jobs must overtake
+				// (and, preemptively, evict) to win their wait-time edge on
+				// both makespan and high_pri_wait_s.
+				Topologies:    []TopologySpec{{Mix: []MixEntry{{Kind: "minsky", Count: 2}}}},
+				Jobs:          []int{60},
+				Disciplines:   []string{"fifo", "priority", "priority-preempt"},
+				PriorityShare: 0.2,
+				Replicas:      3,
+				BaseSeed:      seed,
+			}
+		},
+	},
 	"levelweights": {
 		desc: "§4.1.2 level-weight ablation: Table 1 under TOPO-AWARE-P with socket weights {5,10,20,40,100}",
 		build: func(seed uint64) Grid {

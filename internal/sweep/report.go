@@ -30,6 +30,12 @@ type PointResult struct {
 	Placements      int     `json:"placements"`
 	Postponements   int     `json:"postponements"`
 	SLOViolationPct float64 `json:"slo_violation_pct"`
+	// Priority-class metrics, all zero — and omitted, keeping
+	// pre-priority artifacts byte-identical — unless the workload carries
+	// positive-priority jobs or the scheduler preempted.
+	Preemptions int     `json:"preemptions,omitempty"`
+	HighPriJobs int     `json:"high_pri_jobs,omitempty"`
+	HighPriWait float64 `json:"high_pri_wait_s,omitempty"`
 
 	// Sim is always populated; Proto only for EngineProto points.
 	Sim   *simulator.Result `json:"-"`
@@ -54,6 +60,17 @@ func newPointResult(p Point, out *RunOutput) PointResult {
 	if pr.JobsFinished > 0 {
 		pr.SLOViolationPct = 100 * float64(pr.SLOViolations) / float64(pr.JobsFinished)
 	}
+	pr.Preemptions = res.SchedStats.Preemptions
+	var hiWait float64
+	for _, jr := range res.Jobs {
+		if jr.Job.Priority > 0 {
+			pr.HighPriJobs++
+			hiWait += jr.Wait
+		}
+	}
+	if pr.HighPriJobs > 0 {
+		pr.HighPriWait = hiWait / float64(pr.HighPriJobs)
+	}
 	return pr
 }
 
@@ -74,13 +91,18 @@ type CellSummary struct {
 	MeanQoSWait   stats.Summary `json:"mean_slowdown_qos_wait"`
 	TotalWait     stats.Summary `json:"total_wait_s"`
 	SLOViolations stats.Summary `json:"slo_violations"`
+	// Discipline and the priority-class summaries appear only for cells
+	// whose points set them, so pre-priority artifacts round-trip
+	// byte-identically.
+	Discipline  string         `json:"discipline,omitempty"`
+	Preemptions *stats.Summary `json:"preemptions,omitempty"`
+	HighPriWait *stats.Summary `json:"high_pri_wait_s,omitempty"`
 }
 
 // Key identifies the cell across reports: every axis except the replica,
 // in a fixed order. Diffing two artifacts joins their cells by this key.
 func (c CellSummary) Key() string {
-	return fmt.Sprintf("%s/%s/%s/%s/m%d/j%d/a%g/t%g",
-		c.Engine, c.Source, c.Policy, c.Topology.Key(), c.Machines, c.Jobs, c.AlphaCC, c.Threshold)
+	return cellKeyOf(c.Engine, c.Source, c.Policy, c.Topology, c.Machines, c.Jobs, c.AlphaCC, c.Threshold, c.Discipline)
 }
 
 // summarizeCells groups point results by cell, preserving first-seen
@@ -89,6 +111,8 @@ func summarizeCells(points []Point, results []PointResult) []CellSummary {
 	type acc struct {
 		first                                     Point
 		makespan, qos, qosWait, totalWait, sloved []float64
+		preempts, hiWait                          []float64
+		hiJobs                                    int
 	}
 	order := []string{}
 	cells := map[string]*acc{}
@@ -105,11 +129,14 @@ func summarizeCells(points []Point, results []PointResult) []CellSummary {
 		a.qosWait = append(a.qosWait, results[i].MeanQoSWait)
 		a.totalWait = append(a.totalWait, results[i].TotalWait)
 		a.sloved = append(a.sloved, float64(results[i].SLOViolations))
+		a.preempts = append(a.preempts, float64(results[i].Preemptions))
+		a.hiWait = append(a.hiWait, results[i].HighPriWait)
+		a.hiJobs += results[i].HighPriJobs
 	}
 	out := make([]CellSummary, 0, len(order))
 	for _, k := range order {
 		a := cells[k]
-		out = append(out, CellSummary{
+		c := CellSummary{
 			Engine:        a.first.Engine,
 			Source:        a.first.Source,
 			Policy:        a.first.Policy,
@@ -124,7 +151,18 @@ func summarizeCells(points []Point, results []PointResult) []CellSummary {
 			MeanQoSWait:   stats.Summarize(a.qosWait),
 			TotalWait:     stats.Summarize(a.totalWait),
 			SLOViolations: stats.Summarize(a.sloved),
-		})
+			Discipline:    a.first.Discipline,
+		}
+		// The priority summaries exist only for cells that actually saw
+		// high-priority jobs: cells of single-class workloads keep the
+		// nil (omitted) fields their artifacts were recorded with.
+		if a.hiJobs > 0 {
+			hw := stats.Summarize(a.hiWait)
+			pe := stats.Summarize(a.preempts)
+			c.HighPriWait = &hw
+			c.Preemptions = &pe
+		}
+		out = append(out, c)
 	}
 	return out
 }
@@ -165,16 +203,16 @@ func (r *Report) JSON() ([]byte, error) {
 // and pandas consumption.
 func (r *Report) CSV() []byte {
 	var buf bytes.Buffer
-	buf.WriteString("index,engine,source,policy,topology,machines,jobs,alpha_cc,threshold,replica,seed," +
+	buf.WriteString("index,engine,source,policy,topology,machines,jobs,alpha_cc,threshold,replica,seed,discipline," +
 		"makespan_s,slo_violations,mean_slowdown_qos,mean_slowdown_qos_wait,total_wait_s," +
-		"jobs_finished,placements,postponements\n")
+		"jobs_finished,placements,postponements,preemptions,high_pri_jobs,high_pri_wait_s\n")
 	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
 	for _, p := range r.Points {
-		fmt.Fprintf(&buf, "%d,%s,%s,%s,%s,%d,%d,%s,%s,%d,%d,%s,%d,%s,%s,%s,%d,%d,%d\n",
+		fmt.Fprintf(&buf, "%d,%s,%s,%s,%s,%d,%d,%s,%s,%d,%d,%s,%s,%d,%s,%s,%s,%d,%d,%d,%d,%d,%s\n",
 			p.Index, p.Engine, p.Source, p.Policy, p.Topology.Key(), p.Point.Machines, p.Point.Jobs,
-			f(p.AlphaCC), f(p.Point.Threshold), p.Replica, p.Seed,
+			f(p.AlphaCC), f(p.Point.Threshold), p.Replica, p.Seed, p.Discipline,
 			f(p.Makespan), p.SLOViolations, f(p.MeanQoS), f(p.MeanQoSWait), f(p.TotalWait),
-			p.JobsFinished, p.Placements, p.Postponements)
+			p.JobsFinished, p.Placements, p.Postponements, p.Preemptions, p.HighPriJobs, f(p.HighPriWait))
 	}
 	return buf.Bytes()
 }

@@ -318,6 +318,7 @@ func (g Grid) Validate() error {
 		{"thresholds", g.Thresholds == nil, len(g.Thresholds)},
 		{"seeds", g.Seeds == nil, len(g.Seeds)},
 		{"topologies", g.Topologies == nil, len(g.Topologies)},
+		{"disciplines", g.Disciplines == nil, len(g.Disciplines)},
 	} {
 		if !a.isNil && a.n == 0 {
 			return fmt.Errorf("sweep: grid %q: axis %q is present but empty — omit it to use the default", g.Name, a.name)
@@ -342,6 +343,17 @@ func (g Grid) Validate() error {
 		if th != NoOverride && (th < 0 || th > 1) {
 			return fmt.Errorf("sweep: grid %q: thresholds value %g must be in [0,1] (or %d for the engine default)", g.Name, th, NoOverride)
 		}
+	}
+	for _, d := range g.Disciplines {
+		if _, _, err := ParseDisciplineMode(d); err != nil {
+			return fmt.Errorf("sweep: grid %q: %w", g.Name, err)
+		}
+		if d != "" && d != "fifo" && g.Engine != EngineSim {
+			return fmt.Errorf("sweep: grid %q: discipline %q needs the sim engine — the prototype emulator has no priority queue", g.Name, d)
+		}
+	}
+	if g.PriorityShare < 0 || g.PriorityShare > 1 {
+		return fmt.Errorf("sweep: grid %q: priority_share %g outside [0,1]", g.Name, g.PriorityShare)
 	}
 	if g.Replicas < 0 {
 		return fmt.Errorf("sweep: grid %q: replicas must be >= 0, got %d", g.Name, g.Replicas)

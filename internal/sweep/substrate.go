@@ -121,7 +121,7 @@ func (c *substrateCache) runPoint(p Point, tweaks schedTweaks) (*RunOutput, erro
 		if err != nil {
 			return nil, err
 		}
-		gen := workload.GenConfig{Jobs: p.Jobs, Seed: p.Seed}
+		gen := workload.GenConfig{Jobs: p.Jobs, Seed: p.Seed, HighPriorityShare: p.grid.PriorityShare}
 		if p.grid.RatePerMachine > 0 {
 			gen.ArrivalRate = p.grid.RatePerMachine * float64(p.Machines)
 		}
@@ -145,6 +145,11 @@ func (c *substrateCache) runPoint(p Point, tweaks schedTweaks) (*RunOutput, erro
 		weights = core.Weights{CommCost: p.AlphaCC, Interference: rest, Fragmentation: rest}
 	}
 
+	disc, preempt, err := ParseDisciplineMode(p.Discipline)
+	if err != nil {
+		return nil, err
+	}
+
 	switch p.Engine {
 	case EngineSim:
 		res, err := simulator.Run(simulator.Config{
@@ -157,6 +162,8 @@ func (c *substrateCache) runPoint(p Point, tweaks schedTweaks) (*RunOutput, erro
 			JitterStddev:     p.grid.JitterStddev,
 			DisableEpochGate: tweaks.disableEpochGate,
 			DisableWakeIndex: tweaks.disableWakeIndex,
+			Discipline:       disc,
+			EnablePreemption: preempt,
 		}, jobs)
 		if err != nil {
 			return nil, err

@@ -144,6 +144,17 @@ type Grid struct {
 	// Thresholds overrides every multi-GPU job's minimum utility;
 	// NoOverride keeps the generated values.
 	Thresholds []float64 `json:"thresholds,omitempty"`
+	// Disciplines is the queue-discipline axis: "" or "fifo" (the default
+	// arrival FIFO), "priority" (priority-then-arrival ordering), or
+	// "priority-preempt" (priority ordering plus topology-aware
+	// preemption). Left nil it defaults to the single empty value —
+	// deliberately NOT filled in by withDefaults, so the Grid embedded in
+	// existing artifacts stays byte-identical. EngineSim only.
+	Disciplines []string `json:"disciplines,omitempty"`
+	// PriorityShare is the fraction of generated jobs tagged Priority 1
+	// (workload.GenConfig.HighPriorityShare). 0 keeps the single-class
+	// streams every artifact was recorded with.
+	PriorityShare float64 `json:"priority_share,omitempty"`
 	// Seeds is the replica axis: each seed drives one workload/jitter
 	// stream. Leave nil and set Replicas to derive seeds from BaseSeed.
 	Seeds []uint64 `json:"seeds,omitempty"`
@@ -208,6 +219,10 @@ type Point struct {
 	Threshold float64      `json:"threshold"`
 	Replica   int          `json:"replica"`
 	Seed      uint64       `json:"seed"`
+	// Discipline is the queue-discipline axis value; empty (the default
+	// FIFO) is omitted so pre-discipline artifacts parse and re-serialize
+	// unchanged.
+	Discipline string `json:"discipline,omitempty"`
 
 	grid Grid // expansion-time copy, for the default runner
 }
@@ -215,9 +230,20 @@ type Point struct {
 // cellKey identifies the aggregation cell of a point: every axis except
 // the seed replica. Replicas of one cell are summarized together. The
 // format matches CellSummary.Key so point- and cell-level joins agree.
+// The discipline suffix appears only when the axis is in play, keeping
+// every pre-discipline key — and with it every recorded artifact and
+// diff join — byte-identical.
 func (p Point) cellKey() string {
-	return fmt.Sprintf("%s/%s/%s/%s/m%d/j%d/a%g/t%g",
-		p.Engine, p.Source, p.Policy, p.Topology.Key(), p.Machines, p.Jobs, p.AlphaCC, p.Threshold)
+	return cellKeyOf(p.Engine, p.Source, p.Policy, p.Topology, p.Machines, p.Jobs, p.AlphaCC, p.Threshold, p.Discipline)
+}
+
+func cellKeyOf(e Engine, s Source, pol sched.Policy, ts TopologySpec, machines, jobs int, alpha, th float64, disc string) string {
+	k := fmt.Sprintf("%s/%s/%s/%s/m%d/j%d/a%g/t%g",
+		e, s, pol, ts.Key(), machines, jobs, alpha, th)
+	if disc != "" {
+		k += "/d" + disc
+	}
+	return k
 }
 
 // Points expands the grid into its cross product. Expansion is serial and
@@ -229,6 +255,13 @@ func (p Point) cellKey() string {
 // value.
 func (g Grid) Points() []Point {
 	g = g.withDefaults()
+	// The discipline axis defaults locally rather than in withDefaults:
+	// the Report embeds the defaulted Grid, so a global default would
+	// rewrite the Grid section of every existing golden artifact.
+	discs := g.Disciplines
+	if len(discs) == 0 {
+		discs = []string{""}
+	}
 	var pts []Point
 	for _, ts := range g.Topologies {
 		for _, m := range g.Machines {
@@ -236,21 +269,24 @@ func (g Grid) Points() []Point {
 				for _, a := range g.AlphasCC {
 					for _, th := range g.Thresholds {
 						for rep, seed := range g.Seeds {
-							for _, pol := range g.Policies {
-								pts = append(pts, Point{
-									Index:     len(pts),
-									Engine:    g.Engine,
-									Source:    g.Source,
-									Policy:    pol,
-									Topology:  ts,
-									Machines:  ts.EffectiveMachines(m),
-									Jobs:      j,
-									AlphaCC:   a,
-									Threshold: th,
-									Replica:   rep,
-									Seed:      seed,
-									grid:      g,
-								})
+							for _, disc := range discs {
+								for _, pol := range g.Policies {
+									pts = append(pts, Point{
+										Index:      len(pts),
+										Engine:     g.Engine,
+										Source:     g.Source,
+										Policy:     pol,
+										Topology:   ts,
+										Machines:   ts.EffectiveMachines(m),
+										Jobs:       j,
+										AlphaCC:    a,
+										Threshold:  th,
+										Replica:    rep,
+										Seed:       seed,
+										Discipline: disc,
+										grid:       g,
+									})
+								}
 							}
 						}
 					}

@@ -1,0 +1,102 @@
+package topology_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gputopo/internal/topology"
+)
+
+// FuzzParseMix throws arbitrary mix descriptions at the parser. Accepted
+// input must produce buildable specs whose canonical rendering
+// (MixString) parses back to the identical specs — the property the
+// sweep cell keys and the toposerve -topology flag rely on.
+func FuzzParseMix(f *testing.F) {
+	f.Add("minsky:2")
+	f.Add("minsky:2+minsky-1g:1+dgx1:1")
+	f.Add("power8-minsky:1+dgx-1:2+pciebox:1")
+	f.Add("pcie:3+minsky-3g:2")
+	f.Add("minsky:0")
+	f.Add("minsky:+2")
+	f.Add(":::+:::")
+	f.Add("minsky-99g:1")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 4096 {
+			t.Skip()
+		}
+		specs, err := topology.ParseMix(s)
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatalf("ParseMix(%q) accepted input but returned no specs", s)
+		}
+		total := 0
+		for _, sp := range specs {
+			if sp.Count < 1 {
+				t.Fatalf("ParseMix(%q) produced count %d", s, sp.Count)
+			}
+			total += sp.Count
+		}
+		again, err := topology.ParseMix(topology.MixString(specs))
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", topology.MixString(specs), s, err)
+		}
+		if !reflect.DeepEqual(specs, again) {
+			t.Fatalf("round trip diverged:\n in:  %+v\n out: %+v", specs, again)
+		}
+		// Accepted specs must build (bounded, so fuzzing stays fast).
+		if total <= 8 {
+			if _, err := topology.HeterogeneousCluster(specs); err != nil {
+				t.Fatalf("ParseMix(%q) accepted specs the builder rejects: %v", s, err)
+			}
+		}
+	})
+}
+
+// FuzzParseMatrix feeds arbitrary text to the nvidia-smi matrix parser.
+// Accepted matrices must re-render and re-parse to a fixed point: the
+// RenderMatrix inverse is what the topoviz round-trip and the sweep
+// matrix[...] cells depend on.
+func FuzzParseMatrix(f *testing.F) {
+	f.Add(topology.Power8Minsky().RenderMatrix())
+	f.Add(topology.DGX1().RenderMatrix())
+	f.Add(topology.PCIeBox().RenderMatrix())
+	f.Add("     GPU0 CPUAffinity\nGPU0 X    0-7\n")
+	f.Add("garbage\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<16 {
+			t.Skip()
+		}
+		topo, err := topology.ParseMatrix(s)
+		if err != nil {
+			return
+		}
+		if topo.NumGPUs() < 1 {
+			t.Fatalf("ParseMatrix accepted a matrix with %d GPUs", topo.NumGPUs())
+		}
+		rendered := topo.RenderMatrix()
+		topo2, err := topology.ParseMatrix(rendered)
+		if err != nil {
+			t.Fatalf("rendered matrix does not reparse: %v\ninput: %q\nrendered:\n%s", err, s, rendered)
+		}
+		if again := topo2.RenderMatrix(); again != rendered {
+			t.Fatalf("render/parse has no fixed point:\n first:\n%s\n second:\n%s", rendered, again)
+		}
+	})
+}
+
+// guard against seed drift: the builder topologies used as FuzzParseMatrix
+// seeds must stay single-machine (RenderMatrix is defined on those).
+func TestFuzzMatrixSeedsSingleMachine(t *testing.T) {
+	for _, topo := range []*topology.Topology{topology.Power8Minsky(), topology.DGX1(), topology.PCIeBox()} {
+		if m := topo.NumMachines(); m != 1 {
+			t.Fatalf("%s: %d machines", topo.Name, m)
+		}
+		if !strings.Contains(topo.RenderMatrix(), "CPUAffinity") {
+			t.Fatalf("%s: matrix rendering lost its header", topo.Name)
+		}
+	}
+}

@@ -55,6 +55,12 @@ type GenConfig struct {
 	// MinDuration and MaxDuration clamp the sampled duration
 	// (defaults 30 s and 600 s).
 	MinDuration, MaxDuration float64
+	// HighPriorityShare is the fraction of jobs (0..1) tagged Priority 1,
+	// modeling a latency-sensitive class mixed into the training stream.
+	// At the default 0 the generator draws nothing extra from the RNG, so
+	// every stream recorded before priorities existed is reproduced
+	// byte-for-byte.
+	HighPriorityShare float64
 	// Seed makes the stream reproducible.
 	Seed uint64
 }
@@ -85,6 +91,9 @@ func Generate(cfg GenConfig, topo *topology.Topology) ([]*job.Job, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Jobs <= 0 {
 		return nil, fmt.Errorf("workload: non-positive job count %d", cfg.Jobs)
+	}
+	if cfg.HighPriorityShare < 0 || cfg.HighPriorityShare > 1 {
+		return nil, fmt.Errorf("workload: high-priority share %g outside [0,1]", cfg.HighPriorityShare)
 	}
 	if topo == nil {
 		return nil, fmt.Errorf("workload: nil topology")
@@ -138,6 +147,9 @@ func Generate(cfg GenConfig, topo *topology.Topology) ([]*job.Job, error) {
 			iters = 1
 		}
 		j.Iterations = iters
+		if cfg.HighPriorityShare > 0 && rng.Float64() < cfg.HighPriorityShare {
+			j.Priority = 1
+		}
 		jobs = append(jobs, j)
 	}
 	return jobs, nil
