@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBadFixtureFails runs the CLI against the known-bad package and
+// checks both the exit code and that every planted violation is named.
+func TestBadFixtureFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./testdata/src/badpkg"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"[detmap] float accumulation into total depends on map iteration order",
+		"[seedflow]",
+		"[nilness] nil dereference: it is provably nil in this branch",
+		"[unusedwrite] unused write: it is a per-iteration copy",
+		"[sortslice] sort.Slice's argument must be a slice; [4]int will panic",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q\nstdout:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "diagnostic(s)") {
+		t.Errorf("stderr missing the diagnostic count summary: %q", stderr.String())
+	}
+}
+
+// TestCleanPackagePasses lints a real repo package that must be clean.
+func TestCleanPackagePasses(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"gputopo/internal/stats"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestAnalyzersSubset restricts the run so only the named analyzer can
+// fire on the bad fixture.
+func TestAnalyzersSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-analyzers", "sortslice", "./testdata/src/badpkg"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "[detmap]") {
+		t.Errorf("detmap fired despite -analyzers sortslice:\n%s", stdout.String())
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nope", "./testdata/src/badpkg"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown analyzer(s): nope`) {
+		t.Errorf("stderr = %q, want unknown-analyzer message", stderr.String())
+	}
+}
+
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"detmap", "layering", "nilness", "seedflow", "sortslice", "unusedwrite", "wallclock", "wiretypes", "lintignore"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestVetProbes covers the two handshakes `go vet -vettool` performs
+// before dispatching work.
+func TestVetProbes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exit code = %d, want 0", code)
+	}
+	if !strings.HasPrefix(stdout.String(), "topolint version ") || !strings.Contains(stdout.String(), "buildID=") {
+		t.Errorf("-V=full output %q lacks the version/buildID handshake", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags exit code = %d, want 0", code)
+	}
+	var flags []any
+	if err := json.Unmarshal(stdout.Bytes(), &flags); err != nil {
+		t.Errorf("-flags output %q is not a JSON array: %v", stdout.String(), err)
+	}
+}
+
+// TestUnitMode drives the vet.cfg protocol end to end: a config built
+// the way cmd/go builds one (export data from `go list`) must produce
+// the same diagnostics and write the vetx output file.
+func TestUnitMode(t *testing.T) {
+	cfgPath, vetxPath := writeUnitConfig(t, "./testdata/src/badpkg")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{cfgPath}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "[detmap]") || !strings.Contains(stderr.String(), "[sortslice]") {
+		t.Errorf("unit-mode stderr missing diagnostics:\n%s", stderr.String())
+	}
+	assertFileExists(t, vetxPath)
+}
+
+// TestUnitModeVetxOnly: facts-only invocations succeed without running
+// analyzers but must still write the output file.
+func TestUnitModeVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetxPath := filepath.Join(dir, "out.vetx")
+	cfgPath := filepath.Join(dir, "unit.cfg")
+	writeJSON(t, cfgPath, vetConfig{ID: "x", ImportPath: "x", VetxOnly: true, VetxOutput: vetxPath})
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{cfgPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	assertFileExists(t, vetxPath)
+}
+
+// writeUnitConfig builds a faithful vet.cfg for pattern: GoFiles from
+// the package itself, ImportMap/PackageFile from `go list -export`.
+func writeUnitConfig(t *testing.T, pattern string) (cfgPath, vetxPath string) {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly", pattern).Output()
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	cfg := vetConfig{
+		ID:          "badpkg",
+		Compiler:    "gc",
+		ImportMap:   map[string]string{},
+		PackageFile: map[string]string{},
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath string
+			Dir        string
+			GoFiles    []string
+			Export     string
+			DepOnly    bool
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			cfg.ImportMap[p.ImportPath] = p.ImportPath
+			cfg.PackageFile[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			cfg.Dir = p.Dir
+			cfg.ImportPath = p.ImportPath
+			for _, gf := range p.GoFiles {
+				cfg.GoFiles = append(cfg.GoFiles, filepath.Join(p.Dir, gf))
+			}
+		}
+	}
+	dir := t.TempDir()
+	vetxPath = filepath.Join(dir, "badpkg.vetx")
+	cfg.VetxOutput = vetxPath
+	cfgPath = filepath.Join(dir, "badpkg.cfg")
+	writeJSON(t, cfgPath, cfg)
+	return cfgPath, vetxPath
+}
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}
+
+func assertFileExists(t *testing.T, path string) {
+	t.Helper()
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("expected %s to be written: %v", path, err)
+	}
+}

@@ -1,0 +1,50 @@
+// Package badpkg is the known-bad fixture for cmd/topolint's CLI test:
+// each function violates a different analyzer, and main_test asserts
+// the binary reports all of them and exits 1.
+package badpkg
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type item struct {
+	name string
+	done bool
+}
+
+// MapSum accumulates floats in map order: detmap.
+func MapSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// WallSeed seeds an RNG from the wall clock: seedflow.
+func WallSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// NilUse dereferences inside the branch that proved it nil: nilness.
+func NilUse(it *item) string {
+	if it == nil {
+		return it.name
+	}
+	return it.name
+}
+
+// LostWrites mutates range copies: unusedwrite.
+func LostWrites(items []item) {
+	for _, it := range items {
+		it.done = true
+	}
+}
+
+// SortArray hands sort.Slice an array: sortslice.
+func SortArray() {
+	var a [4]int
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

@@ -1,0 +1,283 @@
+// Package detmap implements the `detmap` analyzer: it flags `range`
+// loops over maps whose bodies leak Go's randomized iteration order
+// into results — exactly the nondeterminism class that twice broke this
+// repo's byte-identical artifacts (sorted co-runner sums in PR 1, the
+// sideUtility float-sum hazard in PR 4).
+//
+// A map-range body is flagged when it
+//
+//   - accumulates floating point into a variable declared outside the
+//     loop (float addition is not associative, so the sum depends on
+//     visit order),
+//   - appends to a slice declared outside the loop (element order
+//     becomes iteration order), unless that slice is later passed to a
+//     sort.*/slices.Sort* call or a helper with "sort" in its name in
+//     the same function — the collect-then-sort idiom is the
+//     sanctioned escape, or
+//   - writes output mid-iteration through encoding/json, encoding/csv
+//     or fmt.Fprint*/fmt.Print* (rows land in iteration order).
+//
+// Integer accumulation, per-key writes (out[k] = …, out[k] += …) and
+// ranging over sorted key slices are all order-independent and never
+// flagged.
+package detmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gputopo/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "flags map-range loops whose float sums, appends or output writes depend on map iteration order",
+	Run:  run,
+}
+
+const fix = "iterate sorted keys (collect, sort.Strings/slices.Sort, then range the slice) or accumulate per key"
+
+func run(pass *analysis.Pass) error {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkBody(pass, rs, enclosingFuncBody(stack))
+		return true
+	})
+	return nil
+}
+
+// enclosingFuncBody returns the innermost function body on the stack,
+// used to look for a sort call after the range loop.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	keyObj := rangeVarObj(pass, rs.Key)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, fnBody, keyObj, stmt)
+		case *ast.CallExpr:
+			checkOutputCall(pass, rs, stmt)
+		case *ast.IncDecStmt:
+			// x++ / x-- are integer-or-float single steps; float ±1 per
+			// visit is commutative, so never flagged.
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt, keyObj types.Object, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		if isFloat(pass.TypeOf(lhs)) && accumulatorOutside(pass, rs, keyObj, lhs) {
+			pass.ReportfFix(as.Pos(), fix,
+				"float accumulation into %s depends on map iteration order", exprName(lhs))
+		}
+	case token.ASSIGN:
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			rhs := as.Rhs[i]
+			// x = x + v style float accumulation.
+			if isFloat(pass.TypeOf(lhs)) && accumulatorOutside(pass, rs, keyObj, lhs) &&
+				mentionsObj(pass, rhs, baseObj(pass, lhs)) && hasFloatArith(rhs) {
+				pass.ReportfFix(as.Pos(), fix,
+					"float accumulation into %s depends on map iteration order", exprName(lhs))
+				continue
+			}
+			// s = append(s, …) into a slice declared outside the loop.
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+				obj := baseObj(pass, lhs)
+				if obj != nil && obj.Pos() < rs.Pos() && !sortedAfter(pass, fnBody, rs, obj) {
+					pass.ReportfFix(as.Pos(), fix,
+						"append to %s inside a map range makes element order follow map iteration order", exprName(lhs))
+				}
+			}
+		}
+	}
+}
+
+// checkOutputCall flags serialization mid-iteration: rows emitted in
+// map order.
+func checkOutputCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	bad := false
+	switch pkg {
+	case "encoding/json":
+		bad = name == "Marshal" || name == "MarshalIndent" || name == "Encode"
+	case "encoding/csv":
+		bad = name == "Write" || name == "WriteAll"
+	case "fmt":
+		bad = strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")
+	}
+	if bad {
+		pass.ReportfFix(call.Pos(), fix,
+			"%s.%s inside a map range writes output in map iteration order", pathBase(pkg), name)
+	}
+}
+
+// accumulatorOutside reports whether lhs names storage declared before
+// the range statement, excluding per-key slots indexed by the range key
+// (out[k] op= v is deterministic per key).
+func accumulatorOutside(pass *analysis.Pass, rs *ast.RangeStmt, keyObj types.Object, lhs ast.Expr) bool {
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && keyObj != nil && mentionsObj(pass, idx.Index, keyObj) {
+		return false
+	}
+	obj := baseObj(pass, lhs)
+	return obj != nil && obj.Pos() < rs.Pos()
+}
+
+// sortedAfter reports whether obj is handed to a sort function after
+// the range loop within the same function body.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		stdSort := (pkg == "sort" || pkg == "slices") &&
+			(strings.Contains(fn.Name(), "Sort") || isSortShorthand(pkg, fn.Name()))
+		// A helper whose name says it sorts (sortEntries, resortQueue)
+		// and takes the slice as an argument counts too: the
+		// collect-then-sort idiom frequently lives behind a method.
+		namedSort := strings.Contains(strings.ToLower(fn.Name()), "sort")
+		if !stdSort && !namedSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObj(pass, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortShorthand covers sort.Strings/Ints/Float64s, which do not
+// contain "Sort" in their names.
+func isSortShorthand(pkg, name string) bool {
+	if pkg != "sort" {
+		return false
+	}
+	switch name {
+	case "Strings", "Ints", "Float64s", "Stable", "Slice", "SliceStable":
+		return true
+	}
+	return false
+}
+
+func rangeVarObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+func baseObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id := analysis.RootIdent(e)
+	if id == nil {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+func mentionsObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// hasFloatArith reports whether e contains an additive/multiplicative
+// binary operation — the shape of an accumulation, as opposed to a
+// plain overwrite like x = m[k].
+func hasFloatArith(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func exprName(e ast.Expr) string {
+	if id := analysis.RootIdent(e); id != nil {
+		return id.Name
+	}
+	return "accumulator"
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,12 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"gputopo/internal/lint/analysistest"
+	"gputopo/internal/lint/detmap"
+)
+
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, detmap.Analyzer, "./testdata/src/detmaptest")
+}

@@ -1,0 +1,153 @@
+// Package detmaptest is the detmap analyzer fixture: every flagged
+// line carries a // want expectation; everything else must stay silent.
+package detmaptest
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FloatSum accumulates floats in map order: fires.
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum depends on map iteration order`
+	}
+	return sum
+}
+
+// FloatSumPlain uses the x = x + v spelling: fires.
+func FloatSumPlain(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `float accumulation into total depends on map iteration order`
+	}
+	return total
+}
+
+// IntSum is commutative and exact: no finding.
+func IntSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// PerKey writes through the range key, deterministic per key: no finding.
+func PerKey(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v * 2
+	}
+	return out
+}
+
+// AppendUnsorted leaks iteration order into the slice: fires.
+func AppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map range`
+	}
+	return keys
+}
+
+// CollectThenSort is the sanctioned idiom: no finding.
+func CollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectThenSlicesSort uses a slices.SortFunc-style call via sort.Slice:
+// no finding.
+func CollectThenSlicesSort(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// CollectThenMethodSort hands the slice to a named sort helper — the
+// method-shaped collect-then-sort idiom: no finding.
+func CollectThenMethodSort(q *queue, m map[string]int) {
+	for k := range m {
+		q.items = append(q.items, k)
+	}
+	q.sortItems(q.items)
+}
+
+type queue struct{ items []string }
+
+func (q *queue) sortItems(items []string) { sort.Strings(items) }
+
+// LocalAppend appends to a slice born inside the loop body: no finding.
+func LocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := []int{}
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// EncodeInLoop serializes rows mid-iteration: fires.
+func EncodeInLoop(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k, v := range m {
+		_ = enc.Encode(map[string]int{k: v}) // want `json.Encode inside a map range writes output in map iteration order`
+	}
+}
+
+// MarshalInLoop builds JSON per entry: fires.
+func MarshalInLoop(m map[string]int) [][]byte {
+	rows := make([][]byte, 0, len(m))
+	for k := range m {
+		b, _ := json.Marshal(k) // want `json.Marshal inside a map range`
+		rows = append(rows, b)  // want `append to rows inside a map range`
+	}
+	return rows
+}
+
+// CSVInLoop writes CSV records in map order: fires.
+func CSVInLoop(w *csv.Writer, m map[string]string) {
+	for k, v := range m {
+		_ = w.Write([]string{k, v}) // want `csv.Write inside a map range`
+	}
+}
+
+// PrintInLoop writes text output in map order: fires.
+func PrintInLoop(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want `fmt.Fprintln inside a map range`
+	}
+}
+
+// SliceRange is not a map: no finding.
+func SliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// NamedMapType still fires: the underlying type is a map.
+type scores map[string]float64
+
+func NamedMap(m scores) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum`
+	}
+	return sum
+}

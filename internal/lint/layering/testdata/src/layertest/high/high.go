@@ -1,0 +1,6 @@
+// Package high is the fixture's top layer: it may import low, and does
+// not get flagged for it.
+package high
+
+// Value anchors the package.
+var Value = 42

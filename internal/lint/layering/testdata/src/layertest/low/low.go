@@ -1,0 +1,8 @@
+// Package low sits at the bottom of the fixture DAG; importing the
+// high layer from here is the violation under test.
+package low
+
+import "gputopo/internal/lint/layering/testdata/src/layertest/high" // want `layering violation: .*low \(fixture-low, rank 100\) must not import .*high \(fixture-high, rank 900\)`
+
+// Use keeps the import alive.
+func Use() int { return high.Value }

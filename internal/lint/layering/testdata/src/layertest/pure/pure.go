@@ -1,0 +1,10 @@
+// Package pure is barred from I/O imports in the fixture config.
+package pure
+
+import "os" // want `pure by contract and must not import "os"`
+
+// Hostname leaks I/O into a pure package.
+func Hostname() string {
+	h, _ := os.Hostname()
+	return h
+}

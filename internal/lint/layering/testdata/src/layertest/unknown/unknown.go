@@ -1,0 +1,5 @@
+// Package unknown is deliberately absent from the fixture rank table.
+package unknown // want `package .*unknown is not in the layering table`
+
+// V anchors the package.
+var V = 1

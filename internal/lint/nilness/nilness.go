@@ -1,0 +1,171 @@
+// Package nilness implements the `nilness` analyzer: a dependency-free
+// subset of the stock x/tools SSA-based check, covering its
+// highest-value report — using a value inside the very branch that just
+// proved it nil:
+//
+//	if p == nil {
+//		return p.field // boom
+//	}
+//
+// The analyzer flags, inside the nil-proven branch of an
+// `x == nil` / `x != nil` condition: pointer dereference (*x, x.field),
+// indexing a nil slice, and calling a nil function value. Map reads and
+// method calls are never flagged (both can be legal on nil receivers).
+// The branch is abandoned as soon as x is reassigned or its address is
+// taken. No cross-block dataflow is attempted — this is the
+// deliberately small, zero-false-positive core of the stock analyzer.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gputopo/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flags dereference, indexing or call of a value inside the branch that proved it nil",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		id, isNilCmp := nilComparand(pass, cond)
+		if !isNilCmp {
+			return true
+		}
+		var nilBranch ast.Stmt
+		switch cond.Op {
+		case token.EQL: // x == nil → then-branch has x nil
+			nilBranch = ifs.Body
+		case token.NEQ: // x != nil → else-branch has x nil
+			nilBranch = ifs.Else
+		}
+		if nilBranch == nil {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		checkNilBranch(pass, nilBranch, obj)
+		return true
+	})
+	return nil
+}
+
+// nilComparand matches `ident OP nil` / `nil OP ident` and returns the
+// identifier when its type can actually be nil.
+func nilComparand(pass *analysis.Pass, b *ast.BinaryExpr) (*ast.Ident, bool) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return nil, false
+	}
+	var idExpr ast.Expr
+	switch {
+	case isNil(pass, b.Y):
+		idExpr = b.X
+	case isNil(pass, b.X):
+		idExpr = b.Y
+	default:
+		return nil, false
+	}
+	id, ok := ast.Unparen(idExpr).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	return id, true
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilConst := pass.ObjectOf(id).(*types.Nil)
+	return isNilConst
+}
+
+// checkNilBranch walks the branch in which obj is known nil, reporting
+// fatal uses until obj is reassigned or escapes.
+func checkNilBranch(pass *analysis.Pass, branch ast.Stmt, obj types.Object) {
+	poisoned := false // set once obj is reassigned/escapes; stop reporting
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if poisoned {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if refersTo(pass, lhs, obj) {
+					poisoned = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && refersTo(pass, x.X, obj) {
+				poisoned = true // &x: someone may initialize it
+				return false
+			}
+		case *ast.StarExpr:
+			if refersTo(pass, x.X, obj) {
+				report(pass, x.Pos(), obj, "dereferenced")
+			}
+		case *ast.SelectorExpr:
+			if refersTo(pass, x.X, obj) && isPointer(obj.Type()) && isFieldAccess(pass, x) {
+				report(pass, x.Pos(), obj, "field-accessed")
+			}
+		case *ast.IndexExpr:
+			if refersTo(pass, x.X, obj) && isSlice(obj.Type()) {
+				report(pass, x.Pos(), obj, "indexed")
+			}
+		case *ast.CallExpr:
+			if fun, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if pass.ObjectOf(fun) == obj && isFunc(obj.Type()) {
+					report(pass, x.Pos(), obj, "called")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, pos token.Pos, obj types.Object, how string) {
+	pass.Reportf(pos, "nil dereference: %s is provably nil in this branch and gets %s", obj.Name(), how)
+}
+
+func refersTo(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.ObjectOf(id) == obj
+}
+
+// isFieldAccess distinguishes p.field (fatal on nil p) from p.Method()
+// (possibly fine: methods may handle nil receivers).
+func isFieldAccess(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isFunc(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}

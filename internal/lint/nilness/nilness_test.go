@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"gputopo/internal/lint/analysistest"
+	"gputopo/internal/lint/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, nilness.Analyzer, "./testdata/src/nilnesstest")
+}

@@ -1,0 +1,88 @@
+// Package nilnesstest is the nilness analyzer fixture.
+package nilnesstest
+
+type node struct {
+	value int
+	next  *node
+}
+
+// DerefInNilBranch dereferences inside the proving branch: fires.
+func DerefInNilBranch(p *node) int {
+	if p == nil {
+		return p.value // want `nil dereference: p is provably nil in this branch and gets field-accessed`
+	}
+	return p.value
+}
+
+// StarDeref explicit dereference: fires.
+func StarDeref(p *int) int {
+	if p == nil {
+		return *p // want `nil dereference: p is provably nil in this branch and gets dereferenced`
+	}
+	return *p
+}
+
+// ElseOfNotNil reaches the nil case through the else branch: fires.
+func ElseOfNotNil(p *node) int {
+	if p != nil {
+		return p.value
+	} else {
+		return p.next.value // want `nil dereference: p is provably nil in this branch and gets field-accessed`
+	}
+}
+
+// IndexNilSlice indexes a slice proven nil: fires.
+func IndexNilSlice(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `nil dereference: xs is provably nil in this branch and gets indexed`
+	}
+	return xs[0]
+}
+
+// CallNilFunc calls a func value proven nil: fires.
+func CallNilFunc(f func() int) int {
+	if f == nil {
+		return f() // want `nil dereference: f is provably nil in this branch and gets called`
+	}
+	return f()
+}
+
+// GuardAndReturn is the idiomatic guard: no finding.
+func GuardAndReturn(p *node) int {
+	if p == nil {
+		return 0
+	}
+	return p.value
+}
+
+// ReassignedBeforeUse initializes inside the branch: no finding.
+func ReassignedBeforeUse(p *node) int {
+	if p == nil {
+		p = &node{value: 7}
+		return p.value
+	}
+	return p.value
+}
+
+// NilMapReadIsLegal reads from a nil map: no finding (zero value).
+func NilMapReadIsLegal(m map[string]int) int {
+	if m == nil {
+		return m["absent"]
+	}
+	return m["present"]
+}
+
+// MethodOnNilReceiver may be deliberate: no finding.
+func MethodOnNilReceiver(p *node) int {
+	if p == nil {
+		return p.depth()
+	}
+	return p.depth()
+}
+
+func (p *node) depth() int {
+	if p == nil {
+		return 0
+	}
+	return 1 + p.next.depth()
+}

@@ -1,0 +1,134 @@
+// Package seedflow implements the `seedflow` analyzer: every RNG
+// constructed anywhere in the repo must be seeded with a value that
+// traceably derives from the deterministic seed-derivation helpers
+// (stats.DeriveSeed / stats.ReplicaSeeds), from a constant, or from a
+// value already flowing under a seed name. The anti-pattern it exists
+// to kill is rand.NewSource(time.Now().UnixNano()) — one of those in a
+// sweep worker and byte-identical artifacts are gone.
+//
+// Checked constructors ("sinks"): math/rand.NewSource,
+// math/rand/v2.NewPCG / NewChaCha8, and the repo's own stats.NewRNG.
+// A seed argument is accepted when every leaf of its expression is a
+// constant, a conversion, arithmetic over accepted leaves, an
+// identifier or field whose name contains "seed" (the caller threaded
+// a derived seed through), or a call into the stats package. Anything
+// else — clock reads, PIDs, env vars, unrelated function calls — is
+// flagged.
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gputopo/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc:  "RNG seeds must derive from stats.DeriveSeed/ReplicaSeeds, constants, or seed-named values",
+	Run:  run,
+}
+
+// StatsPkg is the blessed seed-derivation package; calls into it are
+// accepted as derivation evidence.
+var StatsPkg = "gputopo/internal/stats"
+
+const fixMsg = "derive the seed with stats.DeriveSeed(base, key) or stats.ReplicaSeeds and thread it through a parameter named seed"
+
+// sink describes one RNG constructor whose seed arguments are policed.
+type sink struct {
+	pkg  string
+	name string
+}
+
+var sinks = []sink{
+	{"math/rand", "NewSource"},
+	{"math/rand/v2", "NewPCG"},
+	{"math/rand/v2", "NewChaCha8"},
+	{"gputopo/internal/stats", "NewRNG"},
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+		for _, s := range sinks {
+			if fn.Pkg().Path() == s.pkg && fn.Name() == s.name {
+				for _, arg := range call.Args {
+					if !derived(pass, arg) {
+						pass.ReportfFix(arg.Pos(), fixMsg,
+							"%s.%s seeded with %s, which does not derive from stats.DeriveSeed/ReplicaSeeds or a constant; this seed is not reproducible",
+							pkgBase(s.pkg), s.name, describe(arg))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// derived reports whether e is an acceptable seed expression.
+func derived(pass *analysis.Pass, e ast.Expr) bool {
+	// Anything the type checker already evaluated to a constant is
+	// reproducible by definition (literals, named constants, shifts of
+	// constants, …).
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return derived(pass, x.X)
+	case *ast.UnaryExpr:
+		return derived(pass, x.X)
+	case *ast.BinaryExpr:
+		return derived(pass, x.X) && derived(pass, x.Y)
+	case *ast.Ident:
+		return seedNamed(x.Name)
+	case *ast.SelectorExpr:
+		// cfg.Seed, p.BaseSeed, …: accept on the field's name.
+		return seedNamed(x.Sel.Name)
+	case *ast.IndexExpr:
+		// seeds[i]: accept on the collection's name.
+		return derived(pass, x.X)
+	case *ast.CallExpr:
+		// A type conversion keeps the derivation of its operand.
+		if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+			return len(x.Args) == 1 && derived(pass, x.Args[0])
+		}
+		// Calls into the stats package (DeriveSeed, ReplicaSeeds,
+		// RNG.Uint64 on an already-seeded generator, …) are the
+		// sanctioned derivation chain.
+		if fn := pass.CalleeFunc(x); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == StatsPkg {
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func seedNamed(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+func describe(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+func pkgBase(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"gputopo/internal/lint/analysistest"
+	"gputopo/internal/lint/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, seedflow.Analyzer, "./testdata/src/seedflowtest")
+}

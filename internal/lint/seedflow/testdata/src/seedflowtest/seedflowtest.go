@@ -1,0 +1,73 @@
+// Package seedflowtest is the seedflow analyzer fixture.
+package seedflowtest
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"gputopo/internal/stats"
+)
+
+type config struct {
+	Seed     uint64
+	BaseSeed int64
+	Workers  int
+}
+
+// WallClockSeed is the canonical anti-pattern: fires.
+func WallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `NewSource seeded with time\.Now\(\)\.UnixNano\(\), which does not derive`
+}
+
+// PIDSeed is just as bad: fires.
+func PIDSeed() *stats.RNG {
+	return stats.NewRNG(uint64(os.Getpid())) // want `stats.NewRNG seeded with uint64\(os\.Getpid\(\)\)`
+}
+
+// OpaqueVariable carries no seed lineage in its name: fires.
+func OpaqueVariable(entropy int64) *rand.Rand {
+	return rand.New(rand.NewSource(entropy)) // want `NewSource seeded with entropy`
+}
+
+// ThreadedSeed is the sanctioned shape — the caller derived it.
+func ThreadedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// ConvertedSeed keeps derivation through a conversion.
+func ConvertedSeed(seed uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(seed)))
+}
+
+// ConfigSeed accepts seed-named fields.
+func ConfigSeed(cfg config) *stats.RNG {
+	return stats.NewRNG(cfg.Seed)
+}
+
+// DerivedSeed calls the blessed helper directly.
+func DerivedSeed(base uint64, key string) *stats.RNG {
+	return stats.NewRNG(stats.DeriveSeed(base, key))
+}
+
+// ReplicaSeed indexes a derived-seed slice.
+func ReplicaSeed(base uint64, i int) *stats.RNG {
+	seeds := stats.ReplicaSeeds(base, 8)
+	return stats.NewRNG(seeds[i])
+}
+
+// ConstantSeed is reproducible by definition.
+func ConstantSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// ArithmeticOverSeeds stays derived when every leaf carries lineage.
+func ArithmeticOverSeeds(seed, workerSeed uint64) *stats.RNG {
+	return stats.NewRNG(seed ^ workerSeed<<1)
+}
+
+// IndexMixedSeed hand-rolls a substream by folding a worker index into
+// the seed; that is what stats.ReplicaSeeds is for: fires.
+func IndexMixedSeed(seed uint64, i int) *stats.RNG {
+	return stats.NewRNG(seed + uint64(i)) // want `stats.NewRNG seeded with seed \+ uint64\(i\)`
+}

@@ -1,0 +1,58 @@
+// Package sortslice implements the `sortslice` analyzer, a
+// dependency-free port of the stock x/tools check of the same name:
+// the first argument of sort.Slice / sort.SliceStable /
+// sort.SliceIsSorted must have slice type. Passing anything else (an
+// array, a pointer to a slice, a sort.Interface value) compiles — the
+// parameter is `any` — and panics at run time.
+package sortslice
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gputopo/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sortslice",
+	Doc:  "sort.Slice/SliceStable/SliceIsSorted must receive a slice; anything else panics at run time",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+			return true
+		}
+		switch fn.Name() {
+		case "Slice", "SliceStable", "SliceIsSorted":
+		default:
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		t := pass.TypeOf(call.Args[0])
+		if t == nil {
+			return true
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			return true
+		case *types.Interface:
+			// A value of static type any could be a slice; the stock
+			// analyzer stays silent here too.
+			return true
+		}
+		pass.ReportfFix(call.Pos(),
+			"pass the slice itself, or use sort.Sort with a sort.Interface implementation",
+			"sort.%s's argument must be a slice; %s will panic at run time", fn.Name(), types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package sortslice_test
+
+import (
+	"testing"
+
+	"gputopo/internal/lint/analysistest"
+	"gputopo/internal/lint/sortslice"
+)
+
+func TestSortslice(t *testing.T) {
+	analysistest.Run(t, sortslice.Analyzer, "./testdata/src/sortslicetest")
+}

@@ -1,0 +1,53 @@
+// Package sortslicetest is the sortslice analyzer fixture.
+package sortslicetest
+
+import "sort"
+
+type byLen []string
+
+func (b byLen) Len() int           { return len(b) }
+func (b byLen) Less(i, j int) bool { return len(b[i]) < len(b[j]) }
+func (b byLen) Swap(i, j int)      { b[i], b[j] = b[j], b[i] }
+
+// SortArray passes an array, not a slice: fires.
+func SortArray() {
+	var a [8]int
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] }) // want `sort.Slice's argument must be a slice; \[8\]int will panic`
+}
+
+// SortPointer passes a pointer to a slice: fires.
+func SortPointer(xs *[]int) {
+	sort.SliceStable(xs, func(i, j int) bool { return (*xs)[i] < (*xs)[j] }) // want `sort.SliceStable's argument must be a slice`
+}
+
+type table struct{ rows []string }
+
+func (t table) Len() int           { return len(t.rows) }
+func (t table) Less(i, j int) bool { return t.rows[i] < t.rows[j] }
+func (t table) Swap(i, j int)      { t.rows[i], t.rows[j] = t.rows[j], t.rows[i] }
+
+// SortStruct passes a sort.Interface struct where a slice is needed:
+// fires (use sort.Sort for these).
+func SortStruct(t table) {
+	sort.Slice(t, func(i, j int) bool { return t.Less(i, j) }) // want `sort.Slice's argument must be a slice; table will panic`
+}
+
+// SortNamedSlice is fine: byLen's underlying type is a slice.
+func SortNamedSlice(b byLen) {
+	sort.Slice(b, func(i, j int) bool { return b.Less(i, j) })
+}
+
+// SortSlice is correct: no finding.
+func SortSlice(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// SliceIsSortedOK is correct: no finding.
+func SliceIsSortedOK(xs []string) bool {
+	return sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// SortSortOK uses the sort.Interface path properly: no finding.
+func SortSortOK(b byLen) {
+	sort.Sort(b)
+}

@@ -1,0 +1,75 @@
+// Package unusedwritetest is the unusedwrite analyzer fixture.
+package unusedwritetest
+
+type job struct {
+	id    int
+	state string
+	score float64
+}
+
+// LostWrite mutates the loop copy and never reads it: fires.
+func LostWrite(jobs []job) {
+	for _, j := range jobs {
+		j.state = "done" // want `unused write: j is a per-iteration copy of the range element; this assignment is lost`
+	}
+}
+
+// TwoLostWrites fires once per lost assignment.
+func TwoLostWrites(jobs []job) {
+	for _, j := range jobs {
+		j.state = "done" // want `unused write: j is a per-iteration copy`
+		j.score = 0      // want `unused write: j is a per-iteration copy`
+	}
+}
+
+// ArrayCopy ranges an array of structs: same copy semantics, fires.
+func ArrayCopy(jobs [4]job) {
+	for _, j := range jobs {
+		j.id = -1 // want `unused write: j is a per-iteration copy`
+	}
+}
+
+// WriteThenCollect reads the copy after writing: no finding.
+func WriteThenCollect(jobs []job) []job {
+	var out []job
+	for _, j := range jobs {
+		j.state = "done"
+		out = append(out, j)
+	}
+	return out
+}
+
+// WriteThenPass hands the copy to a function: no finding.
+func WriteThenPass(jobs []job) {
+	for _, j := range jobs {
+		j.state = "done"
+		record(j)
+	}
+}
+
+func record(job) {}
+
+// IndexWrite mutates through the container: no finding.
+func IndexWrite(jobs []job) {
+	for i := range jobs {
+		jobs[i].state = "done"
+	}
+}
+
+// PointerElems ranges []*job so writes stick: no finding.
+func PointerElems(jobs []*job) {
+	for _, j := range jobs {
+		j.state = "done"
+	}
+}
+
+// ReadOnly never writes the copy: no finding.
+func ReadOnly(jobs []job) int {
+	n := 0
+	for _, j := range jobs {
+		if j.state == "done" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,150 @@
+// Package unusedwrite implements the `unusedwrite` analyzer: a
+// dependency-free subset of the stock x/tools check targeting its most
+// common real-world catch — writing through the value variable of a
+// range over a slice of structs:
+//
+//	for _, j := range jobs {
+//		j.State = Done // lost: j is a copy
+//	}
+//
+// A finding is reported for each field assignment through the range
+// value when every use of that variable in the loop body is such an
+// assignment — i.e. the copy is written and never read, so every write
+// is provably lost. If the body reads the variable anywhere (passes it
+// to a function, appends it, takes a field on the RHS), the loop is
+// left alone: the writes may feed those reads.
+package unusedwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gputopo/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "flags field writes through a range-value struct copy that no later code can observe",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		valIdent, ok := rs.Value.(*ast.Ident)
+		if !ok || valIdent.Name == "_" {
+			return true
+		}
+		obj := pass.ObjectOf(valIdent)
+		if obj == nil || !isStruct(obj.Type()) {
+			return true
+		}
+		// Only ranges over slices/arrays of struct VALUES copy per
+		// iteration; []*T hands out real pointers.
+		if !elemIsValue(pass.TypeOf(rs.X)) {
+			return true
+		}
+
+		writes, escaped := classifyUses(pass, rs.Body, obj)
+		if escaped || len(writes) == 0 {
+			return true
+		}
+		for _, w := range writes {
+			pass.ReportfFix(w.Pos(),
+				"index the container (for i := range ...) or range over pointers instead",
+				"unused write: %s is a per-iteration copy of the range element; this assignment is lost when the iteration ends", obj.Name())
+		}
+		return true
+	})
+	return nil
+}
+
+// classifyUses partitions uses of obj in body into field writes and
+// everything else. escaped is true on any non-write use — a read, a
+// method call, an address-of — meaning the writes might be observed.
+func classifyUses(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) (writes []ast.Expr, escaped bool) {
+	writeExprs := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok == token.DEFINE {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.ObjectOf(base) == obj {
+					writeExprs[sel] = true
+					writeExprs[sel.X] = true
+					writes = append(writes, sel)
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.ObjectOf(id) != obj {
+			return true
+		}
+		if !partOfWrite(body, id, writeExprs) {
+			escaped = true
+		}
+		return true
+	})
+	return writes, escaped
+}
+
+// partOfWrite reports whether ident occurs as the base of one of the
+// recorded write LHS selector expressions.
+func partOfWrite(body *ast.BlockStmt, id *ast.Ident, writeExprs map[ast.Expr]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if ok && writeExprs[e] {
+			inner := false
+			ast.Inspect(e, func(m ast.Node) bool {
+				if m == ast.Node(id) {
+					inner = true
+				}
+				return !inner
+			})
+			if inner {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isStruct(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Struct)
+	return ok
+}
+
+// elemIsValue reports whether ranging over t yields value copies of a
+// struct element (slice or array of structs, directly or via pointer
+// to array).
+func elemIsValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isStruct(u.Elem())
+	case *types.Array:
+		return isStruct(u.Elem())
+	case *types.Pointer:
+		if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+			return isStruct(arr.Elem())
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package unusedwrite_test
+
+import (
+	"testing"
+
+	"gputopo/internal/lint/analysistest"
+	"gputopo/internal/lint/unusedwrite"
+)
+
+func TestUnusedwrite(t *testing.T) {
+	analysistest.Run(t, unusedwrite.Analyzer, "./testdata/src/unusedwritetest")
+}

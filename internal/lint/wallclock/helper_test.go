@@ -1,0 +1,35 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"gputopo/internal/lint/analysis"
+	"gputopo/internal/lint/load"
+	"gputopo/internal/lint/wallclock"
+)
+
+// requireNoFindings runs the wallclock analyzer raw over a fixture and
+// fails on any diagnostic.
+func requireNoFindings(t *testing.T, fixture string) {
+	t.Helper()
+	pkgs, err := load.Load(".", fixture)
+	if err != nil {
+		t.Fatalf("loading %s: %v", fixture, err)
+	}
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Analyzer:  wallclock.Analyzer,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report: func(d analysis.Diagnostic) {
+				t.Errorf("%s: unexpected finding outside the restricted zone: %s",
+					pkg.Fset.Position(d.Pos), d.Message)
+			},
+		}
+		if err := wallclock.Analyzer.Run(pass); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

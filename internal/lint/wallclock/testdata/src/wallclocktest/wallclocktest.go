@@ -1,0 +1,50 @@
+// Package wallclocktest is the wallclock analyzer fixture. The test
+// adds this package to wallclock.Restricted before running.
+package wallclocktest
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: fires.
+func Stamp() float64 {
+	return float64(time.Now().UnixNano()) // want `time.Now in wallclocktest breaks virtual-clock replay`
+}
+
+// Elapsed uses time.Since: fires.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in wallclocktest`
+}
+
+// Deadline uses time.Until: fires.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time.Until in wallclocktest`
+}
+
+// GlobalDraw uses the process-wide source: fires.
+func GlobalDraw() int {
+	return rand.Intn(10) // want `global math/rand Intn\(\)`
+}
+
+// GlobalShuffle fires too.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand Shuffle\(\)`
+}
+
+// SeededDraw goes through an explicit source: wallclock stays silent
+// (seedflow owns the seed argument).
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// TimeArithmetic on values (no clock read) is fine.
+func TimeArithmetic(a, b time.Time, d time.Duration) time.Duration {
+	return a.Sub(b) + d
+}
+
+// DurationConstants are fine.
+func DurationConstants() time.Duration {
+	return 3 * time.Second
+}

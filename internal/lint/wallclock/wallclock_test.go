@@ -1,0 +1,24 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"gputopo/internal/lint/analysistest"
+	"gputopo/internal/lint/wallclock"
+)
+
+func TestWallclockInRestrictedPackage(t *testing.T) {
+	defer func(old []string) { wallclock.Restricted = old }(wallclock.Restricted)
+	wallclock.Restricted = append(wallclock.Restricted,
+		"gputopo/internal/lint/wallclock/testdata/src/wallclocktest")
+	analysistest.Run(t, wallclock.Analyzer, "./testdata/src/wallclocktest")
+}
+
+// TestWallclockOutsideZone proves the analyzer scopes itself: the same
+// fixture, loaded without being listed in Restricted, yields nothing.
+func TestWallclockOutsideZone(t *testing.T) {
+	// The fixture's // want comments would fail the run if any
+	// diagnostic were produced; analysistest also fails on unmatched
+	// wants, so run the raw analyzer by hand instead.
+	requireNoFindings(t, "./testdata/src/wallclocktest")
+}

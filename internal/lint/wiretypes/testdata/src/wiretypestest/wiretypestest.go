@@ -1,0 +1,49 @@
+// Package wiretypestest is the wiretypes analyzer fixture; the test
+// adds it to wiretypes.Scope before running.
+package wiretypestest
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type reply struct {
+	OK bool `json:"ok"`
+}
+
+// HandRolledMarshal encodes a response by hand: fires.
+func HandRolledMarshal(w http.ResponseWriter, r *http.Request) {
+	b, _ := json.Marshal(reply{OK: true}) // want `hand-rolled json.Marshal on an HTTP response path`
+	w.Write(b)
+}
+
+// HandRolledEncoder streams a response by hand: fires.
+func HandRolledEncoder(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(reply{OK: true}) // want `hand-rolled json.NewEncoder on an HTTP response path`
+}
+
+// RawError bypasses the error envelope: fires.
+func RawError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http.Error bypasses the serveapi error envelope`
+}
+
+// NestedClosure still sees the ResponseWriter: fires.
+func NestedClosure(w http.ResponseWriter, r *http.Request) {
+	emit := func(v any) {
+		b, _ := json.Marshal(v) // want `hand-rolled json.Marshal`
+		w.Write(b)
+	}
+	emit(reply{OK: true})
+}
+
+// DecodeRequest reads the request body; decoding is allowed.
+func DecodeRequest(w http.ResponseWriter, r *http.Request) {
+	var req reply
+	_ = json.NewDecoder(r.Body).Decode(&req)
+}
+
+// SnapshotMarshal has no ResponseWriter in sight; log/snapshot
+// serialization is allowed.
+func SnapshotMarshal(v any) ([]byte, error) {
+	return json.Marshal(v)
+}

@@ -1,0 +1,112 @@
+// Package wiretypes implements the `wiretypes` analyzer: inside
+// internal/serve, HTTP responses must be produced through the
+// internal/serveapi wire-type helpers (WriteJSON / WriteError /
+// WriteRetryAfter) so every body is a versioned wire type and every
+// error is the uniform envelope. The analyzer flags, within any
+// function that can see an http.ResponseWriter:
+//
+//   - hand-rolled response encoding — json.Marshal, json.MarshalIndent
+//     or json.NewEncoder, and
+//   - http.Error, which bypasses the error envelope.
+//
+// Request-side decoding (json.NewDecoder on r.Body) and non-HTTP
+// serialization (snapshots, the event log) are untouched: the scope is
+// exactly "functions holding a ResponseWriter".
+package wiretypes
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gputopo/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wiretypes",
+	Doc:  "HTTP handlers in internal/serve must answer through serveapi wire types, never hand-rolled JSON or http.Error",
+	Run:  run,
+}
+
+// Scope lists the import-path prefixes whose handlers are policed.
+// serveapi itself is a sibling package, so the helpers' own bodies are
+// naturally out of scope. Tests may override this.
+var Scope = []string{"gputopo/internal/serve"}
+
+const fixMsg = "respond with serveapi.WriteJSON / serveapi.WriteError / serveapi.WriteRetryAfter so the body is a wire type"
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg, name := fn.Pkg().Path(), fn.Name()
+		switch {
+		case pkg == "net/http" && name == "Error":
+			pass.ReportfFix(call.Pos(), fixMsg,
+				"http.Error bypasses the serveapi error envelope")
+		case pkg == "encoding/json" && (name == "Marshal" || name == "MarshalIndent" || name == "NewEncoder"):
+			if seesResponseWriter(pass, stack) {
+				pass.ReportfFix(call.Pos(), fixMsg,
+					"hand-rolled json.%s on an HTTP response path; responses must go through serveapi", name)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func inScope(path string) bool {
+	for _, p := range Scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// seesResponseWriter reports whether any enclosing function on the
+// stack takes an http.ResponseWriter parameter — the definition of "an
+// HTTP response path".
+func seesResponseWriter(pass *analysis.Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		var ft *ast.FuncType
+		switch f := n.(type) {
+		case *ast.FuncDecl:
+			ft = f.Type
+		case *ast.FuncLit:
+			ft = f.Type
+		default:
+			continue
+		}
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			if isResponseWriter(pass.TypeOf(field.Type)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isResponseWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}

@@ -1,0 +1,15 @@
+package wiretypes_test
+
+import (
+	"testing"
+
+	"gputopo/internal/lint/analysistest"
+	"gputopo/internal/lint/wiretypes"
+)
+
+func TestWiretypes(t *testing.T) {
+	defer func(old []string) { wiretypes.Scope = old }(wiretypes.Scope)
+	wiretypes.Scope = append(wiretypes.Scope,
+		"gputopo/internal/lint/wiretypes/testdata/src/wiretypestest")
+	analysistest.Run(t, wiretypes.Analyzer, "./testdata/src/wiretypestest")
+}

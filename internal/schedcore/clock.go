@@ -49,6 +49,6 @@ type wallClock struct {
 }
 
 // WallClock returns a Clock reading real time in seconds since the call.
-func WallClock() Clock { return wallClock{epoch: time.Now()} }
+func WallClock() Clock { return wallClock{epoch: time.Now()} } //lint:ignore wallclock WallClock IS the sanctioned wall-clock Clock implementation; reading real time here is its whole job
 
-func (w wallClock) Now() float64 { return time.Since(w.epoch).Seconds() }
+func (w wallClock) Now() float64 { return time.Since(w.epoch).Seconds() } //lint:ignore wallclock WallClock IS the sanctioned wall-clock Clock implementation

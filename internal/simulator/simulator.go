@@ -589,6 +589,7 @@ func (e *engine) refreshMachines(machines []int) {
 		ids := e.refreshIDs[:0]
 		for id := range e.byMachine[m] {
 			if !slices.Contains(seen, id) {
+				//lint:ignore detmap seen is a membership set (only ever queried via slices.Contains); its element order is never observed
 				seen = append(seen, id)
 				ids = append(ids, id)
 			}
