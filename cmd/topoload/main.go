@@ -14,9 +14,15 @@
 //
 //	topoload -topology minsky:2 -policy topo-p -jobs 200 -o BENCH_serve.json
 //
-// Traffic model: -workers closed-loop submitters drain the generated
-// job list; every placed job is released after -hold, so the cluster
-// churns and queued jobs keep waking up. Submissions rejected by
+// Traffic model: by default -workers closed-loop submitters drain the
+// generated job list; every placed job is released after -hold, so the
+// cluster churns and queued jobs keep waking up. With -submit-rate R
+// the harness switches to open-loop load: each job is submitted at its
+// own scheduled arrival time (Poisson process at R jobs/s by default,
+// or evenly spaced with -arrivals fixed) regardless of how fast the
+// server answers, so measured latency reflects queueing under a fixed
+// offered rate instead of self-throttling to server speed. Arrival
+// spacing is deterministic per -seed. Submissions rejected by
 // admission control are retried by the client per Retry-After up to its
 // budget; a terminal failure of any kind counts into the artifact's
 // errors metric, which the perf gate holds at zero deterministically.
@@ -27,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -45,24 +52,26 @@ import (
 )
 
 type config struct {
-	url       string
-	topoArg   string
-	policy    string
-	disc      string
-	preempt   bool
-	prioShare float64
-	jobs      int
-	seed      uint64
-	rate      float64
-	workers   int
-	hold      time.Duration
-	retries   int
-	maxQueue  int
-	logPath   string
-	name      string
-	out       string
-	appendTo  bool
-	quiet     bool
+	url        string
+	topoArg    string
+	policy     string
+	disc       string
+	preempt    bool
+	prioShare  float64
+	jobs       int
+	seed       uint64
+	rate       float64
+	submitRate float64
+	arrivals   string
+	workers    int
+	hold       time.Duration
+	retries    int
+	maxQueue   int
+	logPath    string
+	name       string
+	out        string
+	appendTo   bool
+	quiet      bool
 }
 
 func main() {
@@ -76,7 +85,9 @@ func main() {
 	flag.IntVar(&cfg.jobs, "jobs", 200, "jobs to submit")
 	flag.Uint64Var(&cfg.seed, "seed", 42, "workload generator seed")
 	flag.Float64Var(&cfg.rate, "rate", 10, "workload generator arrival rate (jobs/min), shapes sizes and arrival spacing")
-	flag.IntVar(&cfg.workers, "workers", 8, "concurrent closed-loop submitters")
+	flag.Float64Var(&cfg.submitRate, "submit-rate", 0, "open-loop target submit rate (jobs/sec); 0: closed-loop via -workers")
+	flag.StringVar(&cfg.arrivals, "arrivals", "poisson", "open-loop arrival process: poisson or fixed")
+	flag.IntVar(&cfg.workers, "workers", 8, "concurrent closed-loop submitters (ignored in open-loop mode)")
 	flag.DurationVar(&cfg.hold, "hold", 20*time.Millisecond, "how long a placed job runs before release")
 	flag.IntVar(&cfg.retries, "retries", 8, "client retry budget for 429 admission rejections")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "in-process server admission limit (0: unlimited)")
@@ -173,7 +184,8 @@ func run(cfg config, w io.Writer) error {
 	return os.WriteFile(cfg.out, js, 0o644)
 }
 
-// drive runs the closed-loop submit phase and assembles the bench entry.
+// drive runs the submit phase — closed-loop by default, open-loop when
+// -submit-rate is set — and assembles the bench entry.
 func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (sweep.ServeBench, error) {
 	var (
 		mu        sync.Mutex
@@ -182,47 +194,71 @@ func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (
 		errs      int64
 		releaseWG sync.WaitGroup
 	)
-	work := make(chan *job.Job)
+	// submitOne is the shared submit+hold+release path; both traffic
+	// models feed it, they differ only in when each call starts.
+	submitOne := func(j *job.Job) {
+		req := serveapi.JobRequest{
+			ID: j.ID, Model: j.Model.String(), BatchSize: j.BatchSize,
+			GPUs: j.GPUs, MinUtility: j.MinUtility, Iterations: j.Iterations,
+			Priority: j.Priority,
+		}
+		t0 := time.Now()
+		jr, err := c.SubmitJob(ctx, req)
+		rtt := time.Since(t0)
+		if err != nil {
+			atomic.AddInt64(&errs, 1)
+			return
+		}
+		mu.Lock()
+		latencies = append(latencies, rtt)
+		mu.Unlock()
+		if jr.Status == "placed" {
+			atomic.AddInt64(&placed, 1)
+			id := jr.ID
+			releaseWG.Add(1)
+			time.AfterFunc(cfg.hold, func() {
+				defer releaseWG.Done()
+				if _, err := c.ReleaseJob(ctx, id); err != nil {
+					atomic.AddInt64(&errs, 1)
+				}
+			})
+		}
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < cfg.workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range work {
-				req := serveapi.JobRequest{
-					ID: j.ID, Model: j.Model.String(), BatchSize: j.BatchSize,
-					GPUs: j.GPUs, MinUtility: j.MinUtility, Iterations: j.Iterations,
-					Priority: j.Priority,
+	if cfg.submitRate > 0 {
+		// Open-loop: every job has a scheduled arrival offset from the
+		// target rate; submit at that wall-clock instant in its own
+		// goroutine whether or not earlier requests have returned.
+		offsets, err := arrivalOffsets(len(jobs), cfg)
+		if err != nil {
+			return sweep.ServeBench{}, err
+		}
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(j *job.Job, at time.Duration) {
+				defer wg.Done()
+				time.Sleep(time.Until(start.Add(at)))
+				submitOne(j)
+			}(j, offsets[i])
+		}
+	} else {
+		work := make(chan *job.Job)
+		for i := 0; i < cfg.workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range work {
+					submitOne(j)
 				}
-				t0 := time.Now()
-				jr, err := c.SubmitJob(ctx, req)
-				rtt := time.Since(t0)
-				if err != nil {
-					atomic.AddInt64(&errs, 1)
-					continue
-				}
-				mu.Lock()
-				latencies = append(latencies, rtt)
-				mu.Unlock()
-				if jr.Status == "placed" {
-					atomic.AddInt64(&placed, 1)
-					id := jr.ID
-					releaseWG.Add(1)
-					time.AfterFunc(cfg.hold, func() {
-						defer releaseWG.Done()
-						if _, err := c.ReleaseJob(ctx, id); err != nil {
-							atomic.AddInt64(&errs, 1)
-						}
-					})
-				}
-			}
-		}()
+			}()
+		}
+		for _, j := range jobs {
+			work <- j
+		}
+		close(work)
 	}
-	for _, j := range jobs {
-		work <- j
-	}
-	close(work)
 	wg.Wait()
 	elapsed := time.Since(start)
 	// Let held jobs finish releasing so the server's decision counters
@@ -241,12 +277,17 @@ func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (
 	}
 	sb := sweep.ServeBench{
 		Name:       name,
+		Mode:       "closed-loop",
 		Jobs:       len(jobs),
 		Errors:     int(errs),
 		Placed:     int(placed),
 		Retries429: int(retries),
 		Decisions:  st.Stats.Decisions,
 		ElapsedSec: elapsed.Seconds(),
+	}
+	if cfg.submitRate > 0 {
+		sb.Mode = "open-loop"
+		sb.TargetJobsPerSec = cfg.submitRate
 	}
 	if sb.ElapsedSec > 0 {
 		sb.JobsPerSec = float64(sb.Jobs) / sb.ElapsedSec
@@ -256,6 +297,32 @@ func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (
 	sb.LatencyP95Ms = percentileMs(latencies, 95)
 	sb.LatencyP99Ms = percentileMs(latencies, 99)
 	return sb, nil
+}
+
+// arrivalOffsets returns each job's scheduled submit time as an offset
+// from the run's start, for the open-loop traffic model. Poisson draws
+// exponential inter-arrival gaps at the target rate from a generator
+// seeded by -seed, so a given (jobs, rate, seed) triple always yields
+// the same arrival schedule; fixed spaces submissions evenly at 1/rate.
+func arrivalOffsets(n int, cfg config) ([]time.Duration, error) {
+	gap := time.Duration(float64(time.Second) / cfg.submitRate)
+	offsets := make([]time.Duration, n)
+	switch cfg.arrivals {
+	case "fixed":
+		for i := range offsets {
+			offsets[i] = time.Duration(i) * gap
+		}
+	case "poisson":
+		rng := rand.New(rand.NewSource(int64(cfg.seed)))
+		at := time.Duration(0)
+		for i := range offsets {
+			at += time.Duration(rng.ExpFloat64() * float64(gap))
+			offsets[i] = at
+		}
+	default:
+		return nil, fmt.Errorf("unknown -arrivals %q (want poisson or fixed)", cfg.arrivals)
+	}
+	return offsets, nil
 }
 
 // percentileMs returns the p-th percentile (nearest-rank) in

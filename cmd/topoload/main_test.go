@@ -94,6 +94,94 @@ func TestRunInProcess(t *testing.T) {
 	}
 }
 
+// TestRunOpenLoop switches the harness to open-loop mode: jobs arrive
+// on a fixed schedule at -submit-rate regardless of server latency, and
+// the artifact records the traffic model and the offered rate.
+func TestRunOpenLoop(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_serve.json")
+	cfg := config{
+		topoArg:    "minsky:2",
+		policy:     "topo-p",
+		jobs:       20,
+		seed:       42,
+		rate:       10,
+		submitRate: 2000,
+		arrivals:   "fixed",
+		hold:       time.Millisecond,
+		retries:    8,
+		out:        out,
+		quiet:      true,
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sweep.LoadBenchReport(data, out)
+	if err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if len(report.Serving) != 1 {
+		t.Fatalf("want 1 serving entry, got %d", len(report.Serving))
+	}
+	sb := report.Serving[0]
+	if sb.Mode != "open-loop" || sb.TargetJobsPerSec != cfg.submitRate {
+		t.Fatalf("traffic model not recorded: mode=%q target=%v", sb.Mode, sb.TargetJobsPerSec)
+	}
+	if sb.Jobs != cfg.jobs || sb.Errors != 0 {
+		t.Fatalf("jobs=%d errors=%d, want %d jobs and no errors", sb.Jobs, sb.Errors, cfg.jobs)
+	}
+	// 20 jobs at 2000/s take >= 19 gaps of 0.5ms: open-loop elapsed time
+	// is bounded below by the arrival schedule, not the server.
+	if sb.ElapsedSec < 0.0095 {
+		t.Fatalf("elapsed %.4fs shorter than the arrival schedule", sb.ElapsedSec)
+	}
+}
+
+// TestArrivalOffsets pins the two arrival processes: fixed spacing is
+// exact, and poisson is deterministic in the seed with monotone offsets.
+func TestArrivalOffsets(t *testing.T) {
+	cfg := config{submitRate: 100, arrivals: "fixed"}
+	fixed, err := arrivalOffsets(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond}
+	for i := range want {
+		if fixed[i] != want[i] {
+			t.Fatalf("fixed[%d] = %v, want %v", i, fixed[i], want[i])
+		}
+	}
+
+	cfg.arrivals = "poisson"
+	cfg.seed = 7
+	a, err := arrivalOffsets(50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := arrivalOffsets(50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("poisson schedule not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("poisson offsets not monotone at %d", i)
+		}
+	}
+
+	cfg.arrivals = "uniform"
+	if _, err := arrivalOffsets(1, cfg); err == nil {
+		t.Fatal("unknown arrival process accepted")
+	}
+}
+
 func TestPercentileMs(t *testing.T) {
 	ds := []time.Duration{4 * time.Millisecond, time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
 	if got := percentileMs(ds, 50); got != 2 {

@@ -20,7 +20,10 @@
 // The -topology syntax is the sweep cell-key syntax (named builders,
 // "mix[...]" heterogeneous clusters including degraded "minsky-1g"
 // kinds, and "matrix[file]" discovered machines), so a substrate from
-// any sweep artifact can be served verbatim. See docs/serving.md.
+// any sweep artifact can be served verbatim. A "/domains[...]" suffix
+// (e.g. "minsky:8/domains[hash:4]") shards the cluster into scheduling
+// domains: one single-writer loop and one event log per domain, with a
+// placement router on top (docs/sharding.md). See docs/serving.md.
 //
 // SIGTERM/SIGINT drain gracefully: new submissions get 503 (draining),
 // in-flight requests finish, a final snapshot bounds the next start's
@@ -50,20 +53,31 @@ func main() {
 		policy   = flag.String("policy", "topo-p", "placement policy: fcfs, bf, topo, topo-p")
 		disc     = flag.String("discipline", "", "queue discipline: fifo (default) or priority")
 		preempt  = flag.Bool("preempt", false, "enable topology-aware preemption (positive-priority jobs may evict lower-priority ones)")
-		logPath  = flag.String("log", "", "event-log path for durability (empty: in-memory only)")
-		maxQueue = flag.Int("max-queue", 0, "admission control: 429 when the wait queue is this deep (0: unlimited)")
+		logPath  = flag.String("log", "", "event-log path for durability (empty: in-memory only); with domains[...], one log per domain at this path + .dN")
+		maxQueue = flag.Int("max-queue", 0, "admission control: 429 when the wait queue is this deep (0: unlimited; per domain when sharded)")
 		snapshot = flag.Int("snapshot-every", 0, "snapshot+truncate the log every N records (0: default, negative: only on shutdown)")
+		fsyncEv  = flag.Int("fsync-every", 0, "group-commit fsync once every N batches instead of every batch (0/1: every batch; >1 trades the durability of up to N-1 acked batches for latency)")
 		drainFor = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGTERM")
 		quietOff = flag.Bool("quiet", false, "suppress the startup banner")
 	)
 	flag.Parse()
-	if err := run(*addr, *topoArg, *policy, *disc, *preempt, *logPath, *maxQueue, *snapshot, *drainFor, *quietOff); err != nil {
+	if err := run(*addr, *topoArg, *policy, *disc, *preempt, *logPath, *maxQueue, *snapshot, *fsyncEv, *drainFor, *quietOff); err != nil {
 		fmt.Fprintln(os.Stderr, "toposerve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, topoArg, policyName, discipline string, preempt bool, logPath string, maxQueue, snapshotEvery int, drainFor time.Duration, quiet bool) error {
+// engine is the surface main needs from either serving engine — the
+// single-core serve.Server or the sharded serve.MultiServer.
+type engine interface {
+	Handler() http.Handler
+	BeginDrain()
+	Close() error
+	Replayed() int
+	Durable() bool
+}
+
+func run(addr, topoArg, policyName, discipline string, preempt bool, logPath string, maxQueue, snapshotEvery, fsyncEvery int, drainFor time.Duration, quiet bool) error {
 	spec, err := sweep.ParseTopologyArg(topoArg)
 	if err != nil {
 		return err
@@ -72,7 +86,7 @@ func run(addr, topoArg, policyName, discipline string, preempt bool, logPath str
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Spec:          spec,
 		Policy:        pol,
 		Discipline:    discipline,
@@ -80,16 +94,30 @@ func run(addr, topoArg, policyName, discipline string, preempt bool, logPath str
 		LogPath:       logPath,
 		MaxQueue:      maxQueue,
 		SnapshotEvery: snapshotEvery,
-	})
-	if err != nil {
-		return err
+		FsyncEvery:    fsyncEvery,
+	}
+	var srv engine
+	sharding := ""
+	if spec.Domains != "" {
+		ms, err := serve.NewMulti(cfg)
+		if err != nil {
+			return err
+		}
+		srv = ms
+		sharding = fmt.Sprintf(", %d domains", ms.Domains())
+	} else {
+		s, err := serve.New(cfg)
+		if err != nil {
+			return err
+		}
+		srv = s
 	}
 	if !quiet {
 		durable := "in-memory"
 		if srv.Durable() {
 			durable = fmt.Sprintf("log %s (%d records replayed)", logPath, srv.Replayed())
 		}
-		fmt.Printf("toposerve: %s under %s on %s, %s\n", spec.Key(), pol, addr, durable)
+		fmt.Printf("toposerve: %s under %s on %s, %s%s\n", spec.Key(), pol, addr, durable, sharding)
 	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}

@@ -60,6 +60,8 @@ func main() {
 		strict   = flag.Bool("strict", false, "with -diff, also exit 2 on improvements — any delta is a behavior change (used by the CI golden-baseline gate)")
 		bench    = flag.String("bench", "", "write a perf-tracking artifact (wall-clock, points/sec, jobs/sec) to this path after the run")
 		benchGo  = flag.String("bench-go", "", "with -bench: merge `go test -bench` output from this file into the artifact (ns/op, B/op, allocs/op)")
+		benchNm  = flag.String("bench-name", "", "with -bench: record the grid entry under this name instead of the grid's own (lets one artifact hold the same grid under different configurations, e.g. shard/d1 vs shard/d8)")
+		benchApp = flag.Bool("bench-append", false, "with -bench: merge into an existing artifact instead of overwriting (entries with the same name are replaced)")
 		diffB    = flag.Bool("diff-bench", false, "perf-diff two bench artifacts: toposweep -diff-bench -tol 0.5 old.json new.json; exits 2 on regression beyond tolerance")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the sweep) to this path")
@@ -100,6 +102,7 @@ func main() {
 		})
 		opts := runOpts{
 			out: *out, csv: *csv, bench: *bench, benchGo: *benchGo,
+			benchName: *benchNm, benchAppend: *benchApp,
 			cpuProfile: *cpuProf, memProfile: *memProf,
 			smoke: *smoke, seed: *seed, seedSet: seedSet, quiet: *quiet,
 			workers: *workers,
@@ -219,6 +222,8 @@ type runOpts struct {
 	workers                int
 	out, csv               string
 	bench, benchGo         string
+	benchName              string
+	benchAppend            bool
 	cpuProfile, memProfile string
 	smoke, seedSet, quiet  bool
 	seed                   uint64
@@ -305,7 +310,7 @@ func run(w io.Writer, gridName string, o runOpts) error {
 		fmt.Fprintf(w, "wrote %s\n", o.csv)
 	}
 	if o.bench != "" {
-		if err := writeBench(w, rep, o.bench, o.benchGo); err != nil {
+		if err := writeBench(w, rep, o); err != nil {
 			return err
 		}
 	}
@@ -313,28 +318,44 @@ func run(w io.Writer, gridName string, o runOpts) error {
 }
 
 // writeBench distills the run into the perf-tracking artifact, merging
-// parsed `go test -bench` output when provided.
-func writeBench(w io.Writer, rep *sweep.Report, benchPath, benchGoPath string) error {
-	var br sweep.BenchReport
-	br.AddGrid(sweep.NewGridBench(rep))
-	if benchGoPath != "" {
-		text, err := os.ReadFile(benchGoPath)
+// parsed `go test -bench` output when provided. benchName renames the
+// grid entry and benchAppend folds it into an existing artifact — the
+// pair lets one artifact carry the same grid under several
+// configurations (the shard bench records shard/dN per domain count).
+func writeBench(w io.Writer, rep *sweep.Report, o runOpts) error {
+	br := &sweep.BenchReport{}
+	if o.benchAppend {
+		if data, err := os.ReadFile(o.bench); err == nil {
+			prev, err := sweep.LoadBenchReport(data, o.bench)
+			if err != nil {
+				return err
+			}
+			br = prev
+		}
+	}
+	gb := sweep.NewGridBench(rep)
+	if o.benchName != "" {
+		gb.Grid = o.benchName
+	}
+	br.AddGrid(gb)
+	if o.benchGo != "" {
+		text, err := os.ReadFile(o.benchGo)
 		if err != nil {
 			return fmt.Errorf("-bench-go: %w", err)
 		}
 		br.Benchmarks = sweep.ParseGoBenchOutput(string(text))
 		if len(br.Benchmarks) == 0 {
-			return fmt.Errorf("-bench-go: no benchmark lines found in %s", benchGoPath)
+			return fmt.Errorf("-bench-go: no benchmark lines found in %s", o.benchGo)
 		}
 	}
 	js, err := br.JSON()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(benchPath, js, 0o644); err != nil {
+	if err := os.WriteFile(o.bench, js, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "wrote %s (%d grid(s), %d benchmark(s))\n", benchPath, len(br.Grids), len(br.Benchmarks))
+	fmt.Fprintf(w, "wrote %s (%d grid(s), %d benchmark(s))\n", o.bench, len(br.Grids), len(br.Benchmarks))
 	return nil
 }
 

@@ -44,8 +44,10 @@ type Log struct {
 	f     *os.File
 	dirty bool
 
-	records      int // frames currently in the file
-	sinceRewrite int // records appended since the last Rewrite (or Open)
+	records      int   // frames currently in the file
+	sinceRewrite int   // records appended since the last Rewrite (or Open)
+	bytesSince   int64 // bytes those records occupy on disk (frames included)
+	syncs        int   // fsyncs issued (dirty Syncs; no-op Syncs don't count)
 
 	// TruncatedTail reports that Open found (and truncated away) a
 	// partial record at the end of the file — the expected aftermath of
@@ -124,6 +126,7 @@ func (l *Log) replay(apply func(Record) error) error {
 			// Everything but a leading snapshot counts toward the replay
 			// bound SinceRewrite reports.
 			l.sinceRewrite++
+			l.bytesSince += frameHeader + int64(length)
 		}
 		l.records++
 		offset += frameHeader + int64(length)
@@ -159,6 +162,7 @@ func (l *Log) Append(rec Record) error {
 	l.dirty = true
 	l.records++
 	l.sinceRewrite++
+	l.bytesSince += frameHeader + int64(len(payload))
 	return nil
 }
 
@@ -183,6 +187,7 @@ func (l *Log) Sync() error {
 		return err
 	}
 	l.dirty = false
+	l.syncs++
 	return nil
 }
 
@@ -236,6 +241,8 @@ func (l *Log) Rewrite(snapshot Record) error {
 	l.dirty = false
 	l.records = 1
 	l.sinceRewrite = 0
+	l.bytesSince = 0
+	l.syncs++
 	return nil
 }
 
@@ -246,6 +253,16 @@ func (l *Log) Records() int { return l.records }
 // since Open when never rewritten) — the replay-length bound a caller
 // watches to decide when to snapshot.
 func (l *Log) SinceRewrite() int { return l.sinceRewrite }
+
+// BytesSinceRewrite returns the on-disk bytes (frames included) those
+// SinceRewrite records occupy — the compaction-pressure gauge surfaced
+// in /v1/state.
+func (l *Log) BytesSinceRewrite() int64 { return l.bytesSince }
+
+// Syncs returns the number of fsyncs the log has issued (group commits
+// plus rewrites); Syncs that found nothing dirty are not counted. The
+// ratio of appended records to syncs measures group-commit batching.
+func (l *Log) Syncs() int { return l.syncs }
 
 // Path returns the log's file path.
 func (l *Log) Path() string { return l.path }

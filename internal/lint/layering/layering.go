@@ -61,6 +61,8 @@ var Ranks = map[string]Layer{
 	"gputopo/internal/schedcore": {600, "scheduling core"},
 	"gputopo/internal/eventlog":  {600, "serving durability"},
 
+	"gputopo/internal/schedcore/domains": {650, "scheduling domains"},
+
 	"gputopo/internal/sched":              {700, "scheduling adapter"},
 	"gputopo/internal/schedcore/difftest": {700, "scheduling reference"},
 
@@ -102,7 +104,8 @@ var IntraPrefixes = []string{"gputopo/internal/lint"}
 // scheduling core performs no I/O by contract (docs/architecture.md,
 // "The scheduling core is pure and single-writer").
 var ForbiddenStd = map[string][]string{
-	"gputopo/internal/schedcore": {"os", "io", "net", "net/http", "bufio", "os/exec", "syscall"},
+	"gputopo/internal/schedcore":         {"os", "io", "net", "net/http", "bufio", "os/exec", "syscall"},
+	"gputopo/internal/schedcore/domains": {"os", "io", "net", "net/http", "bufio", "os/exec", "syscall"},
 }
 
 func run(pass *analysis.Pass) error {

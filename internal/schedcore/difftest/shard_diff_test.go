@@ -1,0 +1,189 @@
+package difftest
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gputopo/internal/cluster"
+	"gputopo/internal/core"
+	"gputopo/internal/profile"
+	"gputopo/internal/schedcore"
+	"gputopo/internal/schedcore/domains"
+	"gputopo/internal/topology"
+)
+
+// shardedDomain is one scheduling domain of a sharded trace run: the
+// real Core and the naive reference over the same fleet slice, plus the
+// cluster state backing the router's live free counters.
+type shardedDomain struct {
+	core  *schedcore.Core
+	ref   *Reference
+	state *cluster.State
+}
+
+// checkDomain runs one scheduling round on domain d through both sides
+// and compares placements, queue order and running set.
+func (sd *shardedDomain) checkDomain(t *testing.T, tr *Trace, d int, where string) {
+	t.Helper()
+	want := sd.ref.Schedule()
+	wantQ, wantR := sd.ref.Queued(), sd.ref.Running()
+	got := reduce(sd.core.Schedule())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s %s: domain %d placements diverged\n ref:  %+v\n core: %+v", tr, where, d, want, got)
+	}
+	if gotQ := queuedIDs(sd.core); !reflect.DeepEqual(gotQ, wantQ) {
+		t.Fatalf("%s %s: domain %d queue diverged\n ref:  %v\n core: %v", tr, where, d, wantQ, gotQ)
+	}
+	if gotR := sd.core.Running(); !reflect.DeepEqual(gotR, wantR) {
+		t.Fatalf("%s %s: domain %d running set diverged\n ref:  %v\n core: %v", tr, where, d, wantR, gotR)
+	}
+}
+
+// runShardedTrace drives one trace through the sharded decomposition:
+// the fleet splits hash-style into tr.Domains domains, submissions
+// route through the live-counter Router, and each domain's Core must
+// match a single-core reference driven with exactly the routed
+// sub-trace. This is the differential proof that sharding changes which
+// core schedules a job but never what that core decides.
+func runShardedTrace(t *testing.T, tr *Trace) map[int]int {
+	t.Helper()
+	groups, err := domains.Spec{Strategy: "hash", N: tr.Domains}.Partition(tr.Machines, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc, err := schedcore.ParseDiscipline(tr.Discipline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doms := make([]*shardedDomain, len(groups))
+	caps := make([]domains.Capacity, len(groups))
+	for d, g := range groups {
+		sub := topology.Cluster(len(g), tr.Kind)
+		caps[d] = domains.CapacityOf(sub)
+		ref, err := NewReference(tr.Policy, sub, disc, tr.Preempt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapper, err := core.NewMapper(profile.Generate(sub, sub.NumGPUs()), core.DefaultWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := cluster.NewState(sub)
+		c := schedcore.New(tr.Policy, st, mapper, schedcore.WithQueueDiscipline(disc))
+		c.SetPreemption(tr.Preempt)
+		doms[d] = &shardedDomain{core: c, ref: ref, state: st}
+	}
+	router := domains.NewRouter(caps, func(d int) (int, int) {
+		return doms[d].state.FreeGPUCount(), doms[d].state.MaxFreeGPUs()
+	})
+
+	routed := map[int]int{}
+	for step, ev := range tr.Events {
+		where := fmt.Sprintf("step %d", step)
+		switch ev.Kind {
+		case Submit:
+			d, err := router.Route(ev.Job)
+			if err != nil {
+				t.Fatalf("%s %s: route %s: %v", tr, where, ev.Job.ID, err)
+			}
+			routed[d]++
+			router.Bind(ev.Job.ID, d)
+			if err := doms[d].ref.Submit(CloneJob(ev.Job)); err != nil {
+				t.Fatalf("%s %s: domain %d reference submit %s: %v", tr, where, d, ev.Job.ID, err)
+			}
+			if err := doms[d].core.Submit(CloneJob(ev.Job)); err != nil {
+				t.Fatalf("%s %s: domain %d core submit %s: %v", tr, where, d, ev.Job.ID, err)
+			}
+			doms[d].checkDomain(t, tr, d, where)
+		case Remove:
+			// The Remove follows the target to its home domain — the same
+			// lookup the serving layer performs — and resolves there.
+			d, ok := router.Home(ev.Target)
+			if !ok {
+				continue
+			}
+			sd := doms[d]
+			switch {
+			case contains(sd.ref.Running(), ev.Target):
+				if err := sd.ref.Release(ev.Target); err != nil {
+					t.Fatalf("%s %s: domain %d reference release %s: %v", tr, where, d, ev.Target, err)
+				}
+				if err := sd.core.Release(ev.Target); err != nil {
+					t.Fatalf("%s %s: domain %d core release %s: %v", tr, where, d, ev.Target, err)
+				}
+			case contains(sd.ref.Queued(), ev.Target):
+				sd.ref.Withdraw(ev.Target)
+				if !sd.core.Withdraw(ev.Target) {
+					t.Fatalf("%s %s: domain %d core withdraw %s: not queued", tr, where, d, ev.Target)
+				}
+			default:
+				router.Unbind(ev.Target)
+				continue // evicted-then-removed or already gone
+			}
+			router.Unbind(ev.Target)
+			sd.checkDomain(t, tr, d, where)
+		}
+	}
+
+	// Drain every domain independently, as in the unsharded harness.
+	for d, sd := range doms {
+		for guard := 0; ; guard++ {
+			if guard > 10*len(tr.Events) {
+				t.Fatalf("%s: domain %d drain did not converge: queue=%v running=%v", tr, d, sd.ref.Queued(), sd.ref.Running())
+			}
+			run := sd.ref.Running()
+			if len(run) == 0 && len(sd.ref.Queued()) == 0 {
+				break
+			}
+			if len(run) > 0 {
+				id := run[0]
+				if err := sd.ref.Release(id); err != nil {
+					t.Fatalf("%s drain: domain %d reference release %s: %v", tr, d, id, err)
+				}
+				if err := sd.core.Release(id); err != nil {
+					t.Fatalf("%s drain: domain %d core release %s: %v", tr, d, id, err)
+				}
+			} else {
+				id := sd.ref.Queued()[0]
+				sd.ref.Withdraw(id)
+				if !sd.core.Withdraw(id) {
+					t.Fatalf("%s drain: domain %d core withdraw %s: not queued", tr, d, id)
+				}
+			}
+			sd.checkDomain(t, tr, d, "drain")
+		}
+	}
+	return routed
+}
+
+// TestShardedDifferentialTraces extends the differential harness to the
+// sharded decomposition: every multi-machine trace the generator marks
+// with Domains > 1 runs through the router + per-domain cores against
+// per-domain references. The coverage tail guards against vacuity —
+// the population must shard a healthy fraction of traces and actually
+// route jobs to more than one domain.
+func TestShardedDifferentialTraces(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 100
+	}
+	sharded, spread := 0, 0
+	for seed := 0; seed < n; seed++ {
+		tr := NewTrace(uint64(seed))
+		if tr.Domains < 2 {
+			continue
+		}
+		sharded++
+		routed := runShardedTrace(t, tr)
+		if len(routed) > 1 {
+			spread++
+		}
+	}
+	if sharded < n/8 {
+		t.Errorf("sharded traces underrepresented: %d of %d", sharded, n)
+	}
+	if spread < sharded/2 {
+		t.Errorf("router barely spreads: only %d of %d sharded traces hit 2+ domains", spread, sharded)
+	}
+}

@@ -41,16 +41,24 @@ type Trace struct {
 	Seed       uint64
 	Topology   *topology.Topology
 	TopoName   string
+	Kind       topology.MachineKind
+	Machines   int
 	Policy     schedcore.Policy
 	Discipline string // "" (fifo) or "priority"
 	Preempt    bool
-	Events     []Event
+	// Domains > 1 additionally checks the trace under sharded
+	// scheduling: the substrate splits hash-style into this many
+	// domains, submissions route through domains.Router over live
+	// free counters, and each routed sub-trace must match the
+	// single-core reference on that domain's slice of the fleet.
+	Domains int
+	Events  []Event
 }
 
 // String identifies the trace in failure messages.
 func (tr *Trace) String() string {
-	return fmt.Sprintf("seed=%d topo=%s policy=%s disc=%q preempt=%v events=%d",
-		tr.Seed, tr.TopoName, tr.Policy, tr.Discipline, tr.Preempt, len(tr.Events))
+	return fmt.Sprintf("seed=%d topo=%s policy=%s disc=%q preempt=%v domains=%d events=%d",
+		tr.Seed, tr.TopoName, tr.Policy, tr.Discipline, tr.Preempt, tr.Domains, len(tr.Events))
 }
 
 // CloneJob copies a generated job so schedulers never share mutable
@@ -73,16 +81,18 @@ func NewTrace(seed uint64) *Trace {
 	tr := &Trace{Seed: seed}
 
 	topos := []struct {
-		name  string
-		build func() *topology.Topology
+		name     string
+		kind     topology.MachineKind
+		machines int
 	}{
-		{"minsky:1", func() *topology.Topology { return topology.Cluster(1, topology.KindMinsky) }},
-		{"minsky:2", func() *topology.Topology { return topology.Cluster(2, topology.KindMinsky) }},
-		{"dgx1:1", func() *topology.Topology { return topology.Cluster(1, topology.KindDGX1) }},
-		{"pcie:2", func() *topology.Topology { return topology.Cluster(2, topology.KindPCIeBox) }},
+		{"minsky:1", topology.KindMinsky, 1},
+		{"minsky:2", topology.KindMinsky, 2},
+		{"dgx1:1", topology.KindDGX1, 1},
+		{"pcie:2", topology.KindPCIeBox, 2},
 	}
 	pick := topos[rng.Intn(len(topos))]
-	tr.TopoName, tr.Topology = pick.name, pick.build()
+	tr.TopoName, tr.Kind, tr.Machines = pick.name, pick.kind, pick.machines
+	tr.Topology = topology.Cluster(pick.machines, pick.kind)
 
 	policies := []schedcore.Policy{schedcore.FCFS, schedcore.BestFit, schedcore.TopoAware, schedcore.TopoAwareP}
 	tr.Policy = policies[rng.Intn(len(policies))]
@@ -112,6 +122,13 @@ func NewTrace(seed uint64) *Trace {
 		}
 		ids = append(ids, id)
 		tr.Events = append(tr.Events, Event{Kind: Submit, Job: j})
+	}
+	// Drawn last so the sharding decision never perturbs the event
+	// stream a seed generated before domains existed. Every generated
+	// job (<= 4 GPUs, never anti-collocated) stays admissible in a
+	// single-machine domain of these kinds, so hash:Machines is safe.
+	if tr.Machines > 1 && rng.Intn(2) == 1 {
+		tr.Domains = tr.Machines
 	}
 	return tr
 }

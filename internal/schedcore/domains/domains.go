@@ -1,0 +1,243 @@
+// Package domains partitions a cluster into disjoint scheduling domains
+// and routes jobs between them: the multi-agent decomposition of the
+// paper's single-writer core. Each domain owns a contiguous slice of the
+// machine fleet and runs its own schedcore.Core, so an N-domain cluster
+// schedules on N independent single-writer loops; a cheap admissible
+// router on top picks a domain per submission from per-domain free-GPU
+// counters (the same signal the wake-up index keys on), spilling to the
+// next admissible domain when the preferred one is at its capacity
+// watermark. The Eq. 1 placement math is untouched — it runs unchanged
+// inside every domain.
+//
+// Determinism contract: a partition is a pure function of (strategy,
+// machine count, machine kinds) and routing is a pure function of the
+// observed counter sequence, so the same submissions in the same order
+// route identically on every run. docs/sharding.md records the model.
+package domains
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gputopo/internal/job"
+	"gputopo/internal/topology"
+)
+
+// Spec declares how a cluster splits into scheduling domains. The zero
+// value means "unsharded": one core over the whole cluster, the legacy
+// configuration every recorded artifact uses.
+type Spec struct {
+	// Strategy selects the partition function:
+	//
+	//	hash   machine i joins domain i mod N (spreads every machine
+	//	       kind across all domains)
+	//	block  machines split into N contiguous index blocks (the
+	//	       rack-prefix analog: neighbors stay together)
+	//	kind   one domain per distinct machine kind, in first-seen
+	//	       machine order (N is ignored and must be omitted)
+	Strategy string
+	// N is the domain count for hash and block. Domains left without
+	// machines (N > machine count) are dropped rather than materialized
+	// empty.
+	N int
+}
+
+// Parse decodes the compact spec syntax used in cell keys and CLI flags:
+// "hash:4", "block:2", "kind". The empty string parses to the zero
+// (unsharded) spec.
+func Parse(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Spec{}, nil
+	}
+	name, count, hasCount := strings.Cut(s, ":")
+	sp := Spec{Strategy: name}
+	if hasCount {
+		n, err := strconv.Atoi(count)
+		if err != nil {
+			return Spec{}, fmt.Errorf("domains: spec %q: domain count %q must be an integer", s, count)
+		}
+		sp.N = n
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// Enabled reports whether the spec asks for sharded scheduling at all.
+func (s Spec) Enabled() bool { return s.Strategy != "" }
+
+// Key renders the canonical compact form Parse accepts ("" for the zero
+// spec), used in cell keys and artifacts.
+func (s Spec) Key() string {
+	if !s.Enabled() {
+		return ""
+	}
+	if s.Strategy == "kind" {
+		return s.Strategy
+	}
+	return fmt.Sprintf("%s:%d", s.Strategy, s.N)
+}
+
+// Validate checks the strategy name and count range.
+func (s Spec) Validate() error {
+	switch s.Strategy {
+	case "":
+		if s.N != 0 {
+			return fmt.Errorf("domains: a domain count needs a strategy")
+		}
+	case "hash", "block":
+		if s.N < 1 {
+			return fmt.Errorf("domains: %s needs a domain count >= 1, got %d", s.Strategy, s.N)
+		}
+	case "kind":
+		if s.N != 0 {
+			return fmt.Errorf("domains: kind derives its domain count from the machine kinds; omit :%d", s.N)
+		}
+	default:
+		return fmt.Errorf("domains: unknown strategy %q (use hash:N, block:N or kind)", s.Strategy)
+	}
+	return nil
+}
+
+// Partition assigns machine indices 0..machines-1 to domains. kinds
+// optionally labels each machine for the kind strategy (nil means one
+// kind, i.e. a single domain); hash and block ignore it. Empty domains
+// are dropped, so every returned group is non-empty and the groups cover
+// the machines exactly once, each in ascending index order.
+func (s Spec) Partition(machines int, kinds []string) ([][]int, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if machines < 1 {
+		return nil, fmt.Errorf("domains: partitioning needs >= 1 machine, got %d", machines)
+	}
+	if kinds != nil && len(kinds) != machines {
+		return nil, fmt.Errorf("domains: %d machine kinds for %d machines", len(kinds), machines)
+	}
+	var groups [][]int
+	switch s.Strategy {
+	case "":
+		groups = [][]int{seq(machines)}
+	case "hash":
+		groups = make([][]int, s.N)
+		for i := 0; i < machines; i++ {
+			groups[i%s.N] = append(groups[i%s.N], i)
+		}
+	case "block":
+		groups = make([][]int, s.N)
+		for i := 0; i < machines; i++ {
+			// Balanced contiguous blocks: machine i joins block i*N/M, so
+			// block sizes differ by at most one (larger blocks first).
+			groups[i*s.N/machines] = append(groups[i*s.N/machines], i)
+		}
+	case "kind":
+		if kinds == nil {
+			groups = [][]int{seq(machines)}
+			break
+		}
+		index := map[string]int{}
+		for i, k := range kinds {
+			d, ok := index[k]
+			if !ok {
+				d = len(groups)
+				index[k] = d
+				groups = append(groups, nil)
+			}
+			groups[d] = append(groups[d], i)
+		}
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+func seq(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+// Capacity summarizes what a domain can ever hold, for the admissibility
+// check: a job no domain admits can never be placed and is rejected at
+// routing time instead of deadlocking a queue.
+type Capacity struct {
+	// GPUs is the domain's total GPU count.
+	GPUs int
+	// Machines is the domain's machine count (anti-collocated jobs need
+	// one machine per task).
+	Machines int
+	// MaxMachineGPUs is the largest per-machine GPU count (single-node
+	// jobs need one machine this big).
+	MaxMachineGPUs int
+}
+
+// CapacityOf summarizes a domain topology for the admissibility check.
+func CapacityOf(t *topology.Topology) Capacity {
+	c := Capacity{GPUs: t.NumGPUs(), Machines: t.NumMachines()}
+	for m := 0; m < t.NumMachines(); m++ {
+		if n := len(t.GPUsOfMachine(m)); n > c.MaxMachineGPUs {
+			c.MaxMachineGPUs = n
+		}
+	}
+	return c
+}
+
+// Admits reports whether the domain could place the job on an otherwise
+// empty cluster — the invariant routing must preserve so every routed
+// job eventually runs.
+func (c Capacity) Admits(j *job.Job) bool {
+	if j.GPUs > c.GPUs {
+		return false
+	}
+	if j.SingleNode && j.GPUs > c.MaxMachineGPUs {
+		return false
+	}
+	if j.AntiCollocate && j.GPUs > c.Machines {
+		return false
+	}
+	return true
+}
+
+// RouteStatic assigns each job, in submission order, to an admissible
+// domain, balancing cumulative routed GPU demand relative to domain
+// capacity. This is the router the batch engines use: with the whole
+// submission sequence known up front there is no live occupancy to
+// consult, so "least relative load so far" is the admissible heuristic
+// and the spill to the next-least-loaded admissible domain is implicit
+// in the argmin. Returns assign[i] = domain of jobs[i], or an error
+// naming the first job no domain admits.
+func RouteStatic(caps []Capacity, jobs []*job.Job) ([]int, error) {
+	if len(caps) == 0 {
+		return nil, fmt.Errorf("domains: routing needs at least one domain")
+	}
+	assign := make([]int, len(jobs))
+	demand := make([]int, len(caps))
+	for i, j := range jobs {
+		best := -1
+		var bestLoad float64
+		for d, c := range caps {
+			if !c.Admits(j) {
+				continue
+			}
+			load := float64(demand[d]+j.GPUs) / float64(c.GPUs)
+			if best < 0 || load < bestLoad {
+				best, bestLoad = d, load
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("domains: job %s (gpus=%d single_node=%v anti_collocate=%v) is admissible in no domain", j.ID, j.GPUs, j.SingleNode, j.AntiCollocate)
+		}
+		assign[i] = best
+		demand[best] += j.GPUs
+	}
+	return assign, nil
+}

@@ -1,0 +1,179 @@
+package domains
+
+import (
+	"reflect"
+	"testing"
+
+	"gputopo/internal/job"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/topology"
+)
+
+func TestParseAndKey(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Spec
+		key  string
+	}{
+		{"", Spec{}, ""},
+		{"hash:4", Spec{Strategy: "hash", N: 4}, "hash:4"},
+		{"block:2", Spec{Strategy: "block", N: 2}, "block:2"},
+		{"kind", Spec{Strategy: "kind"}, "kind"},
+		{" hash:1 ", Spec{Strategy: "hash", N: 1}, "hash:1"},
+	} {
+		sp, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if sp != tc.want {
+			t.Fatalf("Parse(%q) = %+v, want %+v", tc.in, sp, tc.want)
+		}
+		if sp.Key() != tc.key {
+			t.Fatalf("Parse(%q).Key() = %q, want %q", tc.in, sp.Key(), tc.key)
+		}
+	}
+	for _, bad := range []string{"hash", "hash:0", "hash:-1", "hash:x", "kind:2", "rack:3", ":4"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPartitionStrategies(t *testing.T) {
+	for _, tc := range []struct {
+		spec  string
+		n     int
+		kinds []string
+		want  [][]int
+	}{
+		{"hash:2", 5, nil, [][]int{{0, 2, 4}, {1, 3}}},
+		{"hash:4", 2, nil, [][]int{{0}, {1}}}, // empty domains dropped
+		{"block:2", 5, nil, [][]int{{0, 1, 2}, {3, 4}}},
+		{"block:3", 6, nil, [][]int{{0, 1}, {2, 3}, {4, 5}}},
+		{"kind", 3, nil, [][]int{{0, 1, 2}}},
+		{"kind", 4, []string{"a", "b", "a", "c"}, [][]int{{0, 2}, {1}, {3}}},
+		{"", 3, nil, [][]int{{0, 1, 2}}},
+	} {
+		sp, err := Parse(tc.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.spec, err)
+		}
+		got, err := sp.Partition(tc.n, tc.kinds)
+		if err != nil {
+			t.Fatalf("Partition(%q, %d): %v", tc.spec, tc.n, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("Partition(%q, %d) = %v, want %v", tc.spec, tc.n, got, tc.want)
+		}
+	}
+	if _, err := (Spec{Strategy: "hash", N: 2}).Partition(0, nil); err == nil {
+		t.Fatal("partitioning zero machines accepted")
+	}
+	if _, err := (Spec{Strategy: "kind"}).Partition(3, []string{"a"}); err == nil {
+		t.Fatal("mismatched kind labels accepted")
+	}
+}
+
+func mkJob(id string, gpus int, singleNode, anti bool) *job.Job {
+	j := job.New(id, perfmodel.AlexNet, 1, gpus, 0, 0)
+	j.SingleNode = singleNode
+	j.AntiCollocate = anti
+	return j
+}
+
+func TestCapacityAdmits(t *testing.T) {
+	c := Capacity{GPUs: 8, Machines: 2, MaxMachineGPUs: 4}
+	for _, tc := range []struct {
+		j    *job.Job
+		want bool
+	}{
+		{mkJob("a", 4, true, false), true},
+		{mkJob("b", 5, true, false), false},  // no machine that big
+		{mkJob("c", 5, false, false), true},  // multi-node spans machines
+		{mkJob("d", 9, false, false), false}, // exceeds the domain
+		{mkJob("e", 2, false, true), true},   // one machine per task
+		{mkJob("f", 3, false, true), false},  // needs 3 machines, has 2
+	} {
+		if got := c.Admits(tc.j); got != tc.want {
+			t.Fatalf("Admits(%s) = %v, want %v", tc.j.ID, got, tc.want)
+		}
+	}
+}
+
+func TestCapacityOf(t *testing.T) {
+	topo, err := topology.HeterogeneousCluster([]topology.MachineSpec{
+		{Kind: topology.KindMinsky, Count: 1},
+		{Kind: topology.KindDGX1, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CapacityOf(topo)
+	if c.Machines != 2 || c.GPUs != 12 || c.MaxMachineGPUs != 8 {
+		t.Fatalf("CapacityOf(minsky+dgx1) = %+v", c)
+	}
+}
+
+func TestRouteStaticBalancesAndSpills(t *testing.T) {
+	caps := []Capacity{
+		{GPUs: 4, Machines: 1, MaxMachineGPUs: 4},
+		{GPUs: 8, Machines: 1, MaxMachineGPUs: 8},
+	}
+	jobs := []*job.Job{
+		mkJob("j0", 2, true, false), // relative load 0.5 vs 0.25 -> domain 1
+		mkJob("j1", 2, true, false), // 0.5 vs 0.5 -> tie, lowest index 0
+		mkJob("j2", 6, true, false), // only domain 1 admits
+		mkJob("j3", 2, true, false), // 1.0 vs 1.25 -> domain 0
+	}
+	assign, err := RouteStatic(caps, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 0, 1, 0}; !reflect.DeepEqual(assign, want) {
+		t.Fatalf("assign = %v, want %v", assign, want)
+	}
+	if _, err := RouteStatic(caps, []*job.Job{mkJob("big", 9, true, false)}); err == nil {
+		t.Fatal("inadmissible job routed")
+	}
+	if _, err := RouteStatic(nil, nil); err == nil {
+		t.Fatal("routing with no domains accepted")
+	}
+}
+
+func TestRouterPrefersSeatsNowAndSpills(t *testing.T) {
+	caps := []Capacity{
+		{GPUs: 8, Machines: 2, MaxMachineGPUs: 4},
+		{GPUs: 8, Machines: 2, MaxMachineGPUs: 4},
+	}
+	free := map[int][2]int{}
+	r := NewRouter(caps, func(d int) (int, int) { return free[d][0], free[d][1] })
+
+	// Domain 0 has more free GPUs overall but no machine can seat a
+	// 3-GPU single-node job; the router spills to domain 1.
+	free[0] = [2]int{6, 2}
+	free[1] = [2]int{4, 4}
+	d, err := r.Route(mkJob("a", 3, true, false))
+	if err != nil || d != 1 {
+		t.Fatalf("Route(a) = %d, %v; want 1", d, err)
+	}
+	// Both at their watermark: queue on the domain with the most free.
+	free[0] = [2]int{2, 1}
+	free[1] = [2]int{1, 1}
+	d, err = r.Route(mkJob("b", 3, true, false))
+	if err != nil || d != 0 {
+		t.Fatalf("Route(b) = %d, %v; want 0", d, err)
+	}
+	// Inadmissible everywhere is an error, not a queue.
+	if _, err := r.Route(mkJob("c", 5, true, false)); err == nil {
+		t.Fatal("inadmissible job routed")
+	}
+
+	r.Bind("a", 1)
+	if d, ok := r.Home("a"); !ok || d != 1 {
+		t.Fatalf("Home(a) = %d, %v", d, ok)
+	}
+	r.Unbind("a")
+	if _, ok := r.Home("a"); ok {
+		t.Fatal("Unbind left the binding")
+	}
+}

@@ -1,0 +1,78 @@
+package domains
+
+import (
+	"fmt"
+
+	"gputopo/internal/job"
+)
+
+// FreeFunc reports a domain's live occupancy: its free GPU count and the
+// largest free-GPU count on any single machine. The serving layer backs
+// this with counters its domain event-loops publish after every batch —
+// the router never touches a core directly, so a Route call costs two
+// counter reads per domain and no cross-loop synchronization.
+type FreeFunc func(domain int) (freeGPUs, maxFreeOnMachine int)
+
+// Router picks a domain per submission over live free-GPU counters and
+// remembers each job's home domain so releases and withdrawals find
+// their way back. It is not concurrency-safe: the serving layer calls
+// it from one dispatch goroutine, matching the single-writer discipline
+// of the cores underneath.
+type Router struct {
+	caps []Capacity
+	free FreeFunc
+	home map[string]int
+}
+
+// NewRouter builds a router over the domains' capacities and the live
+// counter source.
+func NewRouter(caps []Capacity, free FreeFunc) *Router {
+	return &Router{caps: caps, free: free, home: map[string]int{}}
+}
+
+// Domains returns the domain count.
+func (r *Router) Domains() int { return len(r.caps) }
+
+// Route picks the job's domain: among admissible domains (Capacity.Admits
+// — the job can ever place there), prefer the one with the most free GPUs
+// that can seat the job right now; when every admissible domain is at its
+// capacity watermark (the job would queue anywhere), spill resolves to
+// the admissible domain with the most free GPUs so the job queues where
+// capacity frees soonest. Ties break on the lowest domain index, keeping
+// routing deterministic for a fixed counter sequence.
+func (r *Router) Route(j *job.Job) (int, error) {
+	bestNow, bestNowFree := -1, -1
+	bestAny, bestAnyFree := -1, -1
+	for d, c := range r.caps {
+		if !c.Admits(j) {
+			continue
+		}
+		freeGPUs, maxMachine := r.free(d)
+		if freeGPUs > bestAnyFree {
+			bestAny, bestAnyFree = d, freeGPUs
+		}
+		seatsNow := freeGPUs >= j.GPUs && (!j.SingleNode || maxMachine >= j.GPUs)
+		if seatsNow && freeGPUs > bestNowFree {
+			bestNow, bestNowFree = d, freeGPUs
+		}
+	}
+	if bestNow >= 0 {
+		return bestNow, nil
+	}
+	if bestAny >= 0 {
+		return bestAny, nil
+	}
+	return -1, fmt.Errorf("domains: job %s (gpus=%d single_node=%v anti_collocate=%v) is admissible in no domain", j.ID, j.GPUs, j.SingleNode, j.AntiCollocate)
+}
+
+// Bind records the job's home domain after a successful submit.
+func (r *Router) Bind(jobID string, domain int) { r.home[jobID] = domain }
+
+// Home returns the job's recorded domain.
+func (r *Router) Home(jobID string) (int, bool) {
+	d, ok := r.home[jobID]
+	return d, ok
+}
+
+// Unbind forgets a finished or withdrawn job.
+func (r *Router) Unbind(jobID string) { delete(r.home, jobID) }

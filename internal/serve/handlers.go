@@ -144,57 +144,80 @@ func (s *Server) decisionsPage(after, limit int) serveapi.DecisionsResponse {
 // handleState is GET /v1/state.
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	var resp serveapi.StateResponse
-	ok := s.do(func() {
-		st := s.core.State()
-		topo := st.Topology()
-		stats := s.combinedStats()
-		resp = serveapi.StateResponse{
-			Topology:   s.topoKey,
-			Policy:     s.core.Policy().String(),
-			Machines:   topo.NumMachines(),
-			GPUs:       topo.NumGPUs(),
-			FreeGPUs:   st.FreeGPUCount(),
-			UptimeSec:  time.Since(s.started).Seconds(),
-			ClockSec:   s.now(),
-			Durable:    s.log != nil,
-			Draining:   s.draining.Load(),
-			MaxQueue:   s.cfg.MaxQueue,
-			Running:    []serveapi.RunningEntry{},
-			Queue:      []serveapi.QueuedEntry{},
-			Fragments:  st.Fragmentation(),
-			Decisions:  len(s.decisions),
-			Discipline: s.core.Discipline(),
-			Preemption: s.core.PreemptionEnabled(),
-			Stats: serveapi.SchedStats{
-				Decisions:       stats.Decisions,
-				Placements:      stats.Placements,
-				Postponements:   stats.Postponements,
-				SLOViolations:   stats.SLOViolations,
-				GateSkips:       stats.GateSkips,
-				WakeSkips:       stats.WakeSkips,
-				Preemptions:     stats.Preemptions,
-				Evictions:       stats.Evictions,
-				MeanDecisionUs:  float64(stats.MeanDecisionTime()) / float64(time.Microsecond),
-				MaxDecisionUs:   float64(stats.MaxDecision) / float64(time.Microsecond),
-				TotalDecisionMs: float64(stats.DecisionTime) / float64(time.Millisecond),
-			},
-		}
-		for _, id := range st.Jobs() {
-			resp.Running = append(resp.Running, serveapi.RunningEntry{ID: id, GPUs: st.Allocation(id).GPUs})
-		}
-		for _, qj := range s.core.Queued() {
-			resp.Queue = append(resp.Queue, serveapi.QueuedEntry{
-				ID: qj.ID, GPUs: qj.GPUs, MinUtility: qj.MinUtility, Arrival: qj.Arrival,
-				Priority: qj.Priority,
-			})
-		}
-		for m := 0; m < topo.NumMachines(); m++ {
-			resp.Bandwidth = append(resp.Bandwidth, serveapi.BandwidthEntry{Machine: m, FreeGBs: st.FreeBusBandwidth(m)})
-		}
-	})
+	ok := s.do(func() { resp = s.stateSnapshot() })
 	if !ok {
 		serveapi.WriteError(w, http.StatusServiceUnavailable, serveapi.CodeDraining, "server is shut down")
 		return
 	}
 	serveapi.WriteJSON(w, resp)
+}
+
+// logStats gauges the event log (nil when in-memory). Runs on the
+// writer goroutine.
+func (s *Server) logStats() *serveapi.LogStats {
+	if s.log == nil {
+		return nil
+	}
+	return &serveapi.LogStats{
+		Records:            s.log.Records(),
+		SinceSnapshot:      s.log.SinceRewrite(),
+		BytesSinceSnapshot: s.log.BytesSinceRewrite(),
+		Snapshots:          s.snapshots,
+		ReplayedAtBoot:     s.replayed,
+		Syncs:              s.log.Syncs(),
+	}
+}
+
+// stateSnapshot assembles the full GET /v1/state response. Must run on
+// the writer goroutine; the sharded MultiServer calls it per domain and
+// merges.
+func (s *Server) stateSnapshot() serveapi.StateResponse {
+	st := s.core.State()
+	topo := st.Topology()
+	stats := s.combinedStats()
+	resp := serveapi.StateResponse{
+		Topology:   s.topoKey,
+		Policy:     s.core.Policy().String(),
+		Machines:   topo.NumMachines(),
+		GPUs:       topo.NumGPUs(),
+		FreeGPUs:   st.FreeGPUCount(),
+		UptimeSec:  time.Since(s.started).Seconds(),
+		ClockSec:   s.now(),
+		Durable:    s.log != nil,
+		Draining:   s.draining.Load(),
+		MaxQueue:   s.cfg.MaxQueue,
+		Running:    []serveapi.RunningEntry{},
+		Queue:      []serveapi.QueuedEntry{},
+		Fragments:  st.Fragmentation(),
+		Decisions:  len(s.decisions),
+		Discipline: s.core.Discipline(),
+		Preemption: s.core.PreemptionEnabled(),
+		Stats: serveapi.SchedStats{
+			Decisions:       stats.Decisions,
+			Placements:      stats.Placements,
+			Postponements:   stats.Postponements,
+			SLOViolations:   stats.SLOViolations,
+			GateSkips:       stats.GateSkips,
+			WakeSkips:       stats.WakeSkips,
+			Preemptions:     stats.Preemptions,
+			Evictions:       stats.Evictions,
+			MeanDecisionUs:  float64(stats.MeanDecisionTime()) / float64(time.Microsecond),
+			MaxDecisionUs:   float64(stats.MaxDecision) / float64(time.Microsecond),
+			TotalDecisionMs: float64(stats.DecisionTime) / float64(time.Millisecond),
+		},
+		Log: s.logStats(),
+	}
+	for _, id := range st.Jobs() {
+		resp.Running = append(resp.Running, serveapi.RunningEntry{ID: id, GPUs: st.Allocation(id).GPUs})
+	}
+	for _, qj := range s.core.Queued() {
+		resp.Queue = append(resp.Queue, serveapi.QueuedEntry{
+			ID: qj.ID, GPUs: qj.GPUs, MinUtility: qj.MinUtility, Arrival: qj.Arrival,
+			Priority: qj.Priority,
+		})
+	}
+	for m := 0; m < topo.NumMachines(); m++ {
+		resp.Bandwidth = append(resp.Bandwidth, serveapi.BandwidthEntry{Machine: m, FreeGBs: st.FreeBusBandwidth(m)})
+	}
+	return resp
 }

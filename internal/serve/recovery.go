@@ -216,5 +216,7 @@ func (s *Server) writeSnapshot(now float64) {
 	}
 	if err := s.log.Rewrite(eventlog.Record{Type: eventlog.TypeSnapshot, Time: now, Snapshot: sn}); err != nil {
 		s.logErr = err
+		return
 	}
+	s.snapshots++
 }

@@ -33,6 +33,7 @@ import (
 	"gputopo/internal/schedcore"
 	"gputopo/internal/serveapi"
 	"gputopo/internal/sweep"
+	"gputopo/internal/topology"
 )
 
 const (
@@ -82,6 +83,12 @@ type Config struct {
 	// RetryAfterSec is the Retry-After hint (seconds) on 429. Zero =
 	// default.
 	RetryAfterSec int
+	// FsyncEvery relaxes group commit: the log is fsynced once every N
+	// batches instead of every batch, trading the durability of up to
+	// N-1 acked batches for lower tail latency under bursty load. 0 or 1
+	// keeps the default (every batch durable before its acks). Draining,
+	// snapshots and Close always sync regardless.
+	FsyncEvery int
 	// Now overrides the server's time source (seconds, monotonic) for
 	// tests. The served clock is Now() plus the base recovered from the
 	// log, so time stays monotonic across restarts. Nil = wall time
@@ -98,8 +105,16 @@ type Server struct {
 	cfg     Config
 	core    *schedcore.Core
 	clk     *schedcore.ManualClock
+	topo    *topology.Topology
 	topoKey string
 	started time.Time
+
+	// pubFree and pubMaxFree publish the cluster's free-GPU counters
+	// (total, and the largest free block on one machine) after every
+	// batch, so a multi-domain router can read them without a loop
+	// round-trip. Atomic because readers live on other goroutines.
+	pubFree    atomic.Int64
+	pubMaxFree atomic.Int64
 
 	// clockBase shifts the time source so the served clock resumes from
 	// the recovered log's highest timestamp — arrivals stay monotonic
@@ -134,6 +149,10 @@ type Server struct {
 	batches    int
 	batchedOps int
 	replayed   int
+	// unsynced counts batches committed since the last fsync (fsync
+	// batching); snapshots counts snapshot rewrites this process wrote.
+	unsynced  int
+	snapshots int
 
 	// replayExpect holds the current replay round's recomputed
 	// placements, consumed and verified by the following place records.
@@ -210,6 +229,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		core:     sched,
 		clk:      clk,
+		topo:     topo,
 		topoKey:  cfg.Spec.Key(),
 		ops:      make(chan *op),
 		cmds:     make(chan func()),
@@ -232,10 +252,30 @@ func New(cfg Config) (*Server, error) {
 			s.clockBase = s.replayMax
 		}
 	}
+	s.publishFree()
 	s.started = time.Now()
 	go s.loop()
 	return s, nil
 }
+
+// publishFree refreshes the atomic free-GPU counters from the cluster
+// state. Called wherever allocations may have changed, always from the
+// goroutine that owns the core.
+func (s *Server) publishFree() {
+	st := s.core.State()
+	s.pubFree.Store(int64(st.FreeGPUCount()))
+	s.pubMaxFree.Store(int64(st.MaxFreeGPUs()))
+}
+
+// FreeCounters reads the published free-GPU counters: the cluster's
+// total free GPUs and the largest free block on one machine, as of the
+// last completed batch. Safe from any goroutine.
+func (s *Server) FreeCounters() (free, maxOnMachine int) {
+	return int(s.pubFree.Load()), int(s.pubMaxFree.Load())
+}
+
+// Topology returns the served physical topology (immutable).
+func (s *Server) Topology() *topology.Topology { return s.topo }
 
 // now returns the served clock: the recovered base plus the time
 // source's reading.
@@ -370,6 +410,7 @@ func (s *Server) processBatch(batch []*op) {
 		close(o.done)
 	}
 	s.maybeSnapshot(now)
+	s.publishFree()
 }
 
 // applySubmit admits, validates and submits one job (no scheduling yet).
@@ -572,7 +613,11 @@ func (s *Server) logAppend(rec eventlog.Record) {
 	}
 }
 
-// commit is the group-commit fsync for the batch.
+// commit is the group-commit fsync for the batch. With FsyncEvery > 1
+// the fsync itself is batched further: only every Nth batch pays it,
+// and the acks of the batches between ride on the next sync — the
+// relaxed-durability mode Config.FsyncEvery documents. Draining always
+// syncs so a graceful shutdown loses nothing.
 func (s *Server) commit() error {
 	if s.log == nil {
 		return nil
@@ -580,6 +625,11 @@ func (s *Server) commit() error {
 	if s.logErr != nil {
 		return s.logErr
 	}
+	s.unsynced++
+	if s.cfg.FsyncEvery > 1 && s.unsynced < s.cfg.FsyncEvery && !s.draining.Load() {
+		return nil
+	}
+	s.unsynced = 0
 	if err := s.log.Sync(); err != nil {
 		s.logErr = err
 		return err

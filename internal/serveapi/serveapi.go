@@ -233,6 +233,51 @@ type StateResponse struct {
 	Discipline string           `json:"queue_discipline"`
 	// Preemption reports whether topology-aware preemption is enabled.
 	Preemption bool `json:"preemption,omitempty"`
+	// Log surfaces the event log's compaction metrics (nil when the
+	// server is in-memory only). Operational and volatile: a restart
+	// resets the counters.
+	Log *LogStats `json:"log,omitempty"`
+	// Domains lists per-domain summaries when the server runs sharded
+	// multi-domain scheduling (one core and one event log per domain);
+	// absent on a single-core server. The top-level fields aggregate
+	// across domains.
+	Domains []DomainState `json:"domains,omitempty"`
+}
+
+// LogStats is the event log's operational gauge set: how much history
+// has accumulated since the last snapshot compaction, and how the
+// group-commit batching is amortizing fsyncs.
+type LogStats struct {
+	// Records is the total record count currently in the log file.
+	Records int `json:"records"`
+	// SinceSnapshot counts records appended since the last snapshot
+	// rewrite — the replay bound a restart would pay right now.
+	SinceSnapshot int `json:"records_since_snapshot"`
+	// BytesSinceSnapshot is the on-disk size of those records.
+	BytesSinceSnapshot int64 `json:"bytes_since_snapshot"`
+	// Snapshots counts snapshot rewrites performed by this process.
+	Snapshots int `json:"snapshots"`
+	// ReplayedAtBoot is the number of log records replayed when this
+	// process started.
+	ReplayedAtBoot int `json:"replayed_at_boot"`
+	// Syncs counts fsyncs issued (group commits plus rewrites); with
+	// fsync batching enabled this grows slower than the batch count.
+	Syncs int `json:"syncs"`
+}
+
+// DomainState summarizes one scheduling domain of a sharded server.
+type DomainState struct {
+	Domain    int    `json:"domain"`
+	Topology  string `json:"topology"`
+	Machines  int    `json:"machines"`
+	GPUs      int    `json:"gpus"`
+	FreeGPUs  int    `json:"free_gpus"`
+	Running   int    `json:"running"`
+	Queued    int    `json:"queued"`
+	Decisions int    `json:"decisions_logged"`
+	// Log is the domain's own event log gauge (each domain journals and
+	// replays independently); nil when in-memory.
+	Log *LogStats `json:"log,omitempty"`
 }
 
 // RunningEntry is one running job in the state snapshot.
@@ -274,9 +319,10 @@ type SchedStats struct {
 }
 
 // ClearVolatile zeroes the fields that legitimately differ across a
-// restart — process uptime, the wall clock, and the decision-latency
+// restart — process uptime, the wall clock, the decision-latency
 // measurements (a replay re-runs the placement policies, reproducing
-// every counter but not the nanoseconds they took). The kill-and-restart
+// every counter but not the nanoseconds they took), and the log gauges
+// (sync and snapshot counters are per-process). The kill-and-restart
 // e2e pins everything that remains byte-for-byte.
 func (s *StateResponse) ClearVolatile() {
 	s.UptimeSec = 0
@@ -284,6 +330,10 @@ func (s *StateResponse) ClearVolatile() {
 	s.Stats.MeanDecisionUs = 0
 	s.Stats.MaxDecisionUs = 0
 	s.Stats.TotalDecisionMs = 0
+	s.Log = nil
+	for i := range s.Domains {
+		s.Domains[i].Log = nil
+	}
 }
 
 // Errorf builds an error envelope.

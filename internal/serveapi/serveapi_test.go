@@ -63,6 +63,19 @@ func TestWireRoundTrip(t *testing.T) {
 			},
 			Decisions: 9, Fragments: 1.25, Discipline: "fifo-arrival",
 		}, func() any { return &StateResponse{} }},
+		{"state_response_sharded", &StateResponse{
+			Topology: "minsky:4/domains[hash:2]", Policy: "TOPO-AWARE-P", Machines: 4, GPUs: 16,
+			Log: &LogStats{
+				Records: 40, SinceSnapshot: 8, BytesSinceSnapshot: 4096,
+				Snapshots: 2, ReplayedAtBoot: 11, Syncs: 13,
+			},
+			Domains: []DomainState{
+				{Domain: 0, Topology: "minsky:2", Machines: 2, GPUs: 8, FreeGPUs: 5,
+					Running: 2, Queued: 1, Decisions: 20,
+					Log: &LogStats{Records: 20, SinceSnapshot: 4, BytesSinceSnapshot: 2048, Snapshots: 1, ReplayedAtBoot: 6, Syncs: 7}},
+				{Domain: 1, Topology: "minsky:2", Machines: 2, GPUs: 8, FreeGPUs: 8},
+			},
+		}, func() any { return &StateResponse{} }},
 		{"error_response", &ErrorResponse{
 			Error: ErrorBody{Code: CodeJobNotFound, Message: `no job "x"`},
 		}, func() any { return &ErrorResponse{} }},
@@ -208,13 +221,22 @@ func TestClearVolatile(t *testing.T) {
 	s := StateResponse{
 		UptimeSec: 5, ClockSec: 6, FreeGPUs: 3,
 		Stats: SchedStats{Decisions: 9, MeanDecisionUs: 1, MaxDecisionUs: 2, TotalDecisionMs: 3},
+		Log:   &LogStats{Records: 4, Syncs: 2},
+		Domains: []DomainState{
+			{Domain: 0, GPUs: 8, Log: &LogStats{Records: 2}},
+		},
 	}
 	s.ClearVolatile()
 	if s.UptimeSec != 0 || s.ClockSec != 0 || s.Stats.MeanDecisionUs != 0 ||
 		s.Stats.MaxDecisionUs != 0 || s.Stats.TotalDecisionMs != 0 {
 		t.Fatalf("volatile fields survive: %+v", s)
 	}
-	if s.FreeGPUs != 3 || s.Stats.Decisions != 9 {
+	// Log gauges are per-process (sync and snapshot counters restart at
+	// zero), so restart byte-pinning must not see them.
+	if s.Log != nil || s.Domains[0].Log != nil {
+		t.Fatalf("log gauges survive: %+v", s)
+	}
+	if s.FreeGPUs != 3 || s.Stats.Decisions != 9 || s.Domains[0].GPUs != 8 {
 		t.Fatalf("durable fields clobbered: %+v", s)
 	}
 }

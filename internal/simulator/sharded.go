@@ -1,0 +1,235 @@
+package simulator
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
+
+	"gputopo/internal/job"
+	"gputopo/internal/profile"
+	"gputopo/internal/schedcore/domains"
+	"gputopo/internal/stats"
+	"gputopo/internal/topology"
+)
+
+// Shard is one scheduling domain's substrate: a domain-local topology
+// (machines renumbered 0..n-1) plus the global machine index each local
+// machine stands for. Profiles may be nil (generated from the domain
+// topology, like Config.Profiles).
+type Shard struct {
+	Topology *topology.Topology
+	Profiles *profile.Store
+	// Machines lists the global machine indices, in local machine order:
+	// local machine k is global machine Machines[k].
+	Machines []int
+}
+
+// RunSharded is the multi-domain mode of the simulator: jobs are routed
+// across the domains up front (domains.RouteStatic over each domain's
+// capacity), every domain then runs a full independent simulation on its
+// own worker, and the per-domain results are merged back into the global
+// machine/GPU numbering deterministically — job results re-sort by ID,
+// timelines by (start, job), samples align on the shared sampling grid —
+// so the merged artifact is byte-identical at any worker count, the same
+// contract the sweep engine's ForEach honors.
+//
+// cfg.Topology must be the global topology the shards partition; it
+// anchors the local→global GPU translation and job generation, so a
+// 1-domain split runs the exact configuration of the unsharded engine
+// (same substrate, same seed, identity GPU map) and reproduces its
+// result byte for byte — TestShardedOneDomainIdentical pins that.
+// Multi-domain runs derive one jitter stream per domain from cfg.Seed.
+func RunSharded(cfg Config, shards []Shard, jobs []*job.Job, workers int) (*Result, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("simulator: nil topology")
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("simulator: sharded run needs at least one domain")
+	}
+	caps := make([]domains.Capacity, len(shards))
+	gpuMaps := make([][]int, len(shards))
+	for d, sh := range shards {
+		if sh.Topology == nil {
+			return nil, fmt.Errorf("simulator: domain %d: nil topology", d)
+		}
+		caps[d] = domains.CapacityOf(sh.Topology)
+		gmap, err := shardGPUMap(cfg.Topology, sh)
+		if err != nil {
+			return nil, fmt.Errorf("simulator: domain %d: %w", d, err)
+		}
+		gpuMaps[d] = gmap
+	}
+	assign, err := domains.RouteStatic(caps, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("simulator: %w", err)
+	}
+
+	routed := make([][]*job.Job, len(shards))
+	for i, j := range jobs {
+		routed[assign[i]] = append(routed[assign[i]], j)
+	}
+
+	// One simulation per domain, each on its own worker. Results land in
+	// pre-assigned slots so merge order is independent of scheduling; the
+	// lowest-indexed failure wins, like sweep.ForEach.
+	results := make([]*Result, len(shards))
+	errs := make([]error, len(shards))
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for d := range idx {
+				sub := cfg
+				sub.Topology = shards[d].Topology
+				sub.Profiles = shards[d].Profiles
+				if len(shards) > 1 {
+					// Independent jitter streams per domain; a single domain
+					// keeps cfg.Seed so it replays the unsharded run exactly.
+					sub.Seed = stats.DeriveSeed(cfg.Seed, fmt.Sprintf("domain-%d", d))
+				}
+				results[d], errs[d] = Run(sub, routed[d])
+			}
+		}()
+	}
+	for d := range shards {
+		idx <- d
+	}
+	close(idx)
+	wg.Wait()
+	for d, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("simulator: domain %d: %w", d, err)
+		}
+	}
+	return mergeShardResults(cfg, results, gpuMaps), nil
+}
+
+// shardGPUMap pairs each local GPU position with its global counterpart
+// by walking the domain's machines in local order and zipping the two
+// per-machine GPU lists, which is robust to any per-machine enumeration
+// as long as local and global machines share a shape.
+func shardGPUMap(global *topology.Topology, sh Shard) ([]int, error) {
+	if sh.Topology.NumMachines() != len(sh.Machines) {
+		return nil, fmt.Errorf("topology has %d machines, %d global indices given", sh.Topology.NumMachines(), len(sh.Machines))
+	}
+	gmap := make([]int, sh.Topology.NumGPUs())
+	for k, gm := range sh.Machines {
+		if gm < 0 || gm >= global.NumMachines() {
+			return nil, fmt.Errorf("global machine index %d out of range (%d machines)", gm, global.NumMachines())
+		}
+		local := sh.Topology.GPUsOfMachine(k)
+		glob := global.GPUsOfMachine(gm)
+		if len(local) != len(glob) {
+			return nil, fmt.Errorf("machine shape mismatch: local machine %d has %d GPUs, global machine %d has %d", k, len(local), gm, len(glob))
+		}
+		for i := range local {
+			gmap[local[i]] = glob[i]
+		}
+	}
+	return gmap, nil
+}
+
+// remapGPUs translates a placement's GPU list into global numbering,
+// preserving order (anti-collocated placements are utility-ranked, not
+// sorted, and the identity map must be a byte-level no-op).
+func remapGPUs(gmap []int, gpus []int) []int {
+	out := make([]int, len(gpus))
+	for i, g := range gpus {
+		out[i] = gmap[g]
+	}
+	return out
+}
+
+// mergeShardResults folds per-domain results into one global Result
+// under the engine's ordering contracts.
+func mergeShardResults(cfg Config, results []*Result, gpuMaps [][]int) *Result {
+	merged := &Result{Policy: cfg.Policy}
+	maxSamples := 0
+	for d, r := range results {
+		gmap := gpuMaps[d]
+		for _, jr := range r.Jobs {
+			jr.GPUs = remapGPUs(gmap, jr.GPUs)
+			merged.Jobs = append(merged.Jobs, jr)
+		}
+		for _, iv := range r.Timeline {
+			iv.GPUs = remapGPUs(gmap, iv.GPUs)
+			merged.Timeline = append(merged.Timeline, iv)
+		}
+		if r.Makespan > merged.Makespan {
+			merged.Makespan = r.Makespan
+		}
+		if len(r.Samples) > maxSamples {
+			maxSamples = len(r.Samples)
+		}
+		s := &merged.SchedStats
+		s.Decisions += r.SchedStats.Decisions
+		s.Placements += r.SchedStats.Placements
+		s.Postponements += r.SchedStats.Postponements
+		s.SLOViolations += r.SchedStats.SLOViolations
+		s.GateSkips += r.SchedStats.GateSkips
+		s.WakeSkips += r.SchedStats.WakeSkips
+		s.Preemptions += r.SchedStats.Preemptions
+		s.Evictions += r.SchedStats.Evictions
+		s.DecisionTime += r.SchedStats.DecisionTime
+		if r.SchedStats.MaxDecision > s.MaxDecision {
+			s.MaxDecision = r.SchedStats.MaxDecision
+		}
+	}
+	slices.SortFunc(merged.Jobs, func(a, b JobResult) int {
+		return strings.Compare(a.Job.ID, b.Job.ID)
+	})
+	slices.SortFunc(merged.Timeline, func(a, b Interval) int {
+		if a.Start != b.Start {
+			if a.Start < b.Start {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.JobID, b.JobID)
+	})
+	// Every domain samples the identical time grid (0, Δ, 2Δ, … by the
+	// same float accumulation), so step k aligns exactly across domains;
+	// domains that finished early simply stop contributing. Bandwidths and
+	// running counts add; mean utility re-weights by running jobs — except
+	// when one domain carries the step alone, whose value passes through
+	// untouched so a 1-domain merge is bit-exact.
+	for k := 0; k < maxSamples; k++ {
+		var s Sample
+		contributors := 0
+		var last Sample
+		var utilSum float64
+		for _, r := range results {
+			if k >= len(r.Samples) {
+				continue
+			}
+			src := r.Samples[k]
+			s.Time = src.Time
+			s.P2PBandwidth += src.P2PBandwidth
+			s.RoutedBandwidth += src.RoutedBandwidth
+			s.Running += src.Running
+			utilSum += src.MeanUtility * float64(src.Running)
+			if src.Running > 0 {
+				contributors++
+				last = src
+			}
+		}
+		switch {
+		case contributors == 1:
+			s.MeanUtility = last.MeanUtility
+		case s.Running > 0:
+			s.MeanUtility = utilSum / float64(s.Running)
+		}
+		merged.Samples = append(merged.Samples, s)
+	}
+	return merged
+}

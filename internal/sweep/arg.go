@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gputopo/internal/schedcore/domains"
 	"gputopo/internal/topology"
 )
 
@@ -18,6 +19,9 @@ import (
 //	                       minsky-1g:1 included)
 //	matrix[dgx1.matrix]:3  a discovered machine stamped three times
 //
+// A trailing /domains[...] segment declares sharded multi-domain
+// scheduling (docs/sharding.md), e.g. "minsky:8/domains[hash:4]".
+//
 // cmd/toposerve resolves its -topology flag through this, so a grid cell
 // key pasted from a sweep artifact serves the identical substrate.
 func ParseTopologyArg(s string) (TopologySpec, error) {
@@ -26,6 +30,21 @@ func ParseTopologyArg(s string) (TopologySpec, error) {
 		return TopologySpec{}, fmt.Errorf("sweep: empty topology spec")
 	}
 	var ts TopologySpec
+	// Strip the domains extension first: it always trails the topology
+	// source, so a matrix path containing "/domains[" cannot be confused
+	// with it unless it also ends the argument.
+	if i := strings.LastIndex(s, "/domains["); i >= 0 && strings.HasSuffix(s, "]") {
+		inner := s[i+len("/domains[") : len(s)-1]
+		sp, err := domains.Parse(inner)
+		if err != nil {
+			return TopologySpec{}, fmt.Errorf("sweep: topology %q: %w", s, err)
+		}
+		if !sp.Enabled() {
+			return TopologySpec{}, fmt.Errorf("sweep: topology %q: empty domains[] — omit the segment for single-core scheduling", s)
+		}
+		ts.Domains = sp.Key()
+		s = s[:i]
+	}
 	rest := s
 	switch {
 	case strings.HasPrefix(s, "mix["):

@@ -44,6 +44,15 @@ type GoBench struct {
 // scheduling timing or wall clock and gates only in timed mode.
 type ServeBench struct {
 	Name string `json:"name"` // e.g. "serve/minsky:2/topo-p"
+	// Mode records the traffic model: "closed-loop" (N workers, next
+	// submit waits for the previous decision) or "open-loop" (arrivals
+	// paced at a target rate regardless of server latency). Empty in
+	// artifacts written before open-loop existed, meaning closed-loop.
+	Mode string `json:"mode,omitempty"`
+	// TargetJobsPerSec is the open-loop pacing target (0 when closed
+	// loop). Config echo, not a measurement — the differ does not gate
+	// it; compare it to JobsPerSec to see whether the server kept up.
+	TargetJobsPerSec float64 `json:"target_jobs_per_sec,omitempty"`
 	// Jobs is the number of submissions driven; Errors counts requests
 	// that failed for any reason other than an eventually-admitted 429.
 	Jobs   int `json:"jobs"`
@@ -236,6 +245,12 @@ var benchGridMetrics = []struct {
 	higher bool // higher is better
 	get    func(GridBench) float64
 }{
+	// points and jobs_simulated are deterministic and survive
+	// -wallclock-off: a shrunken count means the sweep lost coverage (a
+	// grid quietly dropped points or points stopped finishing their
+	// jobs), which is a regression on any machine.
+	{"points", true, func(g GridBench) float64 { return float64(g.Points) }},
+	{"jobs_simulated", true, func(g GridBench) float64 { return float64(g.JobsSimulated) }},
 	{"elapsed_sec", false, func(g GridBench) float64 { return g.ElapsedSec }},
 	{"points_per_sec", true, func(g GridBench) float64 { return g.PointsPerSec }},
 	{"jobs_per_sec", true, func(g GridBench) float64 { return g.JobsPerSec }},

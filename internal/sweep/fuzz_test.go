@@ -22,6 +22,9 @@ func FuzzParseTopologyArg(f *testing.F) {
 	f.Add("mix[")
 	f.Add("minsky:0")
 	f.Add("mix[minsky:2]:3")
+	f.Add("minsky:8/domains[hash:4]")
+	f.Add("mix[minsky:2+dgx1:2]/domains[kind]")
+	f.Add("dgx1/domains[block:0]")
 	f.Add(":")
 	f.Fuzz(func(t *testing.T, s string) {
 		if len(s) > 1024 {

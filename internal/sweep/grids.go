@@ -171,6 +171,29 @@ var namedGrids = map[string]struct {
 			}
 		},
 	},
+	"sharded": {
+		desc: "sharded multi-domain scheduling: TOPO-AWARE{,-P} × {minsky:8, minsky:2+dgx1:2} × domains {single-core, hash:4, block:4, kind} × 2 replicas (32 points)",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name:     "sharded",
+				Policies: []sched.Policy{sched.TopoAware, sched.TopoAwareP},
+				// One homogeneous fleet (hash and block split it 4 ways;
+				// kind degenerates to a single domain) and one mixed fleet
+				// (kind gives one domain per machine generation), so the
+				// golden pins every partition strategy including the
+				// sub-spec recompression of heterogeneous runs.
+				Topologies: []TopologySpec{
+					{Builder: "minsky", Machines: 8},
+					{Mix: []MixEntry{{Kind: "minsky", Count: 2}, {Kind: "dgx1", Count: 2}}},
+				},
+				Domains:        []string{"", "hash:4", "block:4", "kind"},
+				Jobs:           []int{60},
+				Replicas:       2,
+				BaseSeed:       seed,
+				RatePerMachine: 2,
+			}
+		},
+	},
 	"levelweights": {
 		desc: "§4.1.2 level-weight ablation: Table 1 under TOPO-AWARE-P with socket weights {5,10,20,40,100}",
 		build: func(seed uint64) Grid {

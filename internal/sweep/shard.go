@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"fmt"
+
+	"gputopo/internal/profile"
+	"gputopo/internal/schedcore/domains"
+	"gputopo/internal/topology"
+)
+
+// domainKinds labels each machine of the spec with its kind, in machine
+// order, for the kind partition strategy. Homogeneous sources (builder,
+// matrix) return nil — one kind, one domain.
+func (ts TopologySpec) domainKinds(machines int) []string {
+	if len(ts.Mix) == 0 {
+		return nil
+	}
+	kinds := make([]string, 0, machines)
+	for _, e := range ts.Mix {
+		for i := 0; i < e.Count; i++ {
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	return kinds
+}
+
+// PartitionDomains splits the spec into its scheduling domains: the
+// parsed domain spec, one TopologySpec per non-empty domain, and the
+// global machine indices each domain owns (ascending). Partitioning is
+// spec-level on purpose — a hash split of minsky:8 into 4 domains yields
+// four identical "minsky:2" specs, so the substrate cache builds that
+// topology once and every domain shares the immutable result. Weight
+// overrides and the spec-file directory carry through unchanged.
+func (ts TopologySpec) PartitionDomains(machines int) (domains.Spec, []TopologySpec, [][]int, error) {
+	sp, err := domains.Parse(ts.Domains)
+	if err != nil {
+		return domains.Spec{}, nil, nil, err
+	}
+	machines = ts.EffectiveMachines(machines)
+	kinds := ts.domainKinds(machines)
+	groups, err := sp.Partition(machines, kinds)
+	if err != nil {
+		return domains.Spec{}, nil, nil, err
+	}
+	subs := make([]TopologySpec, len(groups))
+	for d, group := range groups {
+		sub := TopologySpec{Weights: ts.Weights, specDir: ts.specDir}
+		switch {
+		case len(ts.Mix) > 0:
+			// Recompress the group's kind sequence into runs: hash-splitting
+			// mix[minsky:2+dgx1:2] across two domains gives each domain
+			// mix[minsky:1+dgx1:1].
+			for _, m := range group {
+				k := kinds[m]
+				if n := len(sub.Mix); n > 0 && sub.Mix[n-1].Kind == k {
+					sub.Mix[n-1].Count++
+				} else {
+					sub.Mix = append(sub.Mix, MixEntry{Kind: k, Count: 1})
+				}
+			}
+		case ts.MatrixFile != "":
+			sub.MatrixFile = ts.MatrixFile
+			sub.Machines = len(group)
+		default:
+			sub.Builder = ts.Builder
+			sub.Machines = len(group)
+		}
+		subs[d] = sub
+	}
+	return sp, subs, groups, nil
+}
+
+// shardSubstrate pairs a domain's cached substrate with the global
+// machine indices it schedules.
+type shardSubstrate struct {
+	topo     *topology.Topology
+	profiles *profile.Store
+	machines []int
+}
+
+// shardSubstrates resolves every domain's substrate through the cache
+// and pairs it with its global machine indices, ready for the sharded
+// simulator.
+func (c *substrateCache) shardSubstrates(ts TopologySpec, machines int) ([]shardSubstrate, error) {
+	_, subs, groups, err := ts.PartitionDomains(machines)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]shardSubstrate, len(subs))
+	for d, sub := range subs {
+		topo, profiles, err := c.substrate(sub, len(groups[d]), false)
+		if err != nil {
+			return nil, fmt.Errorf("domain %d (%s): %w", d, sub.Key(), err)
+		}
+		shards[d] = shardSubstrate{topo: topo, profiles: profiles, machines: groups[d]}
+	}
+	return shards, nil
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"gputopo/internal/schedcore/domains"
 	"gputopo/internal/topology"
 )
 
@@ -73,6 +74,11 @@ type TopologySpec struct {
 	// Weights overrides the qualitative level weights (zero fields keep
 	// the Figure 7 defaults).
 	Weights *topology.LevelWeights `json:"weights,omitempty"`
+	// Domains declares sharded multi-domain scheduling over this topology
+	// (domains.Parse syntax: "hash:4", "block:2", "kind"). Empty — the
+	// value every recorded artifact carries — keeps the single-core
+	// engine; see docs/sharding.md.
+	Domains string `json:"domains,omitempty"`
 
 	// specDir is the directory of the spec file this spec was loaded
 	// from, set by LoadGridSpec. It only affects MatrixFile resolution —
@@ -172,6 +178,9 @@ func (ts TopologySpec) Key() string {
 			sb.WriteString("[" + strings.Join(parts, ";") + "]")
 		}
 	}
+	if ts.Domains != "" {
+		fmt.Fprintf(&sb, "/domains[%s]", ts.Domains)
+	}
 	return sb.String()
 }
 
@@ -235,6 +244,9 @@ func (ts TopologySpec) Validate() error {
 	}
 	if ts.Machines < 0 {
 		return fmt.Errorf("topology spec %s: machines must be >= 0, got %d", ts.Key(), ts.Machines)
+	}
+	if _, err := domains.Parse(ts.Domains); err != nil {
+		return fmt.Errorf("topology spec %s: %w", ts.Key(), err)
 	}
 	if w := ts.Weights; w != nil {
 		for _, f := range []struct {
@@ -319,6 +331,7 @@ func (g Grid) Validate() error {
 		{"seeds", g.Seeds == nil, len(g.Seeds)},
 		{"topologies", g.Topologies == nil, len(g.Topologies)},
 		{"disciplines", g.Disciplines == nil, len(g.Disciplines)},
+		{"domains", g.Domains == nil, len(g.Domains)},
 	} {
 		if !a.isNil && a.n == 0 {
 			return fmt.Errorf("sweep: grid %q: axis %q is present but empty — omit it to use the default", g.Name, a.name)
@@ -367,7 +380,17 @@ func (g Grid) Validate() error {
 	if g.JitterStddev < 0 {
 		return fmt.Errorf("sweep: grid %q: jitter_stddev must be >= 0, got %g", g.Name, g.JitterStddev)
 	}
-	pinned := false
+	sharded := false
+	for _, d := range g.Domains {
+		sp, err := domains.Parse(d)
+		if err != nil {
+			return fmt.Errorf("sweep: grid %q: %w", g.Name, err)
+		}
+		if sp.Enabled() {
+			sharded = true
+		}
+	}
+	pinned, pinnedDomains := false, false
 	for _, ts := range g.Topologies {
 		if err := ts.Validate(); err != nil {
 			return fmt.Errorf("sweep: grid %q: %w", g.Name, err)
@@ -375,9 +398,19 @@ func (g Grid) Validate() error {
 		if ts.pinsMachines() {
 			pinned = true
 		}
+		if ts.Domains != "" {
+			pinnedDomains = true
+			sharded = true
+		}
 	}
 	if pinned && g.Machines != nil {
 		return fmt.Errorf("sweep: grid %q: a topology spec pins its machine count, so the machines axis must be omitted", g.Name)
+	}
+	if pinnedDomains && g.Domains != nil {
+		return fmt.Errorf("sweep: grid %q: a topology spec pins its domain split, so the domains axis must be omitted", g.Name)
+	}
+	if sharded && (g.Engine != EngineSim || g.Source != SourceGenerated) {
+		return fmt.Errorf("sweep: grid %q: sharded domains need the sim engine on generated workloads", g.Name)
 	}
 	return nil
 }

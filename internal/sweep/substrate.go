@@ -117,7 +117,13 @@ func (c *substrateCache) runPoint(p Point, tweaks schedTweaks) (*RunOutput, erro
 		}
 		jobs = workload.Table1()
 	case SourceGenerated:
-		topo, profiles, err = c.substrate(p.Topology, p.Machines, false)
+		// The global substrate is keyed on the spec with any domain split
+		// stripped: jobs generate against the whole cluster (so the
+		// workload is identical at every domain count), and a 1-domain
+		// shard then resolves to this very cache entry.
+		base := p.Topology
+		base.Domains = ""
+		topo, profiles, err = c.substrate(base, p.Machines, false)
 		if err != nil {
 			return nil, err
 		}
@@ -152,7 +158,7 @@ func (c *substrateCache) runPoint(p Point, tweaks schedTweaks) (*RunOutput, erro
 
 	switch p.Engine {
 	case EngineSim:
-		res, err := simulator.Run(simulator.Config{
+		simCfg := simulator.Config{
 			Topology:         topo,
 			Policy:           p.Policy,
 			Weights:          weights,
@@ -164,12 +170,34 @@ func (c *substrateCache) runPoint(p Point, tweaks schedTweaks) (*RunOutput, erro
 			DisableWakeIndex: tweaks.disableWakeIndex,
 			Discipline:       disc,
 			EnablePreemption: preempt,
-		}, jobs)
+		}
+		if p.Topology.Domains != "" {
+			if p.Source != SourceGenerated {
+				return nil, fmt.Errorf("sweep: sharded domains need generated workloads")
+			}
+			shards, err := c.shardSubstrates(p.Topology, p.Machines)
+			if err != nil {
+				return nil, err
+			}
+			simShards := make([]simulator.Shard, len(shards))
+			for d, sh := range shards {
+				simShards[d] = simulator.Shard{Topology: sh.topo, Profiles: sh.profiles, Machines: sh.machines}
+			}
+			res, err := simulator.RunSharded(simCfg, simShards, jobs, 0)
+			if err != nil {
+				return nil, err
+			}
+			return &RunOutput{Sim: res}, nil
+		}
+		res, err := simulator.Run(simCfg, jobs)
 		if err != nil {
 			return nil, err
 		}
 		return &RunOutput{Sim: res}, nil
 	case EngineProto:
+		if p.Topology.Domains != "" {
+			return nil, fmt.Errorf("sweep: sharded domains need the sim engine")
+		}
 		res, err := caffesim.Run(caffesim.Config{
 			Topology:     topo,
 			Policy:       p.Policy,

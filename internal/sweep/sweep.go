@@ -144,6 +144,13 @@ type Grid struct {
 	// Thresholds overrides every multi-GPU job's minimum utility;
 	// NoOverride keeps the generated values.
 	Thresholds []float64 `json:"thresholds,omitempty"`
+	// Domains is the sharded-scheduling axis: each value is a domain spec
+	// in domains.Parse syntax ("hash:4", "block:2", "kind"; "" keeps the
+	// single-core engine), applied to every topology of the point. Left
+	// nil it defaults to the single empty value — locally in Points, like
+	// Disciplines, so recorded artifacts stay byte-identical. EngineSim +
+	// generated workloads only.
+	Domains []string `json:"domains,omitempty"`
 	// Disciplines is the queue-discipline axis: "" or "fifo" (the default
 	// arrival FIFO), "priority" (priority-then-arrival ordering), or
 	// "priority-preempt" (priority ordering plus topology-aware
@@ -262,30 +269,44 @@ func (g Grid) Points() []Point {
 	if len(discs) == 0 {
 		discs = []string{""}
 	}
+	// The domains axis defaults locally for the same reason.
+	doms := g.Domains
+	if len(doms) == 0 {
+		doms = []string{""}
+	}
 	var pts []Point
-	for _, ts := range g.Topologies {
-		for _, m := range g.Machines {
-			for _, j := range g.Jobs {
-				for _, a := range g.AlphasCC {
-					for _, th := range g.Thresholds {
-						for rep, seed := range g.Seeds {
-							for _, disc := range discs {
-								for _, pol := range g.Policies {
-									pts = append(pts, Point{
-										Index:      len(pts),
-										Engine:     g.Engine,
-										Source:     g.Source,
-										Policy:     pol,
-										Topology:   ts,
-										Machines:   ts.EffectiveMachines(m),
-										Jobs:       j,
-										AlphaCC:    a,
-										Threshold:  th,
-										Replica:    rep,
-										Seed:       seed,
-										Discipline: disc,
-										grid:       g,
-									})
+	for _, baseTS := range g.Topologies {
+		for _, dom := range doms {
+			ts := baseTS
+			if dom != "" {
+				// The axis value rides inside the point's topology spec, so
+				// cell keys, CSV columns and the substrate cache pick it up
+				// through TopologySpec.Key with no extra plumbing.
+				ts.Domains = dom
+			}
+			for _, m := range g.Machines {
+				for _, j := range g.Jobs {
+					for _, a := range g.AlphasCC {
+						for _, th := range g.Thresholds {
+							for rep, seed := range g.Seeds {
+								for _, disc := range discs {
+									for _, pol := range g.Policies {
+										pts = append(pts, Point{
+											Index:      len(pts),
+											Engine:     g.Engine,
+											Source:     g.Source,
+											Policy:     pol,
+											Topology:   ts,
+											Machines:   ts.EffectiveMachines(m),
+											Jobs:       j,
+											AlphaCC:    a,
+											Threshold:  th,
+											Replica:    rep,
+											Seed:       seed,
+											Discipline: disc,
+											grid:       g,
+										})
+									}
 								}
 							}
 						}
