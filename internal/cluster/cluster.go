@@ -38,13 +38,15 @@ type State struct {
 	busUsed     map[int]float64 // machine -> committed GB/s
 
 	// Incremental bookkeeping so large-cluster simulations avoid full
-	// scans: free GPUs per machine, the Eq. 5 fragmentation sum, and a
-	// lazily recomputed maximum of free GPUs across machines.
+	// scans: free GPUs per machine, the Eq. 5 fragmentation sum, and
+	// lazily recomputed per-machine gauges (largest free-GPU count on one
+	// machine, count of machines with any free GPU).
 	freeOnMachine map[int]int
 	freeTotal     int
 	fragSum       float64 // Σ over sockets of freeGPUs/totalGPUs
 	socketCount   int
 	maxFree       int
+	freeMachines  int
 	maxFreeDirty  bool
 
 	// epoch is a monotonic version counter bumped by every Allocate and
@@ -71,6 +73,9 @@ func NewState(topo *topology.Topology) *State {
 		s.freeTotal += k
 		if k > s.maxFree {
 			s.maxFree = k
+		}
+		if k > 0 {
+			s.freeMachines++
 		}
 		s.socketCount += len(topo.Sockets(m))
 	}
@@ -302,20 +307,38 @@ func (s *State) FragmentationAfter(gpus []int) float64 {
 // FreeCountOnMachine returns the number of free GPUs on machine m in O(1).
 func (s *State) FreeCountOnMachine(m int) int { return s.freeOnMachine[m] }
 
+// refreshFree recomputes the lazy per-machine gauges (largest free
+// block, machines with any free GPU) after allocations changed.
+func (s *State) refreshFree() {
+	if !s.maxFreeDirty {
+		return
+	}
+	s.maxFree, s.freeMachines = 0, 0
+	for _, k := range s.freeOnMachine {
+		if k > s.maxFree {
+			s.maxFree = k
+		}
+		if k > 0 {
+			s.freeMachines++
+		}
+	}
+	s.maxFreeDirty = false
+}
+
 // MaxFreeGPUs returns the largest number of free GPUs on any single
 // machine — the availableResources(P) gate of Algorithm 1. Lazily
 // recomputed after allocations change.
 func (s *State) MaxFreeGPUs() int {
-	if s.maxFreeDirty {
-		s.maxFree = 0
-		for _, k := range s.freeOnMachine {
-			if k > s.maxFree {
-				s.maxFree = k
-			}
-		}
-		s.maxFreeDirty = false
-	}
+	s.refreshFree()
 	return s.maxFree
+}
+
+// FreeMachines returns the number of machines with at least one free
+// GPU — the seats-now bound for anti-collocated jobs (one machine per
+// task). Lazily recomputed alongside MaxFreeGPUs.
+func (s *State) FreeMachines() int {
+	s.refreshFree()
+	return s.freeMachines
 }
 
 // Utilization returns the fraction of GPUs currently allocated.
@@ -346,6 +369,7 @@ func (s *State) Clone() *State {
 		fragSum:       s.fragSum,
 		socketCount:   s.socketCount,
 		maxFree:       s.maxFree,
+		freeMachines:  s.freeMachines,
 		maxFreeDirty:  s.maxFreeDirty,
 		epoch:         s.epoch,
 	}

@@ -74,8 +74,8 @@ func runShardedTrace(t *testing.T, tr *Trace) map[int]int {
 		c.SetPreemption(tr.Preempt)
 		doms[d] = &shardedDomain{core: c, ref: ref, state: st}
 	}
-	router := domains.NewRouter(caps, func(d int) (int, int) {
-		return doms[d].state.FreeGPUCount(), doms[d].state.MaxFreeGPUs()
+	router := domains.NewRouter(caps, func(d int) (int, int, int) {
+		return doms[d].state.FreeGPUCount(), doms[d].state.MaxFreeGPUs(), doms[d].state.FreeMachines()
 	})
 
 	routed := map[int]int{}

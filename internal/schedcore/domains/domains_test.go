@@ -145,20 +145,29 @@ func TestRouterPrefersSeatsNowAndSpills(t *testing.T) {
 		{GPUs: 8, Machines: 2, MaxMachineGPUs: 4},
 		{GPUs: 8, Machines: 2, MaxMachineGPUs: 4},
 	}
-	free := map[int][2]int{}
-	r := NewRouter(caps, func(d int) (int, int) { return free[d][0], free[d][1] })
+	free := map[int][3]int{}
+	r := NewRouter(caps, func(d int) (int, int, int) { return free[d][0], free[d][1], free[d][2] })
 
 	// Domain 0 has more free GPUs overall but no machine can seat a
 	// 3-GPU single-node job; the router spills to domain 1.
-	free[0] = [2]int{6, 2}
-	free[1] = [2]int{4, 4}
+	free[0] = [3]int{6, 2, 2}
+	free[1] = [3]int{4, 4, 1}
 	d, err := r.Route(mkJob("a", 3, true, false))
 	if err != nil || d != 1 {
 		t.Fatalf("Route(a) = %d, %v; want 1", d, err)
 	}
+	// An anti-collocated job needs one free machine per task: domain 0
+	// has more free GPUs but only one machine with any, so only domain 1
+	// seats a 2-GPU anti-collocate job now.
+	free[0] = [3]int{5, 5, 1}
+	free[1] = [3]int{3, 2, 2}
+	d, err = r.Route(mkJob("ac", 2, false, true))
+	if err != nil || d != 1 {
+		t.Fatalf("Route(ac) = %d, %v; want 1", d, err)
+	}
 	// Both at their watermark: queue on the domain with the most free.
-	free[0] = [2]int{2, 1}
-	free[1] = [2]int{1, 1}
+	free[0] = [3]int{2, 1, 2}
+	free[1] = [3]int{1, 1, 1}
 	d, err = r.Route(mkJob("b", 3, true, false))
 	if err != nil || d != 0 {
 		t.Fatalf("Route(b) = %d, %v; want 0", d, err)

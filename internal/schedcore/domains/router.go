@@ -6,12 +6,14 @@ import (
 	"gputopo/internal/job"
 )
 
-// FreeFunc reports a domain's live occupancy: its free GPU count and the
-// largest free-GPU count on any single machine. The serving layer backs
-// this with counters its domain event-loops publish after every batch —
-// the router never touches a core directly, so a Route call costs two
-// counter reads per domain and no cross-loop synchronization.
-type FreeFunc func(domain int) (freeGPUs, maxFreeOnMachine int)
+// FreeFunc reports a domain's live occupancy: its free GPU count, the
+// largest free-GPU count on any single machine, and the number of
+// machines with any free GPU (the seats-now bound for anti-collocated
+// jobs). The serving layer backs this with counters its domain
+// event-loops publish after every batch — the router never touches a
+// core directly, so a Route call costs three counter reads per domain
+// and no cross-loop synchronization.
+type FreeFunc func(domain int) (freeGPUs, maxFreeOnMachine, freeMachines int)
 
 // Router picks a domain per submission over live free-GPU counters and
 // remembers each job's home domain so releases and withdrawals find
@@ -47,11 +49,13 @@ func (r *Router) Route(j *job.Job) (int, error) {
 		if !c.Admits(j) {
 			continue
 		}
-		freeGPUs, maxMachine := r.free(d)
+		freeGPUs, maxMachine, freeMachines := r.free(d)
 		if freeGPUs > bestAnyFree {
 			bestAny, bestAnyFree = d, freeGPUs
 		}
-		seatsNow := freeGPUs >= j.GPUs && (!j.SingleNode || maxMachine >= j.GPUs)
+		seatsNow := freeGPUs >= j.GPUs &&
+			(!j.SingleNode || maxMachine >= j.GPUs) &&
+			(!j.AntiCollocate || freeMachines >= j.GPUs)
 		if seatsNow && freeGPUs > bestNowFree {
 			bestNow, bestNowFree = d, freeGPUs
 		}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,9 +105,36 @@ func NewMulti(cfg Config) (*MultiServer, error) {
 		}
 		ms.gpuMaps = append(ms.gpuMaps, gm)
 	}
-	ms.router = domains.NewRouter(caps, func(d int) (int, int) {
+	ms.router = domains.NewRouter(caps, func(d int) (int, int, int) {
 		return ms.servers[d].FreeCounters()
 	})
+	// Recovery rebuilds the routing state the per-domain replays cannot:
+	// the home map and the generated-ID counter live up here, not in any
+	// domain's log. Every replayed job is homed to the domain that
+	// journaled it — so releases and withdrawals of pre-crash jobs find
+	// their loop — and the counter resumes above the largest recovered
+	// job-N, so fresh generated IDs never collide with replayed ones.
+	// Explicit resubmissions of recovered IDs 409 through the ordinary
+	// home-map check in handleSubmit.
+	for d, srv := range ms.servers {
+		ids, ok := srv.JobIDs()
+		if !ok {
+			ms.Close()
+			return nil, fmt.Errorf("serve: domain %d shut down during recovery", d)
+		}
+		for _, id := range ids {
+			if prev, taken := ms.home[id]; taken {
+				ms.Close()
+				return nil, fmt.Errorf("serve: job %q recovered in domains %d and %d: per-domain logs violate the global ID namespace", id, prev, d)
+			}
+			ms.home[id] = d
+			if rest, isGen := strings.CutPrefix(id, "job-"); isGen {
+				if n, err := strconv.Atoi(rest); err == nil && n > ms.seq {
+					ms.seq = n
+				}
+			}
+		}
+	}
 	return ms, nil
 }
 

@@ -260,6 +260,12 @@ func TestMultiServerKillRestartRecovery(t *testing.T) {
 			released++
 		}
 	}
+	// One generated-ID job rides along so the restart must resume the ID
+	// counter above it instead of reminting job-1.
+	gen1, err := c1.SubmitJob(ctx, serveapi.JobRequest{GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	st1, js1 := pinnedState(t, c1)
 	if len(st1.Running) == 0 || len(st1.Queue) == 0 {
 		t.Fatalf("workload left no mixed state to recover: %+v", st1)
@@ -295,6 +301,36 @@ func TestMultiServerKillRestartRecovery(t *testing.T) {
 		if string(a) != string(b) {
 			t.Fatalf("domain %d decision ring diverged:\n before: %s\n after:  %s", d, a, b)
 		}
+	}
+
+	// The restart must rebuild the routing state from the replayed
+	// domains, not just the cores: recovered IDs stay taken in the global
+	// namespace, fresh generated IDs resume past replayed ones, and
+	// pre-crash jobs stay addressable — a running one releases and a
+	// queued one withdraws through their recovered home domains.
+	if _, err := c2.SubmitJob(ctx, serveapi.JobRequest{ID: st1.Running[0].ID, GPUs: 1}); err == nil {
+		t.Fatalf("recovered ID %s accepted for resubmission", st1.Running[0].ID)
+	}
+	gen2, err := c2.SubmitJob(ctx, serveapi.JobRequest{GPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2.ID == gen1.ID {
+		t.Fatalf("generated ID %q reminted after restart", gen2.ID)
+	}
+	// Withdraw before release: a release can wake the queued job, while a
+	// withdraw never frees capacity, so the statuses stay deterministic.
+	rel, err := c2.ReleaseJob(ctx, st1.Queue[0].ID)
+	if err != nil {
+		t.Fatalf("withdraw of pre-crash job %s after restart: %v", st1.Queue[0].ID, err)
+	}
+	if rel.Status != "withdrawn" {
+		t.Fatalf("pre-crash queued job %s: %+v", st1.Queue[0].ID, rel)
+	}
+	if rel, err = c2.ReleaseJob(ctx, st1.Running[0].ID); err != nil {
+		t.Fatalf("release of pre-crash job %s after restart: %v", st1.Running[0].ID, err)
+	} else if rel.Status != "released" {
+		t.Fatalf("pre-crash running job %s: %+v", st1.Running[0].ID, rel)
 	}
 
 	// The recovered MultiServer keeps routing: one more submit, then a

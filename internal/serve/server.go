@@ -21,6 +21,7 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -109,12 +110,14 @@ type Server struct {
 	topoKey string
 	started time.Time
 
-	// pubFree and pubMaxFree publish the cluster's free-GPU counters
-	// (total, and the largest free block on one machine) after every
-	// batch, so a multi-domain router can read them without a loop
-	// round-trip. Atomic because readers live on other goroutines.
-	pubFree    atomic.Int64
-	pubMaxFree atomic.Int64
+	// pubFree, pubMaxFree and pubFreeMach publish the cluster's free
+	// counters (total free GPUs, the largest free block on one machine,
+	// machines with any free GPU) after every batch, so a multi-domain
+	// router can read them without a loop round-trip. Atomic because
+	// readers live on other goroutines.
+	pubFree     atomic.Int64
+	pubMaxFree  atomic.Int64
+	pubFreeMach atomic.Int64
 
 	// clockBase shifts the time source so the served clock resumes from
 	// the recovered log's highest timestamp — arrivals stay monotonic
@@ -265,13 +268,32 @@ func (s *Server) publishFree() {
 	st := s.core.State()
 	s.pubFree.Store(int64(st.FreeGPUCount()))
 	s.pubMaxFree.Store(int64(st.MaxFreeGPUs()))
+	s.pubFreeMach.Store(int64(st.FreeMachines()))
 }
 
-// FreeCounters reads the published free-GPU counters: the cluster's
-// total free GPUs and the largest free block on one machine, as of the
-// last completed batch. Safe from any goroutine.
-func (s *Server) FreeCounters() (free, maxOnMachine int) {
-	return int(s.pubFree.Load()), int(s.pubMaxFree.Load())
+// FreeCounters reads the published free counters: the cluster's total
+// free GPUs, the largest free block on one machine and the number of
+// machines with any free GPU, as of the last completed batch. Safe from
+// any goroutine.
+func (s *Server) FreeCounters() (free, maxOnMachine, freeMachines int) {
+	return int(s.pubFree.Load()), int(s.pubMaxFree.Load()), int(s.pubFreeMach.Load())
+}
+
+// JobIDs returns the IDs of every accepted, not-yet-released job
+// (running and queued), sorted, read on the writer goroutine. After a
+// durable start this is the replayed population — the state a sharded
+// front-end must rebuild its routing table from. Returns false when the
+// server is shut down.
+func (s *Server) JobIDs() ([]string, bool) {
+	var ids []string
+	ok := s.do(func() {
+		ids = make([]string, 0, len(s.jobs))
+		for id := range s.jobs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	})
+	return ids, ok
 }
 
 // Topology returns the served physical topology (immutable).
