@@ -19,6 +19,9 @@ import (
 	"gputopo/internal/perfmodel"
 	"gputopo/internal/profile"
 	"gputopo/internal/sched"
+	"gputopo/internal/schedcore"
+	"gputopo/internal/schedcore/domains"
+	"gputopo/internal/schedcore/placecache"
 	"gputopo/internal/simulator"
 	"gputopo/internal/topology"
 	"gputopo/internal/workload"
@@ -227,6 +230,117 @@ func benchDecision(b *testing.B, policy sched.Policy) {
 
 func jobName(i int) string {
 	return "occ" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+}
+
+// halfBusyCluster builds the benchDecision substrate — a minsky cluster
+// at ≈50% occupancy via a 2-GPU occupant on every even machine — at an
+// arbitrary machine count.
+func halfBusyCluster(b *testing.B, machines int) (*topology.Topology, *cluster.State) {
+	b.Helper()
+	topo := topology.Cluster(machines, topology.KindMinsky)
+	st := cluster.NewState(topo)
+	occupant := perfmodel.Traits{Model: perfmodel.AlexNet, Class: 1, GPUs: 2}
+	id := 0
+	for m := 0; m < machines; m += 2 {
+		gpus := topo.GPUsOfMachine(m)
+		if err := st.Allocate(jobName(id), []int{gpus[0], gpus[1]}, 1, occupant); err != nil {
+			b.Fatal(err)
+		}
+		id++
+	}
+	return topo, st
+}
+
+// BenchmarkRouterRoute measures one sharded-serve routing decision: the
+// admissibility walk plus three counter reads per domain, at a 16-domain
+// fan-out with mixed job shapes.
+func BenchmarkRouterRoute(b *testing.B) {
+	const nd = 16
+	caps := make([]domains.Capacity, nd)
+	for d := range caps {
+		caps[d] = domains.CapacityOf(topology.Cluster(8, topology.KindMinsky))
+	}
+	free := func(d int) (int, int, int) {
+		// Synthetic but domain-varying occupancy so Route exercises both
+		// the seats-now and spill arms.
+		return (d * 5) % 33, d % 5, d % 9
+	}
+	r := domains.NewRouter(caps, free)
+	js := []*job.Job{
+		job.New("r1", perfmodel.AlexNet, 4, 1, 0.5, 0),
+		job.New("r2", perfmodel.GoogLeNet, 4, 4, 0.5, 0),
+		job.New("r4", perfmodel.AlexNet, 4, 2, 0.5, 0),
+	}
+	js[1].SingleNode = true
+	js[2].AntiCollocate = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Route(js[i%len(js)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaceCacheHit measures the memoized fast path in isolation:
+// canonical key construction over a live (fingerprint-warm) state plus
+// the LRU lookup. This is the per-candidate cost a cache hit pays in
+// place of a full DRB mapping.
+func BenchmarkPlaceCacheHit(b *testing.B) {
+	_, st := halfBusyCluster(b, 100)
+	j := job.New("bench", perfmodel.AlexNet, 4, 2, 0.5, 0)
+	sig, ok := placecache.JobSig(j)
+	if !ok {
+		b.Fatal("benchmark job not cacheable")
+	}
+	c := placecache.New(0)
+	c.Store(placecache.SingleHostKey(sig, st, 1), []int{0, 1}, placecache.Score{Utility: 0.5}, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, hit := c.Lookup(placecache.SingleHostKey(sig, st, 1)); !hit {
+			b.Fatal("warm key missed")
+		}
+	}
+}
+
+// BenchmarkScheduleSteadyState measures one steady-state scheduling
+// round through the schedcore engine at scenario-2 scale (1000 minsky
+// machines, ≈50% busy), with the placement cache on and off. The churn
+// loop places and releases the same job shape, so the cache-on variant
+// runs at its steady hit rate — the ratio between the two subbenchmarks
+// is the memoization speedup CI gates end to end via the cachebench
+// sweep grid.
+func BenchmarkScheduleSteadyState(b *testing.B) {
+	for _, cacheOn := range []bool{true, false} {
+		name := "cache=on"
+		if !cacheOn {
+			name = "cache=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			topo, st := halfBusyCluster(b, 1000)
+			mapper, err := core.NewMapper(profile.Generate(topo, 4), core.DefaultWeights())
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := schedcore.New(schedcore.TopoAware, st, mapper)
+			c.SetPlaceCache(cacheOn)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := job.New("bench", perfmodel.AlexNet, 4, 2, 0.5, 0)
+				if err := c.Submit(j); err != nil {
+					b.Fatal(err)
+				}
+				ds := c.Schedule()
+				if len(ds) != 1 || ds[0].Postponed {
+					b.Fatal("placement failed")
+				}
+				b.StopTimer()
+				if err := c.Release("bench"); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
 }
 
 // BenchmarkAblationLevelWeights re-runs the Table 1 scenario across socket

@@ -67,6 +67,7 @@ type config struct {
 	hold       time.Duration
 	retries    int
 	maxQueue   int
+	noCache    bool
 	logPath    string
 	name       string
 	out        string
@@ -91,12 +92,14 @@ func main() {
 	flag.DurationVar(&cfg.hold, "hold", 20*time.Millisecond, "how long a placed job runs before release")
 	flag.IntVar(&cfg.retries, "retries", 8, "client retry budget for 429 admission rejections")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "in-process server admission limit (0: unlimited)")
+	placeCache := flag.Bool("place-cache", true, "enable the in-process server's placement cache (placements are identical either way)")
 	flag.StringVar(&cfg.logPath, "log", "", "in-process server event-log path (empty: in-memory)")
 	flag.StringVar(&cfg.name, "name", "", "bench entry name (default serve/<topology>/<policy>)")
 	flag.StringVar(&cfg.out, "o", "BENCH_serve.json", "bench artifact path (empty: don't write)")
 	flag.BoolVar(&cfg.appendTo, "append", false, "merge into an existing artifact instead of overwriting")
 	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress the summary")
 	flag.Parse()
+	cfg.noCache = !*placeCache
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "topoload:", err)
 		os.Exit(1)
@@ -129,6 +132,7 @@ func run(cfg config, w io.Writer) error {
 		srv, err := serve.New(serve.Config{
 			Spec: spec, Policy: pol, Discipline: cfg.disc, Preemption: cfg.preempt,
 			LogPath: cfg.logPath, MaxQueue: cfg.maxQueue,
+			DisablePlaceCache: cfg.noCache,
 		})
 		if err != nil {
 			return err
@@ -152,7 +156,7 @@ func run(cfg config, w io.Writer) error {
 		return fmt.Errorf("server at %s not healthy: %w", base, err)
 	}
 
-	sb, err := drive(ctx, c, jobs, cfg)
+	sb, pc, err := drive(ctx, c, jobs, cfg)
 	if err != nil {
 		return err
 	}
@@ -162,6 +166,10 @@ func run(cfg config, w io.Writer) error {
 			sb.Name, sb.Jobs, sb.ElapsedSec, sb.JobsPerSec, sb.Placed, sb.Errors, sb.Retries429)
 		fmt.Fprintf(w, "topoload: placement latency p50=%.2fms p95=%.2fms p99=%.2fms, %d decisions (%.0f/s)\n",
 			sb.LatencyP50Ms, sb.LatencyP95Ms, sb.LatencyP99Ms, sb.Decisions, sb.DecisionsPerSec)
+		if pc != nil {
+			fmt.Fprintf(w, "topoload: place cache %d hits / %d misses / %d evictions\n",
+				pc.Hits, pc.Misses, pc.Evictions)
+		}
 	}
 	if cfg.out == "" {
 		return nil
@@ -185,8 +193,10 @@ func run(cfg config, w io.Writer) error {
 }
 
 // drive runs the submit phase — closed-loop by default, open-loop when
-// -submit-rate is set — and assembles the bench entry.
-func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (sweep.ServeBench, error) {
+// -submit-rate is set — and assembles the bench entry plus the server's
+// placement-cache counters (nil when the cache is off or the server
+// predates them).
+func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (sweep.ServeBench, *serveapi.PlaceCacheStats, error) {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -233,7 +243,7 @@ func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (
 		// goroutine whether or not earlier requests have returned.
 		offsets, err := arrivalOffsets(len(jobs), cfg)
 		if err != nil {
-			return sweep.ServeBench{}, err
+			return sweep.ServeBench{}, nil, err
 		}
 		for i, j := range jobs {
 			wg.Add(1)
@@ -267,7 +277,7 @@ func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (
 
 	st, err := c.State(ctx)
 	if err != nil {
-		return sweep.ServeBench{}, err
+		return sweep.ServeBench{}, nil, err
 	}
 	_, retries := c.Stats()
 
@@ -296,7 +306,7 @@ func drive(ctx context.Context, c *client.Client, jobs []*job.Job, cfg config) (
 	sb.LatencyP50Ms = percentileMs(latencies, 50)
 	sb.LatencyP95Ms = percentileMs(latencies, 95)
 	sb.LatencyP99Ms = percentileMs(latencies, 99)
-	return sb, nil
+	return sb, st.PlaceCache, nil
 }
 
 // arrivalOffsets returns each job's scheduled submit time as an offset

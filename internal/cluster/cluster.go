@@ -9,6 +9,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"gputopo/internal/perfmodel"
 	"gputopo/internal/topology"
@@ -55,6 +56,17 @@ type State struct {
 	// skip re-evaluating X until the epoch moves — the version-gated
 	// rescheduling that keeps scenario-2 queue depths cheap.
 	epoch uint64
+
+	// shapeStatic caches the topology's per-machine static shape strings
+	// (topology.MachineShape), built once on the first fingerprint request
+	// and shared read-only between clones. fp holds the lazily maintained
+	// per-machine placement fingerprints for the placement-decision cache:
+	// "" marks a machine dirty, Allocate/Release invalidate only the
+	// machines whose GPUs they touch (same lazy style as FreeMachines),
+	// and MachineFingerprint recomputes on demand. Fingerprints are never
+	// empty by construction, so "" is unambiguous.
+	shapeStatic []string
+	fp          []string
 }
 
 // NewState returns an empty allocation state for the topology.
@@ -183,6 +195,9 @@ func (s *State) Allocate(jobID string, gpus []int, bandwidth float64, traits per
 		s.freeOnMachine[nd.Machine]--
 		s.freeTotal--
 		s.fragSum -= 1 / float64(len(s.topo.GPUsOfSocket(nd.Machine, nd.Socket)))
+		if s.fp != nil {
+			s.fp[nd.Machine] = ""
+		}
 	}
 	for _, m := range s.machinesOf(alloc.GPUs) {
 		s.busUsed[m] += bandwidth
@@ -206,6 +221,9 @@ func (s *State) Release(jobID string) error {
 		s.freeOnMachine[nd.Machine]++
 		s.freeTotal++
 		s.fragSum += 1 / float64(len(s.topo.GPUsOfSocket(nd.Machine, nd.Socket)))
+		if s.fp != nil {
+			s.fp[nd.Machine] = ""
+		}
 	}
 	for _, m := range s.machinesOf(alloc.GPUs) {
 		s.busUsed[m] -= alloc.Bandwidth
@@ -285,6 +303,14 @@ func (s *State) Fragmentation() float64 {
 	return s.fragSum / float64(s.socketCount)
 }
 
+// FragSum returns the raw Eq. 5 numerator: Σ over sockets of the free
+// fraction, before the division by the socket count. The placement cache
+// keys on its exact bits rather than on Fragmentation() — the division
+// can round two distinct sums onto the same quotient, and a placement
+// evaluation reads the sum (through FragmentationAfter), not the
+// quotient.
+func (s *State) FragSum() float64 { return s.fragSum }
+
 // FragmentationAfter returns Eq. 5 evaluated as if the given (free,
 // distinct) GPUs were additionally allocated — the ω_d the utility
 // function scores for a candidate placement. O(len(gpus)).
@@ -341,6 +367,85 @@ func (s *State) FreeMachines() int {
 	return s.freeMachines
 }
 
+// MachineFingerprint returns machine m's canonical placement
+// fingerprint: the static topology.MachineShape plus everything a
+// placement evaluation can observe about the machine's current
+// occupancy, expressed positionally over the machine's free-GPU list
+// (ascending) so that two machines with equal fingerprints admit an
+// order-preserving free-GPU relabeling under which every placement
+// input is identical —
+//
+//   - the free count and the pairwise distance submatrix of the free
+//     slots (DRB's affinity graph and all comm-cost terms),
+//   - each free slot's socket size (the FragmentationAfter delta) and
+//     root-attachment distance (the per-slot component of every
+//     cross-machine distance; the machine-level component is in the
+//     static shape),
+//   - one block per co-resident job, in sorted-ID order (the order
+//     predictInterference sums contributions in), carrying the job's
+//     interference traits and a bitmask over the free slots marking
+//     which of them share a socket with that job's GPUs here (the
+//     SameSocket locality upgrade).
+//
+// Job IDs themselves are deliberately excluded: only the block order
+// matters. Maintained lazily — Allocate/Release dirty only the machines
+// they touch, recomputation is O(free² + jobs·free) on a single machine.
+func (s *State) MachineFingerprint(m int) string {
+	if s.shapeStatic == nil {
+		shapes := make([]string, s.topo.NumMachines())
+		for i := range shapes {
+			shapes[i] = s.topo.MachineShape(i)
+		}
+		s.shapeStatic = shapes
+	}
+	if s.fp == nil {
+		s.fp = make([]string, s.topo.NumMachines())
+	}
+	if s.fp[m] == "" {
+		s.fp[m] = s.computeFingerprint(m)
+	}
+	return s.fp[m]
+}
+
+// computeFingerprint builds machine m's fingerprint from scratch.
+func (s *State) computeFingerprint(m int) string {
+	var sb strings.Builder
+	sb.WriteString(s.shapeStatic[m])
+	var freeBuf [8]int
+	free := s.AppendFreeGPUsOnMachine(freeBuf[:0], m)
+	fmt.Fprintf(&sb, "|f%d", len(free))
+	for i, a := range free {
+		for _, b := range free[i+1:] {
+			fmt.Fprintf(&sb, ",%g", s.topo.Distance(a, b))
+		}
+	}
+	sb.WriteString(";s")
+	for _, pos := range free {
+		nd := s.topo.GPU(pos)
+		fmt.Fprintf(&sb, ",%d", len(s.topo.GPUsOfSocket(nd.Machine, nd.Socket)))
+	}
+	sb.WriteString(";r")
+	for _, pos := range free {
+		fmt.Fprintf(&sb, ",%g", s.topo.RootDistance(pos))
+	}
+	for _, id := range s.JobsOnMachine(m) {
+		alloc := s.allocs[id]
+		t := alloc.Traits
+		fmt.Fprintf(&sb, ";j%d.%d.%d.%d:", int(t.Model), int(t.Class), t.GPUs, int(t.Mode))
+		for _, pos := range free {
+			share := byte('0')
+			for _, og := range alloc.GPUs {
+				if s.topo.SameSocket(pos, og) {
+					share = '1'
+					break
+				}
+			}
+			sb.WriteByte(share)
+		}
+	}
+	return sb.String()
+}
+
 // Utilization returns the fraction of GPUs currently allocated.
 func (s *State) Utilization() float64 {
 	if len(s.owner) == 0 {
@@ -372,6 +477,10 @@ func (s *State) Clone() *State {
 		freeMachines:  s.freeMachines,
 		maxFreeDirty:  s.maxFreeDirty,
 		epoch:         s.epoch,
+		shapeStatic:   s.shapeStatic, // immutable once built; shared
+	}
+	if s.fp != nil {
+		c.fp = append([]string(nil), s.fp...)
 	}
 	for m, v := range s.freeOnMachine {
 		c.freeOnMachine[m] = v
@@ -388,4 +497,45 @@ func (s *State) Clone() *State {
 		c.busUsed[m] = v
 	}
 	return c
+}
+
+// CopyFrom resets s to a copy of src, reusing s's buffers — the
+// allocation-free sibling of Clone for pooled what-if scratch states
+// (the preemption victim search resets one scratch clone per candidate
+// instead of cloning fresh each time). Both states must share the same
+// topology. *Allocation values are shared, not copied: an Allocation is
+// immutable once created (Allocate builds it, Release only drops the
+// map entry), so a scratch state releasing a shared allocation never
+// mutates the source's view.
+func (s *State) CopyFrom(src *State) {
+	if s.topo != src.topo {
+		panic("cluster: CopyFrom across topologies")
+	}
+	copy(s.owner, src.owner)
+	clear(s.allocs)
+	for id, a := range src.allocs {
+		s.allocs[id] = a
+	}
+	s.busCapacity = src.busCapacity
+	clear(s.busUsed)
+	for m, v := range src.busUsed {
+		s.busUsed[m] = v
+	}
+	clear(s.freeOnMachine)
+	for m, v := range src.freeOnMachine {
+		s.freeOnMachine[m] = v
+	}
+	s.freeTotal = src.freeTotal
+	s.fragSum = src.fragSum
+	s.socketCount = src.socketCount
+	s.maxFree = src.maxFree
+	s.freeMachines = src.freeMachines
+	s.maxFreeDirty = src.maxFreeDirty
+	s.epoch = src.epoch
+	s.shapeStatic = src.shapeStatic
+	if src.fp == nil {
+		s.fp = nil
+	} else {
+		s.fp = append(s.fp[:0], src.fp...)
+	}
 }

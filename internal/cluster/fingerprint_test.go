@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"gputopo/internal/jobgraph"
+	"gputopo/internal/perfmodel"
+	"gputopo/internal/topology"
+)
+
+func dedupSorted(gpus []int) []int {
+	sort.Ints(gpus)
+	out := gpus[:0]
+	for i, g := range gpus {
+		if i == 0 || g != gpus[i-1] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func jobClass(op int) jobgraph.BatchClass { return jobgraph.ClassOfSize(1 << (op % 8)) }
+
+func jobName(n int) string { return fmt.Sprintf("fz%04d", n) }
+
+func fpState(t *testing.T, mix string) *State {
+	t.Helper()
+	specs, err := topology.ParseMix(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.HeterogeneousCluster(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewState(topo)
+}
+
+// replayFingerprints rebuilds s's allocations on a fresh state and
+// returns its fingerprints — the from-scratch answer the incrementally
+// maintained one must always match.
+func replayFingerprints(t *testing.T, s *State) []string {
+	t.Helper()
+	fresh := NewState(s.Topology())
+	fresh.SetBusCapacity(s.BusCapacity())
+	for _, id := range s.Jobs() {
+		a := s.Allocation(id)
+		if err := fresh.Allocate(id, a.GPUs, a.Bandwidth, a.Traits); err != nil {
+			t.Fatalf("replaying %s: %v", id, err)
+		}
+	}
+	out := make([]string, s.Topology().NumMachines())
+	for m := range out {
+		out[m] = fresh.MachineFingerprint(m)
+	}
+	return out
+}
+
+func checkFingerprints(t *testing.T, s *State, context string) {
+	t.Helper()
+	want := replayFingerprints(t, s)
+	for m := range want {
+		if got := s.MachineFingerprint(m); got != want[m] {
+			t.Fatalf("%s: machine %d incremental fingerprint diverged from scratch recompute\n inc:     %q\n scratch: %q",
+				context, m, got, want[m])
+		}
+	}
+}
+
+func TestMachineFingerprintIncremental(t *testing.T) {
+	s := fpState(t, "minsky:2+minsky-1g:1+dgx1:1")
+	tr := perfmodel.Traits{Model: perfmodel.AlexNet, Class: 1, GPUs: 2, Mode: perfmodel.DataParallel}
+
+	// Force the lazy build before any mutation so the dirty-marking path
+	// (not just first-touch recomputation) is what the test exercises.
+	for m := 0; m < s.Topology().NumMachines(); m++ {
+		s.MachineFingerprint(m)
+	}
+
+	if err := s.Allocate("a", []int{0, 1}, 1, tr); err != nil {
+		t.Fatal(err)
+	}
+	checkFingerprints(t, s, "after first allocate")
+
+	// A job spanning machines dirties each of them.
+	g2 := s.Topology().GPUsOfMachine(2)
+	g3 := s.Topology().GPUsOfMachine(3)
+	if err := s.Allocate("wide", []int{g2[0], g3[0]}, 1, tr); err != nil {
+		t.Fatal(err)
+	}
+	checkFingerprints(t, s, "after cross-machine allocate")
+
+	if err := s.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	checkFingerprints(t, s, "after release")
+
+	// An untouched machine's fingerprint must be recomputation-stable.
+	before := s.MachineFingerprint(1)
+	if err := s.Allocate("b", []int{g3[1]}, 1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MachineFingerprint(1); got != before {
+		t.Fatalf("machine 1 fingerprint moved without a local change:\n%q\n%q", before, got)
+	}
+}
+
+func TestFingerprintCloneAndCopyFrom(t *testing.T) {
+	s := fpState(t, "minsky:2")
+	tr := perfmodel.Traits{Model: perfmodel.GoogLeNet, Class: 2, GPUs: 2, Mode: perfmodel.DataParallel}
+	if err := s.Allocate("a", []int{0, 1}, 1, tr); err != nil {
+		t.Fatal(err)
+	}
+	s.MachineFingerprint(0)
+
+	c := s.Clone()
+	for m := 0; m < 2; m++ {
+		if c.MachineFingerprint(m) != s.MachineFingerprint(m) {
+			t.Fatalf("clone fingerprint differs on machine %d", m)
+		}
+	}
+	// Mutating the clone must not leak into the source.
+	if err := c.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	checkFingerprints(t, c, "mutated clone")
+	checkFingerprints(t, s, "source after clone mutation")
+
+	// CopyFrom resets the clone back to the source, fingerprints included.
+	c.CopyFrom(s)
+	if c.FragSum() != s.FragSum() || c.FreeGPUCount() != s.FreeGPUCount() {
+		t.Fatal("CopyFrom missed scalar state")
+	}
+	checkFingerprints(t, c, "after CopyFrom")
+	if err := c.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Allocation("a") == nil {
+		t.Fatal("CopyFrom shared mutable allocation bookkeeping with the source")
+	}
+	checkFingerprints(t, s, "source after CopyFrom+mutation")
+}
+
+// FuzzShapeFingerprint drives random allocate/release sequences over
+// mixed (healthy, degraded, heterogeneous) fleets and checks the
+// fingerprint soundness invariant: the incrementally maintained
+// fingerprint of every machine always equals the from-scratch
+// fingerprint of a fresh state holding the same allocations. A
+// divergence here is exactly a placement-cache correctness bug — a key
+// that misdescribes its state.
+func FuzzShapeFingerprint(f *testing.F) {
+	f.Add("minsky:2+minsky-1g:1+dgx1:1", []byte{0, 2, 1, 3, 0x80, 7, 0, 1})
+	f.Add("minsky:3", []byte{4, 4, 4, 0x81})
+	f.Add("dgx1-2g:2+pcie:1", []byte{9, 0, 0x80, 3, 3})
+	f.Fuzz(func(t *testing.T, mix string, ops []byte) {
+		specs, err := topology.ParseMix(mix)
+		if err != nil {
+			t.Skip()
+		}
+		machines := 0
+		for _, sp := range specs {
+			machines += sp.Count
+		}
+		if machines == 0 || machines > 8 {
+			t.Skip()
+		}
+		topo, err := topology.HeterogeneousCluster(specs)
+		if err != nil {
+			t.Skip()
+		}
+		s := NewState(topo)
+		for m := 0; m < topo.NumMachines(); m++ {
+			s.MachineFingerprint(m) // build eagerly; mutations must dirty correctly
+		}
+		next := 0
+		for i := 0; i < len(ops); i++ {
+			op := ops[i]
+			if op&0x80 != 0 {
+				// Release the job selected by the low bits, if any.
+				ids := s.Jobs()
+				if len(ids) == 0 {
+					continue
+				}
+				if err := s.Release(ids[int(op&0x7f)%len(ids)]); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			// Allocate 1-3 GPUs starting at a free-list offset, with traits
+			// derived from the op byte so resident blocks vary.
+			free := s.FreeGPUs()
+			if len(free) == 0 {
+				continue
+			}
+			n := 1 + int(op)%3
+			if n > len(free) {
+				n = len(free)
+			}
+			start := (int(op) / 3) % len(free)
+			gpus := make([]int, 0, n)
+			for k := 0; k < n; k++ {
+				gpus = append(gpus, free[(start+k*2)%len(free)])
+			}
+			gpus = dedupSorted(gpus)
+			tr := perfmodel.Traits{
+				Model: perfmodel.NN(int(op) % 3),
+				Class: jobClass(int(op)),
+				GPUs:  len(gpus),
+				Mode:  perfmodel.Parallelism(int(op/16) % 2),
+			}
+			id := jobName(next)
+			next++
+			if err := s.Allocate(id, gpus, float64(int(op)%5), tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := replayFingerprints(t, s)
+		for m := range want {
+			if got := s.MachineFingerprint(m); got != want[m] {
+				t.Fatalf("machine %d: incremental %q != scratch %q", m, got, want[m])
+			}
+		}
+	})
+}

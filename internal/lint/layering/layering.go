@@ -54,9 +54,10 @@ var Ranks = map[string]Layer{
 	"gputopo/internal/cluster": {400, "scheduling"},
 	"gputopo/internal/profile": {400, "models"},
 
-	"gputopo/internal/core":     {500, "scheduling"},
-	"gputopo/internal/workload": {500, "evaluation"},
-	"gputopo/internal/serveapi": {500, "serving wire types"},
+	"gputopo/internal/core":                 {500, "scheduling"},
+	"gputopo/internal/workload":             {500, "evaluation"},
+	"gputopo/internal/serveapi":             {500, "serving wire types"},
+	"gputopo/internal/schedcore/placecache": {500, "placement memoization"},
 
 	"gputopo/internal/schedcore": {600, "scheduling core"},
 	"gputopo/internal/eventlog":  {600, "serving durability"},
@@ -104,8 +105,9 @@ var IntraPrefixes = []string{"gputopo/internal/lint"}
 // scheduling core performs no I/O by contract (docs/architecture.md,
 // "The scheduling core is pure and single-writer").
 var ForbiddenStd = map[string][]string{
-	"gputopo/internal/schedcore":         {"os", "io", "net", "net/http", "bufio", "os/exec", "syscall"},
-	"gputopo/internal/schedcore/domains": {"os", "io", "net", "net/http", "bufio", "os/exec", "syscall"},
+	"gputopo/internal/schedcore":            {"os", "io", "net", "net/http", "bufio", "os/exec", "syscall"},
+	"gputopo/internal/schedcore/domains":    {"os", "io", "net", "net/http", "bufio", "os/exec", "syscall"},
+	"gputopo/internal/schedcore/placecache": {"os", "io", "net", "net/http", "bufio", "os/exec", "syscall"},
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,137 @@
+package schedcore
+
+import (
+	"testing"
+
+	"gputopo/internal/topology"
+)
+
+// TestPlaceCacheHitsAcrossEquivalentMachines: a homogeneous fleet fed
+// identical jobs is the cache's home turf — after the first machine is
+// solved, every further identical subproblem must replay from the
+// cache, and the decisions must be the same as an uncached core's.
+func TestPlaceCacheHitsAcrossEquivalentMachines(t *testing.T) {
+	topo := topology.Cluster(8, topology.KindMinsky)
+	cached := newSchedWith(t, TopoAware, topo)
+	uncached := newSchedWith(t, TopoAware, topo)
+	uncached.SetPlaceCache(false)
+
+	for i := 0; i < 16; i++ {
+		j := mkJob(jobID(i), 16, 2, 0, float64(i))
+		if err := cached.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+		if err := uncached.Submit(mkJob(jobID(i), 16, 2, 0, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		want := placedIDs(uncached.Schedule())
+		got := placedIDs(cached.Schedule())
+		if len(got) != len(want) || (len(got) == 1 && got[0] != want[0]) {
+			t.Fatalf("round %d: cached %v, uncached %v", i, got, want)
+		}
+	}
+	cd := cached.State()
+	ud := uncached.State()
+	for _, id := range ud.Jobs() {
+		ca, ua := cd.Allocation(id), ud.Allocation(id)
+		if ca == nil {
+			t.Fatalf("job %s missing under cache", id)
+		}
+		for k := range ua.GPUs {
+			if ca.GPUs[k] != ua.GPUs[k] {
+				t.Fatalf("job %s placed on %v cached vs %v uncached", id, ca.GPUs, ua.GPUs)
+			}
+		}
+	}
+
+	st := cached.Stats()
+	if st.PlaceCacheHits == 0 {
+		t.Fatalf("no cache hits on a homogeneous fleet of identical jobs: %+v", st)
+	}
+	if us := uncached.Stats(); us.PlaceCacheHits != 0 || us.PlaceCacheMisses != 0 {
+		t.Fatalf("disabled cache reported traffic: %+v", us)
+	}
+}
+
+func jobID(i int) string {
+	return string([]byte{'j', byte('a' + i/26), byte('a' + i%26)})
+}
+
+func TestSetPlaceCacheToggle(t *testing.T) {
+	s := newSchedWith(t, TopoAware, topology.Power8Minsky())
+	if s.PlaceCache() == nil {
+		t.Fatal("cache must default on")
+	}
+	s.SetPlaceCache(false)
+	if s.PlaceCache() != nil || s.place.cache != nil {
+		t.Fatal("SetPlaceCache(false) left a cache wired")
+	}
+	_ = s.Submit(mkJob("a", 16, 2, 0, 0))
+	if ids := placedIDs(s.Schedule()); len(ids) != 1 {
+		t.Fatalf("placements with cache off: %v", ids)
+	}
+	s.SetPlaceCache(true)
+	if s.PlaceCache() == nil || s.place.cache == nil {
+		t.Fatal("SetPlaceCache(true) did not rewire")
+	}
+	_ = s.Submit(mkJob("b", 16, 2, 0, 1))
+	if ids := placedIDs(s.Schedule()); len(ids) != 1 {
+		t.Fatalf("placements with cache back on: %v", ids)
+	}
+}
+
+// TestVictimSearchAllocs pins the preemption satellite: evaluating a
+// victim candidate must reuse the pooled scratch clone, not allocate a
+// fresh deep copy per prefix. The cycle below preempts, restores, and
+// re-places every iteration; with clone-per-candidate on a 16-machine
+// fleet it costs thousands of allocations, with the pooled scratch a
+// few hundred (decision records, eviction lists, queue churn).
+func TestVictimSearchAllocs(t *testing.T) {
+	topo := topology.Cluster(16, topology.KindMinsky)
+	s := newSchedWith(t, TopoAwareP, topo, WithQueueDiscipline(PriorityThenArrival()))
+	s.SetPreemption(true)
+	// Fill the cluster with low-priority 4-GPU jobs so any arrival must
+	// preempt and the victim search walks all 16 machine proposals.
+	for i := 0; i < 16; i++ {
+		if err := s.Submit(mkPrioJob(jobID(i), 4, 0, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ids := placedIDs(s.Schedule()); len(ids) != 16 {
+		t.Fatalf("setup placed %d jobs", len(ids))
+	}
+
+	n := 0
+	avg := testing.AllocsPerRun(20, func() {
+		hi := mkPrioJob("hi", 4, 1, 100)
+		if err := s.Submit(hi); err != nil {
+			t.Fatal(err)
+		}
+		decs := s.Schedule()
+		var victim string
+		for _, d := range decs {
+			if d.Job.ID == "hi" && len(d.Evictions) > 0 {
+				victim = d.Evictions[0].Job.ID
+			}
+		}
+		if victim == "" {
+			t.Fatal("expected a preemptive placement")
+		}
+		// Undo: release the high-priority job; the victim re-places on
+		// the freed capacity, restoring the all-full steady state.
+		if err := s.Release("hi"); err != nil {
+			t.Fatal(err)
+		}
+		if ids := placedIDs(s.Schedule()); len(ids) != 1 {
+			t.Fatalf("victim did not re-place: %v", ids)
+		}
+		n++
+	})
+	// Clone-per-candidate costs >60 allocations per evaluated machine
+	// (owner slice, maps, per-allocation copies) — about 2000/op on this
+	// fleet before pooling. 600 leaves slack for queue and decision
+	// bookkeeping while still failing loudly on a clone regression.
+	if avg > 600 {
+		t.Fatalf("preemption cycle allocates %.0f/op, want <= 600", avg)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"gputopo/internal/core"
 	"gputopo/internal/job"
 	"gputopo/internal/perfmodel"
+	"gputopo/internal/schedcore/placecache"
 )
 
 // Decision records the outcome of one placement attempt.
@@ -83,6 +84,14 @@ type Stats struct {
 	Evictions    int
 	DecisionTime time.Duration // total time spent deciding
 	MaxDecision  time.Duration
+	// Placement-cache traffic (canonical-shape memoization; see
+	// internal/schedcore/placecache). A hit replays a cached mapper
+	// decision through a GPU relabeling instead of re-running the DRB
+	// recursion; the counters never influence decisions, only the
+	// observability surfaces. All zero when the cache is disabled.
+	PlaceCacheHits      int
+	PlaceCacheMisses    int
+	PlaceCacheEvictions int
 }
 
 // MeanDecisionTime returns the average time per placement decision.
@@ -155,8 +164,15 @@ type Core struct {
 	rounds int // completed Schedule calls
 
 	// place evaluates the placement policies against the live state; the
-	// preemption path builds throwaway placers over clones of it.
-	place placer
+	// preemption path evaluates victim sets with victimPlacer over the
+	// pooled victimScratch clone. cache is the shared placement-decision
+	// cache both placers consult (nil when disabled): keys are pure
+	// functions of the state being evaluated, so live-state and
+	// victim-clone evaluations can safely share entries.
+	place         placer
+	cache         *placecache.Cache
+	victimScratch *cluster.State
+	victimPlacer  placer
 
 	// Preemption bookkeeping. running mirrors the cluster state's
 	// allocations as job objects, so victim selection can rank running
@@ -215,7 +231,9 @@ func New(policy Policy, state *cluster.State, mapper *core.Mapper, opts ...Optio
 		lastFailed: map[string]failedAttempt{},
 		running:    map[string]*job.Job{},
 		place:      placer{policy: policy, state: state, mapper: mapper},
+		cache:      placecache.New(0),
 	}
+	c.place.cache = c.cache
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -271,6 +289,27 @@ func (c *Core) SetWakeIndex(enabled bool) {
 	}
 }
 
+// SetPlaceCache toggles the placement-decision cache (on by default).
+// Like the epoch gate and the wake-up index, the cache never changes
+// decisions — a hit replays the exact mapper decision the key's state
+// would recompute, through a GPU relabeling — so the switch exists for
+// the equivalence tests that prove exactly that, and as an escape
+// hatch. Toggling drops any cached state.
+func (c *Core) SetPlaceCache(enabled bool) {
+	if enabled {
+		c.cache = placecache.New(0)
+	} else {
+		c.cache = nil
+	}
+	c.place.cache = c.cache
+	c.victimPlacer.cache = c.cache
+}
+
+// PlaceCache returns the core's placement-decision cache (nil when
+// disabled) — the sharded serving tests reach it to assert shared-cache
+// behavior under -race.
+func (c *Core) PlaceCache() *placecache.Cache { return c.cache }
+
 // indexed reports whether the wake-up index drives Schedule.
 func (c *Core) indexed() bool { return c.policy == TopoAwareP && !c.indexOff }
 
@@ -284,8 +323,18 @@ func (c *Core) Policy() Policy { return c.policy }
 // State returns the cluster allocation state the core mutates.
 func (c *Core) State() *cluster.State { return c.state }
 
-// Stats returns a copy of the accumulated statistics.
-func (c *Core) Stats() Stats { return c.stats }
+// Stats returns a copy of the accumulated statistics, with the
+// placement-cache counters merged in from the live cache.
+func (c *Core) Stats() Stats {
+	st := c.stats
+	if c.cache != nil {
+		cs := c.cache.Stats()
+		st.PlaceCacheHits = cs.Hits
+		st.PlaceCacheMisses = cs.Misses
+		st.PlaceCacheEvictions = cs.Evictions
+	}
+	return st
+}
 
 // Now returns the core's clock reading — virtual time under a
 // ManualClock driver, wall seconds under WallClock.

@@ -12,22 +12,28 @@ import (
 )
 
 // coreConfigs are the fast-path configurations of the real Core the
-// reference must match placement-for-placement. The epoch gate and the
-// wake-up index are documented as never changing decisions; this is
-// where that claim gets falsified if it is ever wrong.
+// reference must match placement-for-placement. The epoch gate, the
+// wake-up index and the placement cache are documented as never
+// changing decisions; this is where that claim gets falsified if it is
+// ever wrong. (The reference itself runs cache-off, so every cached
+// configuration is compared against uncached arithmetic.)
 var coreConfigs = []struct {
-	name        string
-	gate, index bool
+	name               string
+	gate, index, cache bool
 }{
-	{"gate+index", true, true},
-	{"gate", true, false},
-	{"index", false, true},
-	{"plain", false, false},
+	{"gate+index+cache", true, true, true},
+	{"gate+index", true, true, false},
+	{"gate+cache", true, false, true},
+	{"gate", true, false, false},
+	{"index+cache", false, true, true},
+	{"index", false, true, false},
+	{"cache", false, false, true},
+	{"plain", false, false, false},
 }
 
 // schedUnder builds a real Core over its own fresh substrate for the
 // trace's configuration.
-func schedUnder(t *testing.T, tr *Trace, gate, index bool) *schedcore.Core {
+func schedUnder(t *testing.T, tr *Trace, gate, index, cache bool) *schedcore.Core {
 	t.Helper()
 	disc, err := schedcore.ParseDiscipline(tr.Discipline)
 	if err != nil {
@@ -40,6 +46,7 @@ func schedUnder(t *testing.T, tr *Trace, gate, index bool) *schedcore.Core {
 	c := schedcore.New(tr.Policy, cluster.NewState(tr.Topology), mapper, schedcore.WithQueueDiscipline(disc))
 	c.SetEpochGate(gate)
 	c.SetWakeIndex(index)
+	c.SetPlaceCache(cache)
 	c.SetPreemption(tr.Preempt)
 	return c
 }
@@ -87,7 +94,7 @@ func runTrace(t *testing.T, tr *Trace) {
 	}
 	cores := make([]*schedcore.Core, len(coreConfigs))
 	for i, cc := range coreConfigs {
-		cores[i] = schedUnder(t, tr, cc.gate, cc.index)
+		cores[i] = schedUnder(t, tr, cc.gate, cc.index, cc.cache)
 	}
 
 	for step, ev := range tr.Events {

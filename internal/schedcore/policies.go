@@ -1,12 +1,14 @@
 package schedcore
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 
 	"gputopo/internal/cluster"
 	"gputopo/internal/core"
 	"gputopo/internal/job"
+	"gputopo/internal/schedcore/placecache"
 )
 
 // placer evaluates the placement policies of §5 against one cluster
@@ -23,7 +25,17 @@ type placer struct {
 	// lists; their contents are dead once the owning call returns.
 	freeScratch []int
 	hostScratch []int
+	// cache memoizes mapper decisions across equivalent subproblems
+	// (nil disables). Only the TOPO-AWARE paths consult it — FCFS and
+	// Best-Fit pick GPUs greedily and only Score the pick, which is
+	// already cheap.
+	cache *placecache.Cache
 }
+
+// errCachedInfeasible replays a remembered deterministic mapper failure
+// (Place is a pure function of the key, so its errors are part of the
+// decision). Callers only branch on err != nil.
+var errCachedInfeasible = errors.New("sched: placement infeasible (cached)")
 
 // attempt runs the placement policy on the job and applies the
 // TOPO-AWARE-P low-utility postponement rule. It returns the chosen
@@ -191,6 +203,12 @@ func (p *placer) placeTopoAware(j *job.Job) (*core.Placement, error) {
 		return nil, fmt.Errorf("sched: no host satisfies constraints of %s", j.ID)
 	}
 
+	var sig string
+	cacheable := false
+	if p.cache != nil {
+		sig, cacheable = placecache.JobSig(j)
+	}
+
 	if !j.SingleNode {
 		candidates := p.freeScratch[:0]
 		for _, m := range hosts {
@@ -200,6 +218,9 @@ func (p *placer) placeTopoAware(j *job.Job) (*core.Placement, error) {
 		if len(candidates) < j.GPUs {
 			return nil, fmt.Errorf("sched: %d candidate GPUs for request of %d", len(candidates), j.GPUs)
 		}
+		if cacheable {
+			return p.placeCached(j, placecache.MultiHostKey(sig, p.state, hosts), candidates)
+		}
 		return p.mapper.Place(j, p.state, candidates)
 	}
 
@@ -207,7 +228,13 @@ func (p *placer) placeTopoAware(j *job.Job) (*core.Placement, error) {
 	for _, m := range hosts {
 		free := p.state.AppendFreeGPUsOnMachine(p.freeScratch[:0], m)
 		p.freeScratch = free
-		pl, err := p.mapper.Place(j, p.state, free)
+		var pl *core.Placement
+		var err error
+		if cacheable {
+			pl, err = p.placeCached(j, placecache.SingleHostKey(sig, p.state, m), free)
+		} else {
+			pl, err = p.mapper.Place(j, p.state, free)
+		}
 		if err != nil {
 			continue
 		}
@@ -219,6 +246,60 @@ func (p *placer) placeTopoAware(j *job.Job) (*core.Placement, error) {
 		return nil, fmt.Errorf("sched: DRB found no feasible mapping for %s", j.ID)
 	}
 	return best, nil
+}
+
+// placeCached runs one mapper evaluation through the cache. candidates
+// must be ascending (free lists are). A hit relabels the stored slot
+// indices onto the concrete candidates and rebuilds the Placement from
+// the stored quality terms — every term is a pure function of the key
+// (placecache.Score documents why), so a hit is bit-for-bit identical
+// to the miss it replays. A miss runs the mapper and stores the
+// decision, including deterministic failures (negative entries): Place
+// is a pure function of the key's inputs, so "no feasible mapping here"
+// is as cacheable as a mapping.
+func (p *placer) placeCached(j *job.Job, key placecache.Key, candidates []int) (*core.Placement, error) {
+	if slots, score, negative, ok := p.cache.Lookup(key); ok {
+		if negative {
+			return nil, errCachedInfeasible
+		}
+		if replayable := len(slots) == j.GPUs; replayable {
+			gpus := make([]int, 0, len(slots))
+			for _, sl := range slots {
+				if sl < 0 || sl >= len(candidates) {
+					gpus = nil // defensive: corrupt entry, fall through to miss
+					break
+				}
+				gpus = append(gpus, candidates[sl])
+			}
+			if gpus != nil {
+				return &core.Placement{
+					GPUs:          gpus,
+					Utility:       score.Utility,
+					CommCost:      score.CommCost,
+					Interference:  score.Interference,
+					Fragmentation: score.Fragmentation,
+					P2P:           score.P2P,
+					BusDemand:     score.BusDemand,
+				}, nil
+			}
+		}
+	}
+	pl, err := p.mapper.Place(j, p.state, candidates)
+	if err != nil {
+		p.cache.Store(key, nil, placecache.Score{}, true)
+		return nil, err
+	}
+	if slots, ok := placecache.SlotsOf(candidates, pl.GPUs); ok {
+		p.cache.Store(key, slots, placecache.Score{
+			Utility:       pl.Utility,
+			CommCost:      pl.CommCost,
+			Interference:  pl.Interference,
+			Fragmentation: pl.Fragmentation,
+			P2P:           pl.P2P,
+			BusDemand:     pl.BusDemand,
+		}, false)
+	}
+	return pl, nil
 }
 
 // filterHosts implements filterHostsByConstraints (Algorithm 1): machines

@@ -172,18 +172,29 @@ func (c *Core) selectVictims(j *job.Job) ([]*job.Job, float64) {
 		}
 		return s.machine < b.machine
 	}
-	// evaluate releases the victims on a clone and re-runs the policy. A
-	// feasible set must both pass the capacity gate and actually place
-	// (bandwidth and mapper constraints can still reject it).
+	// evaluate releases the victims on the pooled scratch clone and
+	// re-runs the policy through the pooled victim placer. A feasible
+	// set must both pass the capacity gate and actually place (bandwidth
+	// and mapper constraints can still reject it). Pooling (CopyFrom
+	// instead of Clone, one placer with persistent scratch buffers)
+	// makes a rejected candidate prefix allocation-free; sharing the
+	// core's placement cache is sound because cache keys are pure
+	// functions of the state under evaluation, clone or not.
 	evaluate := func(victims []*job.Job, machine int) {
-		cs := c.state.Clone()
+		if c.victimScratch == nil {
+			c.victimScratch = c.state.Clone()
+			c.victimPlacer = placer{policy: c.policy, mapper: c.mapper, cache: c.cache}
+		} else {
+			c.victimScratch.CopyFrom(c.state)
+		}
+		cs := c.victimScratch
 		for _, v := range victims {
 			if err := cs.Release(v.ID); err != nil {
 				panic(fmt.Sprintf("schedcore: evaluating eviction of %s: %v", v.ID, err))
 			}
 		}
-		p := placer{policy: c.policy, state: cs, mapper: c.mapper}
-		placement, _ := p.attempt(j)
+		c.victimPlacer.state = cs
+		placement, _ := c.victimPlacer.attempt(j)
 		if placement == nil {
 			return
 		}

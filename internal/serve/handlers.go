@@ -207,6 +207,17 @@ func (s *Server) stateSnapshot() serveapi.StateResponse {
 		},
 		Log: s.logStats(),
 	}
+	if s.core.PlaceCache() != nil {
+		// Live core counters, not combinedStats: the cache runs cold
+		// after a recovery, so its traffic is volatile by design and
+		// never folds into the durable statsBase.
+		live := s.core.Stats()
+		resp.PlaceCache = &serveapi.PlaceCacheStats{
+			Hits:      live.PlaceCacheHits,
+			Misses:    live.PlaceCacheMisses,
+			Evictions: live.PlaceCacheEvictions,
+		}
+	}
 	for _, id := range st.Jobs() {
 		resp.Running = append(resp.Running, serveapi.RunningEntry{ID: id, GPUs: st.Allocation(id).GPUs})
 	}

@@ -391,6 +391,8 @@ func (ms *MultiServer) mergeStates(states []serveapi.StateResponse) serveapi.Sta
 	}
 	var fragWeighted float64
 	var agg serveapi.LogStats
+	var cacheAgg serveapi.PlaceCacheStats
+	anyCache := false
 	for d, st := range states {
 		out.Machines += st.Machines
 		out.GPUs += st.GPUs
@@ -429,16 +431,23 @@ func (ms *MultiServer) mergeStates(states []serveapi.StateResponse) serveapi.Sta
 			agg.ReplayedAtBoot += st.Log.ReplayedAtBoot
 			agg.Syncs += st.Log.Syncs
 		}
+		if st.PlaceCache != nil {
+			anyCache = true
+			cacheAgg.Hits += st.PlaceCache.Hits
+			cacheAgg.Misses += st.PlaceCache.Misses
+			cacheAgg.Evictions += st.PlaceCache.Evictions
+		}
 		out.Domains = append(out.Domains, serveapi.DomainState{
-			Domain:    d,
-			Topology:  st.Topology,
-			Machines:  st.Machines,
-			GPUs:      st.GPUs,
-			FreeGPUs:  st.FreeGPUs,
-			Running:   len(st.Running),
-			Queued:    len(st.Queue),
-			Decisions: st.Decisions,
-			Log:       st.Log,
+			Domain:     d,
+			Topology:   st.Topology,
+			Machines:   st.Machines,
+			GPUs:       st.GPUs,
+			FreeGPUs:   st.FreeGPUs,
+			Running:    len(st.Running),
+			Queued:     len(st.Queue),
+			Decisions:  st.Decisions,
+			Log:        st.Log,
+			PlaceCache: st.PlaceCache,
 		})
 	}
 	sort.Slice(out.Bandwidth, func(i, j int) bool { return out.Bandwidth[i].Machine < out.Bandwidth[j].Machine })
@@ -450,6 +459,9 @@ func (ms *MultiServer) mergeStates(states []serveapi.StateResponse) serveapi.Sta
 	}
 	if ms.Durable() {
 		out.Log = &agg
+	}
+	if anyCache {
+		out.PlaceCache = &cacheAgg
 	}
 	return out
 }

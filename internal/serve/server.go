@@ -95,6 +95,11 @@ type Config struct {
 	// log, so time stays monotonic across restarts. Nil = wall time
 	// since start.
 	Now func() float64
+	// DisablePlaceCache turns off the canonical-shape placement cache.
+	// Decisions are identical either way, so — unlike Discipline and
+	// Preemption — the switch may differ between a log's writer and its
+	// replayer without diverging.
+	DisablePlaceCache bool
 }
 
 // Server drives one scheduling core against one physical topology. All
@@ -227,6 +232,9 @@ func New(cfg Config) (*Server, error) {
 		schedcore.WithClock(clk), schedcore.WithQueueDiscipline(disc))
 	if cfg.Preemption {
 		sched.SetPreemption(true)
+	}
+	if cfg.DisablePlaceCache {
+		sched.SetPlaceCache(false)
 	}
 	s := &Server{
 		cfg:      cfg,

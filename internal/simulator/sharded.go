@@ -180,6 +180,9 @@ func mergeShardResults(cfg Config, results []*Result, gpuMaps [][]int) *Result {
 		s.WakeSkips += r.SchedStats.WakeSkips
 		s.Preemptions += r.SchedStats.Preemptions
 		s.Evictions += r.SchedStats.Evictions
+		s.PlaceCacheHits += r.SchedStats.PlaceCacheHits
+		s.PlaceCacheMisses += r.SchedStats.PlaceCacheMisses
+		s.PlaceCacheEvictions += r.SchedStats.PlaceCacheEvictions
 		s.DecisionTime += r.SchedStats.DecisionTime
 		if r.SchedStats.MaxDecision > s.MaxDecision {
 			s.MaxDecision = r.SchedStats.MaxDecision

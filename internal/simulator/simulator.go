@@ -62,6 +62,13 @@ type Config struct {
 	// either way (TestWakeIndexEquivalence proves it); the switch exists
 	// for those tests and as an escape hatch.
 	DisableWakeIndex bool
+	// DisablePlaceCache turns off the canonical-shape placement cache,
+	// re-running the mapper on every decision. Like the gate and the
+	// index, decisions are bit-identical either way (the differential
+	// harness proves it across all gate×index×cache configurations);
+	// the switch exists for those tests, for cache-on-vs-off benchmarks,
+	// and as an escape hatch.
+	DisablePlaceCache bool
 	// Discipline selects the queue ordering by name ("fifo", "priority";
 	// empty: the default arrival FIFO). See schedcore.ParseDiscipline.
 	Discipline string
@@ -286,6 +293,9 @@ func Run(cfg Config, jobs []*job.Job) (*Result, error) {
 	}
 	if cfg.DisableWakeIndex {
 		scheduler.SetWakeIndex(false)
+	}
+	if cfg.DisablePlaceCache {
+		scheduler.SetPlaceCache(false)
 	}
 	if cfg.EnablePreemption {
 		scheduler.SetPreemption(true)

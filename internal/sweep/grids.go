@@ -194,6 +194,28 @@ var namedGrids = map[string]struct {
 			}
 		},
 	},
+	"cachebench": {
+		desc: "placement-cache speedup point: TOPO-AWARE × minsky:1000 × 2000 jobs × 3 replicas (scenario-2 scale; run twice with -place-cache on/off and compare elapsed)",
+		build: func(seed uint64) Grid {
+			return Grid{
+				Name: "cachebench",
+				// One policy, one big homogeneous point: 200 identical
+				// minsky machines mean almost every single-node subproblem
+				// the candidate sweep evaluates repeats across machines and
+				// rounds, which is exactly the regime the canonical-shape
+				// cache accelerates. Heterogeneous fleets split the key
+				// space per machine shape and hit less — the hetero grid
+				// already covers correctness there.
+				Policies:       []sched.Policy{sched.TopoAware},
+				Topologies:     []TopologySpec{{Builder: "minsky"}},
+				Machines:       []int{1000},
+				Jobs:           []int{2000},
+				Replicas:       3,
+				BaseSeed:       seed,
+				RatePerMachine: 2,
+			}
+		},
+	},
 	"levelweights": {
 		desc: "§4.1.2 level-weight ablation: Table 1 under TOPO-AWARE-P with socket weights {5,10,20,40,100}",
 		build: func(seed uint64) Grid {

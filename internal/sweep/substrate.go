@@ -96,8 +96,9 @@ func (c *substrateCache) runner(p Point) (*RunOutput, error) {
 // schedTweaks bundles the scheduler escape hatches the equivalence tests
 // thread through runPoint; production runs always use the zero value.
 type schedTweaks struct {
-	disableEpochGate bool
-	disableWakeIndex bool
+	disableEpochGate  bool
+	disableWakeIndex  bool
+	disablePlaceCache bool
 }
 
 // runPoint materializes the point's workload on the cached substrate and
@@ -159,17 +160,18 @@ func (c *substrateCache) runPoint(p Point, tweaks schedTweaks) (*RunOutput, erro
 	switch p.Engine {
 	case EngineSim:
 		simCfg := simulator.Config{
-			Topology:         topo,
-			Policy:           p.Policy,
-			Weights:          weights,
-			Profiles:         profiles,
-			Seed:             p.Seed,
-			SampleInterval:   p.grid.SampleInterval,
-			JitterStddev:     p.grid.JitterStddev,
-			DisableEpochGate: tweaks.disableEpochGate,
-			DisableWakeIndex: tweaks.disableWakeIndex,
-			Discipline:       disc,
-			EnablePreemption: preempt,
+			Topology:          topo,
+			Policy:            p.Policy,
+			Weights:           weights,
+			Profiles:          profiles,
+			Seed:              p.Seed,
+			SampleInterval:    p.grid.SampleInterval,
+			JitterStddev:      p.grid.JitterStddev,
+			DisableEpochGate:  tweaks.disableEpochGate,
+			DisableWakeIndex:  tweaks.disableWakeIndex,
+			DisablePlaceCache: tweaks.disablePlaceCache,
+			Discipline:        disc,
+			EnablePreemption:  preempt,
 		}
 		if p.Topology.Domains != "" {
 			if p.Source != SourceGenerated {

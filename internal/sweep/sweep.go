@@ -341,6 +341,12 @@ type Options struct {
 	// Progress, when non-nil, is called after each completed point with
 	// the number done so far and the total. Calls are serialized.
 	Progress func(done, total int)
+	// DisablePlaceCache runs the default runner's simulations without
+	// the canonical-shape placement cache. Deterministic metrics are
+	// identical either way; the cache-bench CI job uses the switch to
+	// measure the on-vs-off wall-clock ratio. Ignored when Runner is
+	// set.
+	DisablePlaceCache bool
 }
 
 // ForEach runs fn(0..n-1) across a pool of at most workers goroutines
@@ -404,7 +410,9 @@ func Run(g Grid, opt Options) (*Report, error) {
 		// Run's points: a grid's points overwhelmingly reuse a handful of
 		// distinct topologies, and both the topology and its profile store
 		// are immutable once built (see newSubstrateCache).
-		runner = newSubstrateCache().runner
+		c := newSubstrateCache()
+		tweaks := schedTweaks{disablePlaceCache: opt.DisablePlaceCache}
+		runner = func(p Point) (*RunOutput, error) { return c.runPoint(p, tweaks) }
 	}
 	results := make([]PointResult, len(points))
 	var mu sync.Mutex

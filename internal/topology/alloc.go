@@ -180,6 +180,14 @@ func (t *Topology) seedCandidates() []int {
 	return seeds
 }
 
+// MachineShape exposes machineShape: the static fingerprint of machine
+// mi covering everything a placement evaluation can observe about the
+// empty machine — GPU count, network attachment, the full intra-machine
+// distance matrix and the per-GPU root-attachment costs. Machines with
+// equal shapes are interchangeable under GPU relabeling; the placement
+// cache builds its per-machine keys on top of this.
+func (t *Topology) MachineShape(mi int) string { return t.machineShape(mi) }
+
 // machineShape fingerprints machine mi by everything the extremal search
 // can observe: its intra-machine distance matrix and its attachment costs
 // toward the network root. Machines with equal shapes are interchangeable

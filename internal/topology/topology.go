@@ -330,6 +330,17 @@ func (t *Topology) Distance(a, b int) float64 {
 	return t.toRootDist[a] + t.netDist[ma] + t.netDist[mb] + t.toRootDist[b]
 }
 
+// RootDistance returns the attachment cost of the GPU at pos toward the
+// network root: the toRootDist component of every cross-machine Distance.
+// 0 when the topology has no network fabric (cross-machine distances are
+// then infinite and the component never contributes).
+func (t *Topology) RootDistance(pos int) float64 {
+	if !t.hasNet {
+		return 0
+	}
+	return t.toRootDist[pos]
+}
+
 // PathBandwidth returns the nominal bottleneck bandwidth (GB/s) along the
 // shortest path between GPU positions a and b.
 func (t *Topology) PathBandwidth(a, b int) float64 {
